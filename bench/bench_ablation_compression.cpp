@@ -1,0 +1,81 @@
+// Ablation (extension, DESIGN.md §7): accuracy vs upload compression.
+//
+// Sweeps HierAdMo's worker→edge uplink over lossless, top-k sparsification
+// (k = 50%, 25%, 10%), random-k (25%) and 8-level stochastic quantization on
+// the CNN/MNIST workload, reporting final accuracy and the per-sync upload
+// volume relative to lossless. The communication-efficiency motivation of
+// the paper suggests hierarchical FL tolerates aggressive uplink compression
+// because the edge aggregation averages the sparsification error across
+// workers.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/common/csv.h"
+#include "src/core/hieradmo.h"
+#include "src/fl/compression.h"
+
+namespace hfl::bench {
+namespace {
+
+void run() {
+  Rng rng(404);
+  const data::TrainTest dataset = data::make_synthetic_mnist(rng, 1.0);
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const data::Partition partition = data::partition_by_class(
+      dataset.train, topo.num_workers(), 5, rng);
+  const nn::ModelFactory factory = nn::cnn({1, 28, 28}, 10);
+
+  fl::RunConfig cfg;
+  cfg.tau = 20;
+  cfg.pi = 2;
+  cfg.total_iterations = scaled_iters(160, 40);
+  cfg.eta = 0.01;
+  cfg.gamma = 0.5;
+  cfg.batch_size = 8;
+  cfg.eval_max_samples = 250;
+  cfg.seed = 41;
+  fl::Engine engine(factory, dataset, partition, topo, cfg);
+
+  struct Variant {
+    std::string label;
+    fl::CompressorPtr compressor;
+    Scalar upload_ratio;  // payload scalars relative to lossless
+  };
+  const std::vector<Variant> variants = {
+      {"lossless", nullptr, 1.0},
+      {"top-50%", std::make_shared<fl::TopKCompressor>(0.5), 0.5},
+      {"top-25%", std::make_shared<fl::TopKCompressor>(0.25), 0.25},
+      {"top-10%", std::make_shared<fl::TopKCompressor>(0.1), 0.1},
+      {"random-25%", std::make_shared<fl::RandomKCompressor>(0.25, 99), 0.25},
+      {"qsgd-8", std::make_shared<fl::StochasticQuantizer>(8, 98),
+       // 8 levels + sign fit in 4 bits vs 64-bit scalars.
+       4.0 / 64.0},
+  };
+
+  CsvWriter csv("ablation_compression_results.csv");
+  csv.write_header({"variant", "upload_ratio", "accuracy"});
+
+  print_heading("Ablation — HierAdMo upload compression (CNN on MNIST, T=" +
+                std::to_string(cfg.total_iterations) + ")");
+  print_row({"uplink", "upload-ratio", "final-acc"}, {14, 14, 12});
+  for (const Variant& v : variants) {
+    core::HierAdMoOptions opt;
+    opt.upload_compressor = v.compressor;
+    core::HierAdMo alg(opt);
+    const fl::RunResult r = engine.run(alg);
+    print_row({v.label, CsvWriter::format_scalar(v.upload_ratio),
+               pct(r.final_accuracy)},
+              {14, 14, 12});
+    csv.write_row({v.label, CsvWriter::format_scalar(v.upload_ratio),
+                   CsvWriter::format_scalar(r.final_accuracy)});
+  }
+  std::printf("\n(results written to ablation_compression_results.csv)\n");
+}
+
+}  // namespace
+}  // namespace hfl::bench
+
+int main() {
+  hfl::bench::run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E7 — Fig. 2(h) and (l): trace-driven total training time to reach a target
+// accuracy.
+//
+// Paper setup: CNN on MNIST, 4 workers (laptop + three phones) / 2 edge
+// nodes (MacBook) / GPU-server cloud; setting 1 uses τ=10, π=2 (three-tier)
+// vs τ=20 (two-tier), setting 2 uses τ=20, π=2 vs τ=40. Training is
+// simulated iteration-exactly, then each run's accuracy curve is replayed
+// against the net::TimeSimulator delay model. The paper's target accuracy is
+// 0.95; ours is set to 0.90 of the best achievable at the scaled horizon so
+// every algorithm category registers a time (the paper's 1.30×–4.36×
+// speed-up claim is about the ratios).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/common/csv.h"
+#include "src/net/time_simulator.h"
+
+namespace hfl::bench {
+namespace {
+
+struct Setting {
+  std::string label;
+  std::size_t tau3, pi3, tau2;
+};
+
+void run() {
+  Rng rng(77);
+  const data::TrainTest dataset = data::make_synthetic_mnist(rng, 1.0);
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const data::Partition partition = data::partition_by_class(
+      dataset.train, topo.num_workers(), 5, rng);
+  const nn::ModelFactory factory = nn::cnn({1, 28, 28}, 10);
+  const std::size_t model_params = factory()->num_params();
+
+  const std::vector<Setting> settings = {
+      {"setting 1 (tau=10, pi=2 | tau=20)", 10, 2, 20},
+      {"setting 2 (tau=20, pi=2 | tau=40)", 20, 2, 40},
+  };
+
+  CsvWriter csv("fig2_time_results.csv");
+  csv.write_header({"setting", "algorithm", "target_accuracy",
+                    "iterations_to_target", "seconds_to_target",
+                    "final_accuracy"});
+
+  for (const Setting& s : settings) {
+    fl::RunConfig cfg3;
+    cfg3.tau = s.tau3;
+    cfg3.pi = s.pi3;
+    cfg3.total_iterations = scaled_iters(320, s.tau3 * s.pi3);
+    cfg3.eta = 0.01;
+    cfg3.gamma = 0.5;
+    cfg3.gamma_edge = 0.5;
+    cfg3.batch_size = 8;
+    cfg3.eval_every = 20;
+    cfg3.eval_max_samples = 250;
+    cfg3.seed = 19;
+    fl::RunConfig cfg2 = cfg3;
+    cfg2.tau = s.tau2;
+    cfg2.pi = 1;
+    cfg2.total_iterations = scaled_iters(320, s.tau2);
+
+    fl::Engine engine3(factory, dataset, partition, topo, cfg3);
+    fl::Engine engine2(factory, dataset, partition, topo, cfg2);
+
+    // First pass: run everything, then set the target just under the median
+    // best accuracy (the paper's fixed 0.95 is unreachable at the scaled
+    // horizon; a median-relative target keeps the comparison meaningful and
+    // lets slow methods register as "never", like the paper's 4× stragglers).
+    std::vector<std::pair<std::string, fl::RunResult>> results;
+    std::vector<Scalar> bests;
+    for (const std::string& name : algs::table2_algorithms()) {
+      auto alg = algs::make_algorithm(name);
+      fl::Engine& engine = alg->three_tier() ? engine3 : engine2;
+      results.emplace_back(name, engine.run(*alg));
+      bests.push_back(results.back().second.best_accuracy());
+    }
+    std::nth_element(bests.begin(), bests.begin() + bests.size() / 2,
+                     bests.end());
+    const Scalar target =
+        std::min(Scalar{0.95}, 0.95 * bests[bests.size() / 2]);
+
+    print_heading("Fig. 2 time-to-accuracy — " + s.label +
+                  ", target " + pct(target) + "%");
+    print_row({"algorithm", "iters-to-target", "time-to-target", "final-acc"},
+              {14, 16, 16, 12});
+    for (const auto& [name, result] : results) {
+      auto alg = algs::make_algorithm(name);
+      const fl::RunConfig& cfg = alg->three_tier() ? cfg3 : cfg2;
+      net::TimeSimConfig sim = net::make_time_sim_config(
+          name, alg->three_tier(), model_params, topo.num_workers());
+      net::TimeSimulator timer(topo, cfg, sim);
+      const std::size_t iters = result.iterations_to_accuracy(target);
+      const Scalar seconds = timer.time_to_accuracy(result, target);
+      print_row({name,
+                 iters == 0 ? "never" : std::to_string(iters),
+                 iters == 0 ? "-" : CsvWriter::format_scalar(seconds) + "s",
+                 pct(result.final_accuracy)},
+                {14, 16, 16, 12});
+      csv.write_row({s.label, name, CsvWriter::format_scalar(target),
+                     std::to_string(iters), CsvWriter::format_scalar(seconds),
+                     CsvWriter::format_scalar(result.final_accuracy)});
+    }
+  }
+  std::printf("\n(results written to fig2_time_results.csv)\n");
+}
+
+}  // namespace
+}  // namespace hfl::bench
+
+int main() {
+  hfl::bench::run();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E11 — substrate microbenchmarks (google-benchmark).
+//
+// Covers the hot paths of the simulation: GEMM, direct convolution
+// forward/backward, flat-vector aggregation primitives, and a full CNN
+// gradient step. These are the knobs that determine how large a simulated
+// deployment the engine can sustain.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/common/vec_ops.h"
+#include "src/nn/models.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace hfl {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c;
+  for (auto _ : state) {
+    ops::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_VecAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Vec x(n), y(n);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  for (auto _ : state) {
+    vec::axpy(0.5, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_VecAxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_VecCosine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Vec x(n), y(n);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::cosine(x, y));
+  }
+}
+BENCHMARK(BM_VecCosine)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_WeightedAggregation(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 11274;  // CNN-on-MNIST parameter count scale
+  Rng rng(4);
+  std::vector<Vec> models(workers, Vec(n));
+  for (auto& m : models) {
+    for (auto& v : m) v = rng.normal();
+  }
+  Vec weights(workers, 1.0 / static_cast<Scalar>(workers));
+  Vec out;
+  for (auto _ : state) {
+    vec::weighted_sum(models, weights, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_WeightedAggregation)->Arg(4)->Arg(16)->Arg(100);
+
+void BM_CnnGradientStep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  auto factory = nn::cnn({1, 28, 28}, 10);
+  auto model = factory();
+  model->init_params(rng);
+  const Vec params = model->get_params();
+  Tensor x = Tensor::randn({batch, 1, 28, 28}, rng);
+  std::vector<std::size_t> labels(batch);
+  for (auto& l : labels) l = rng.uniform_index(10);
+  Vec grad;
+  for (auto _ : state) {
+    model->loss_and_gradient(params, x, labels, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_CnnGradientStep)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MiniVggGradientStep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  auto factory = nn::mini_vgg({3, 32, 32}, 10);
+  auto model = factory();
+  model->init_params(rng);
+  const Vec params = model->get_params();
+  Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+  std::vector<std::size_t> labels(batch);
+  for (auto& l : labels) l = rng.uniform_index(10);
+  Vec grad;
+  for (auto _ : state) {
+    model->loss_and_gradient(params, x, labels, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_MiniVggGradientStep)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace hfl

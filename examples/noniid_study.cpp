@@ -1,0 +1,67 @@
+// Example: how data heterogeneity drives the value of hierarchy + momentum.
+//
+// Sweeps the x-class non-i.i.d. level (Fig. 2(e)–(g) methodology) on an MLP
+// and reports, per level:
+//   * the estimated gradient-diversity constants δℓ, δ of Assumption 3
+//     (via theory::estimate_assumptions), and
+//   * final accuracy of HierAdMo vs HierFAVG vs FedAvg.
+// Expected: smaller x → larger δ → larger accuracy spread in HierAdMo's
+// favour.
+#include <cstdio>
+
+#include "src/algs/registry.h"
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+#include "src/fl/engine.h"
+#include "src/nn/models.h"
+#include "src/theory/estimators.h"
+
+int main() {
+  using namespace hfl;
+
+  Rng data_rng(11);
+  const data::TrainTest dataset = data::make_synthetic_mnist(data_rng);
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const nn::ModelFactory factory = nn::mlp({1, 28, 28}, 32, 10);
+
+  std::printf("%-8s%-12s%-12s%-12s%-12s%-12s\n", "x", "delta", "HierAdMo",
+              "HierFAVG", "FedAvg", "spread");
+  for (const std::size_t x : {2, 4, 6, 8, 10}) {
+    Rng rng(50 + x);
+    const data::Partition partition = data::partition_by_class(
+        dataset.train, topo.num_workers(), x, rng);
+
+    theory::EstimatorOptions opts;
+    opts.probe_points = 3;
+    const theory::AssumptionEstimates est = theory::estimate_assumptions(
+        factory, dataset.train, partition, topo, opts);
+
+    fl::RunConfig cfg3;
+    cfg3.total_iterations = 200;
+    cfg3.tau = 10;
+    cfg3.pi = 2;
+    cfg3.eta = 0.01;
+    cfg3.gamma = 0.5;
+    cfg3.gamma_edge = 0.5;
+    cfg3.batch_size = 16;
+    cfg3.eval_max_samples = 300;
+    cfg3.seed = 5;
+    fl::RunConfig cfg2 = cfg3;
+    cfg2.tau = 20;
+    cfg2.pi = 1;
+
+    fl::Engine engine3(factory, dataset, partition, topo, cfg3);
+    fl::Engine engine2(factory, dataset, partition, topo, cfg2);
+
+    Scalar acc[3] = {0, 0, 0};
+    const char* names[3] = {"HierAdMo", "HierFAVG", "FedAvg"};
+    for (int i = 0; i < 3; ++i) {
+      auto alg = algs::make_algorithm(names[i]);
+      fl::Engine& engine = alg->three_tier() ? engine3 : engine2;
+      acc[i] = engine.run(*alg).final_accuracy;
+    }
+    std::printf("%-8zu%-12.3f%-12.3f%-12.3f%-12.3f%-12.3f\n", x,
+                est.delta_global, acc[0], acc[1], acc[2], acc[0] - acc[2]);
+  }
+  return 0;
+}

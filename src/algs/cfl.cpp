@@ -1,0 +1,61 @@
+#include "src/algs/cfl.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::algs {
+
+Cfl::Cfl(Scalar participation) : participation_(participation) {
+  HFL_CHECK(participation_ > 0 && participation_ <= 1,
+            "participation rate must be in (0, 1]");
+}
+
+void Cfl::init(fl::Context& ctx) {
+  rng_.emplace(ctx.cfg->seed ^ 0xCF1CF1CF1ULL);
+}
+
+void Cfl::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  core::sgd_local_step(w, ctx.cfg->eta);
+}
+
+void Cfl::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
+  const auto& ids = ctx.topo->workers_of_edge(e.id);
+
+  // Bernoulli participation, forcing at least one participant per round.
+  std::vector<std::size_t> participants;
+  for (const std::size_t id : ids) {
+    if (rng_->uniform() < participation_) participants.push_back(id);
+  }
+  if (participants.empty()) {
+    participants.push_back(ids[rng_->uniform_index(ids.size())]);
+  }
+
+  // Aggregate participants with renormalized data weights.
+  Scalar total_weight = 0;
+  for (const std::size_t id : participants) {
+    total_weight += (*ctx.workers)[id].weight_in_edge;
+  }
+  scratch_.assign(e.x_plus.size(), 0.0);
+  for (const std::size_t id : participants) {
+    const fl::WorkerState& w = (*ctx.workers)[id];
+    vec::axpy(w.weight_in_edge / total_weight, w.x, scratch_);
+  }
+  e.x_plus = scratch_;
+
+  // Only participants receive the fresh edge model; stragglers keep training
+  // on their local models until the cloud round.
+  for (const std::size_t id : participants) {
+    (*ctx.workers)[id].x = e.x_plus;
+  }
+}
+
+void Cfl::cloud_sync(fl::Context& ctx, std::size_t) {
+  Vec& x = ctx.cloud->x;
+  x.assign(x.size(), 0.0);
+  for (const fl::EdgeState& e : *ctx.edges) {
+    vec::axpy(e.weight_global, e.x_plus, x);
+  }
+  for (fl::EdgeState& e : *ctx.edges) e.x_plus = x;
+  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+}
+
+}  // namespace hfl::algs

@@ -1,0 +1,38 @@
+// CFL [18] (Wang et al., INFOCOM 2021: "Resource-efficient federated
+// learning with hierarchical aggregation in edge computing").
+//
+// Three-tier baseline without momentum. CFL's distinguishing feature is its
+// resource-efficient aggregation schedule: at each edge round only a subset
+// of workers synchronizes with the edge (saving uplink bandwidth), while the
+// remaining workers continue purely local training until the next round or
+// the cloud synchronization pulls everyone together. We reproduce that
+// schedule with a Bernoulli participation rate per edge round (the paper's
+// knapsack-based rate optimization is out of scope — DESIGN.md §2); the
+// cloud round aggregates and re-distributes to all workers.
+#pragma once
+
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/fl/algorithm.h"
+
+namespace hfl::algs {
+
+class Cfl final : public fl::Algorithm {
+ public:
+  explicit Cfl(Scalar participation = 0.75);
+
+  std::string name() const override { return "CFL"; }
+  bool three_tier() const override { return true; }
+  void init(fl::Context& ctx) override;
+  void local_step(fl::Context& ctx, fl::WorkerState& w) override;
+  void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override;
+  void cloud_sync(fl::Context& ctx, std::size_t p) override;
+
+ private:
+  Scalar participation_;
+  std::optional<Rng> rng_;
+  Vec scratch_;
+};
+
+}  // namespace hfl::algs

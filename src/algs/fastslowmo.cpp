@@ -1,0 +1,32 @@
+#include "src/algs/fastslowmo.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::algs {
+
+void FastSlowMo::init(fl::Context& ctx) {
+  ctx.cloud->extra["slow_m"] = Vec(ctx.cloud->x.size(), 0.0);
+}
+
+void FastSlowMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  core::nag_local_step(w, ctx.cfg->eta, ctx.cfg->gamma, /*accumulate=*/false);
+}
+
+void FastSlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_);
+  Vec& m = ctx.cloud->extra.at("slow_m");
+  Vec& x = ctx.cloud->x;
+  const Scalar beta = ctx.cfg->gamma_edge;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m[i] = beta * m[i] + (x[i] - x_scratch_[i]);
+    x[i] -= m[i];
+  }
+  ctx.cloud->y = y_scratch_;
+  for (fl::WorkerState& w : *ctx.workers) {
+    w.x = x;
+    w.y = y_scratch_;
+  }
+}
+
+}  // namespace hfl::algs

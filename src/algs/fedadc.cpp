@@ -1,0 +1,34 @@
+#include "src/algs/fedadc.h"
+
+namespace hfl::algs {
+
+void FedAdc::init(fl::Context& ctx) {
+  ctx.cloud->extra["drift_u"] = Vec(ctx.cloud->x.size(), 0.0);
+}
+
+void FedAdc::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  w.compute_gradient(w.x);
+  const Vec& u = ctx.cloud->extra.at("drift_u");  // read-only across workers
+  const Scalar eta = ctx.cfg->eta;
+  const Scalar beta = ctx.cfg->gamma;
+  for (std::size_t i = 0; i < w.x.size(); ++i) {
+    w.x[i] -= eta * (w.grad[i] + beta * u[i]);
+  }
+}
+
+void FedAdc::cloud_sync(fl::Context& ctx, std::size_t) {
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  Vec& u = ctx.cloud->extra.at("drift_u");
+  Vec& x = ctx.cloud->x;
+  const Scalar beta = ctx.cfg->gamma_edge;
+  const Scalar inv_step =
+      1.0 / (static_cast<Scalar>(ctx.cfg->tau) * ctx.cfg->eta);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Scalar pseudo_grad = (x[i] - x_scratch_[i]) * inv_step;
+    u[i] = beta * u[i] + (1.0 - beta) * pseudo_grad;
+    x[i] = x_scratch_[i];
+  }
+  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+}
+
+}  // namespace hfl::algs

@@ -1,0 +1,17 @@
+#include "src/algs/fedavg.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::algs {
+
+void FedAvg::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  core::sgd_local_step(w, ctx.cfg->eta);
+}
+
+void FedAvg::cloud_sync(fl::Context& ctx, std::size_t) {
+  fl::aggregate_global(*ctx.workers, fl::worker_x, scratch_);
+  ctx.cloud->x = scratch_;
+  for (fl::WorkerState& w : *ctx.workers) w.x = scratch_;
+}
+
+}  // namespace hfl::algs

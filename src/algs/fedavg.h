@@ -1,0 +1,23 @@
+// FedAvg [4] (McMahan et al., AISTATS 2017).
+//
+// Two-tier baseline without momentum: every worker runs plain local SGD; at
+// each global synchronization (period τ, with π = 1) the cloud replaces every
+// worker's model by the data-weighted average Σ (D_i/D) x_i.
+#pragma once
+
+#include "src/fl/algorithm.h"
+
+namespace hfl::algs {
+
+class FedAvg final : public fl::Algorithm {
+ public:
+  std::string name() const override { return "FedAvg"; }
+  bool three_tier() const override { return false; }
+  void local_step(fl::Context& ctx, fl::WorkerState& w) override;
+  void cloud_sync(fl::Context& ctx, std::size_t p) override;
+
+ private:
+  Vec scratch_;
+};
+
+}  // namespace hfl::algs

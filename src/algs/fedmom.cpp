@@ -1,0 +1,29 @@
+#include "src/algs/fedmom.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::algs {
+
+void FedMom::init(fl::Context& ctx) {
+  ctx.cloud->extra["server_y"] = ctx.cloud->x;  // y_0 = x_0
+}
+
+void FedMom::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  core::sgd_local_step(w, ctx.cfg->eta);
+}
+
+void FedMom::cloud_sync(fl::Context& ctx, std::size_t) {
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  Vec& y_prev = ctx.cloud->extra.at("server_y");
+  const Scalar gs = ctx.cfg->gamma_edge;
+
+  Vec& x = ctx.cloud->x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Scalar y_new = x_scratch_[i];
+    x[i] = y_new + gs * (y_new - y_prev[i]);
+    y_prev[i] = y_new;
+  }
+  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+}
+
+}  // namespace hfl::algs

@@ -1,0 +1,22 @@
+#include "src/algs/fednag.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::algs {
+
+void FedNag::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  core::nag_local_step(w, ctx.cfg->eta, ctx.cfg->gamma, /*accumulate=*/false);
+}
+
+void FedNag::cloud_sync(fl::Context& ctx, std::size_t) {
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_);
+  ctx.cloud->x = x_scratch_;
+  ctx.cloud->y = y_scratch_;
+  for (fl::WorkerState& w : *ctx.workers) {
+    w.x = x_scratch_;
+    w.y = y_scratch_;
+  }
+}
+
+}  // namespace hfl::algs

@@ -1,0 +1,25 @@
+// FedNAG [21] (Yang et al., TPDS 2022: "Federated learning with Nesterov
+// accelerated gradient").
+//
+// Two-tier worker-momentum baseline: every worker runs NAG locally; at each
+// global synchronization the cloud aggregates BOTH the model x and the
+// momentum parameter y (data-weighted) and re-distributes them, so local
+// momenta continue from the aggregated state.
+#pragma once
+
+#include "src/fl/algorithm.h"
+
+namespace hfl::algs {
+
+class FedNag final : public fl::Algorithm {
+ public:
+  std::string name() const override { return "FedNAG"; }
+  bool three_tier() const override { return false; }
+  void local_step(fl::Context& ctx, fl::WorkerState& w) override;
+  void cloud_sync(fl::Context& ctx, std::size_t p) override;
+
+ private:
+  Vec x_scratch_, y_scratch_;
+};
+
+}  // namespace hfl::algs

@@ -1,0 +1,29 @@
+#include "src/algs/hierfavg.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::algs {
+
+void HierFavg::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  core::sgd_local_step(w, ctx.cfg->eta);
+}
+
+void HierFavg::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
+  fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, scratch_);
+  e.x_plus = scratch_;
+  for (const std::size_t id : ctx.topo->workers_of_edge(e.id)) {
+    (*ctx.workers)[id].x = e.x_plus;
+  }
+}
+
+void HierFavg::cloud_sync(fl::Context& ctx, std::size_t) {
+  Vec& x = ctx.cloud->x;
+  x.assign(x.size(), 0.0);
+  for (const fl::EdgeState& e : *ctx.edges) {
+    vec::axpy(e.weight_global, e.x_plus, x);
+  }
+  for (fl::EdgeState& e : *ctx.edges) e.x_plus = x;
+  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+}
+
+}  // namespace hfl::algs

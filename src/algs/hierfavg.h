@@ -1,0 +1,26 @@
+// HierFAVG [17] (Liu et al., ICC 2020: "Client-edge-cloud hierarchical
+// federated learning").
+//
+// Three-tier baseline without momentum: workers run plain local SGD; every τ
+// iterations each edge replaces its workers' models by the edge-weighted
+// average; every τπ iterations the cloud averages the edge models and pushes
+// the result back down.
+#pragma once
+
+#include "src/fl/algorithm.h"
+
+namespace hfl::algs {
+
+class HierFavg final : public fl::Algorithm {
+ public:
+  std::string name() const override { return "HierFAVG"; }
+  bool three_tier() const override { return true; }
+  void local_step(fl::Context& ctx, fl::WorkerState& w) override;
+  void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override;
+  void cloud_sync(fl::Context& ctx, std::size_t p) override;
+
+ private:
+  Vec scratch_;
+};
+
+}  // namespace hfl::algs

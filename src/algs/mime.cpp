@@ -1,0 +1,67 @@
+#include "src/algs/mime.h"
+
+namespace hfl::algs {
+
+void Mime::init(fl::Context& ctx) {
+  const std::size_t n = ctx.cloud->x.size();
+  ctx.cloud->extra["mime_m"] = Vec(n, 0.0);
+  ctx.cloud->extra["mime_g"] = Vec(n, 0.0);
+  for (fl::WorkerState& w : *ctx.workers) {
+    w.extra["mime_anchor_grad"] = Vec(n, 0.0);
+  }
+  refresh_server_stats(ctx);
+}
+
+void Mime::refresh_server_stats(fl::Context& ctx) {
+  // ĝ — the server gradient estimate at the (new) server point, from a few
+  // probe batches per worker.
+  constexpr std::size_t kProbeBatches = 4;
+  Vec& g_hat = ctx.cloud->extra.at("mime_g");
+  g_hat.assign(g_hat.size(), 0.0);
+  Vec probe;
+  for (fl::WorkerState& w : *ctx.workers) {
+    for (std::size_t b = 0; b < kProbeBatches; ++b) {
+      w.probe_gradient(ctx.cloud->x, probe);
+      vec::axpy(w.weight_global / kProbeBatches, probe, g_hat);
+    }
+  }
+  // m ← (1−β) ĝ + β m.
+  Vec& m = ctx.cloud->extra.at("mime_m");
+  const Scalar beta = ctx.cfg->gamma;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = (1.0 - beta) * g_hat[i] + beta * m[i];
+  }
+}
+
+void Mime::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  const Vec& m = ctx.cloud->extra.at("mime_m");    // frozen during the round
+  const Vec& g_hat = ctx.cloud->extra.at("mime_g");
+  const Scalar beta = ctx.cfg->gamma;
+  const Scalar eta = ctx.cfg->eta * lr_scale_;
+
+  if (svrg_correction_) {
+    // Paired SVRG evaluation: ∇F_B(x) and ∇F_B(x_server) on the SAME batch,
+    // so their difference carries only the drift x − x_server, not sampling
+    // noise. g̃ = ∇F_B(x) − ∇F_B(x_server) + ĝ.
+    Vec& anchor_grad = w.extra.at("mime_anchor_grad");
+    w.compute_gradient_pair(w.x, ctx.cloud->x, anchor_grad);
+    for (std::size_t i = 0; i < w.x.size(); ++i) {
+      const Scalar corrected = w.grad[i] - anchor_grad[i] + g_hat[i];
+      w.x[i] -= eta * ((1.0 - beta) * corrected + beta * m[i]);
+    }
+  } else {
+    w.compute_gradient(w.x);
+    for (std::size_t i = 0; i < w.x.size(); ++i) {
+      w.x[i] -= eta * ((1.0 - beta) * w.grad[i] + beta * m[i]);
+    }
+  }
+}
+
+void Mime::cloud_sync(fl::Context& ctx, std::size_t) {
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  ctx.cloud->x = x_scratch_;
+  for (fl::WorkerState& w : *ctx.workers) w.x = x_scratch_;
+  refresh_server_stats(ctx);
+}
+
+}  // namespace hfl::algs

@@ -1,0 +1,39 @@
+#include "src/algs/registry.h"
+
+#include "src/algs/cfl.h"
+#include "src/algs/fastslowmo.h"
+#include "src/algs/fedadc.h"
+#include "src/algs/fedavg.h"
+#include "src/algs/fedmom.h"
+#include "src/algs/fednag.h"
+#include "src/algs/hierfavg.h"
+#include "src/algs/mime.h"
+#include "src/algs/slowmo.h"
+#include "src/common/errors.h"
+#include "src/core/hieradmo.h"
+
+namespace hfl::algs {
+
+std::unique_ptr<fl::Algorithm> make_algorithm(const std::string& name) {
+  if (name == "HierAdMo") return core::make_hieradmo();
+  if (name == "HierAdMo-R") return core::make_hieradmo_r();
+  if (name == "HierFAVG") return std::make_unique<HierFavg>();
+  if (name == "CFL") return std::make_unique<Cfl>();
+  if (name == "FastSlowMo") return std::make_unique<FastSlowMo>();
+  if (name == "FedADC") return std::make_unique<FedAdc>();
+  if (name == "FedMom") return std::make_unique<FedMom>();
+  if (name == "SlowMo") return std::make_unique<SlowMo>();
+  if (name == "FedNAG") return std::make_unique<FedNag>();
+  if (name == "Mime") return std::make_unique<Mime>(true);
+  if (name == "MimeLite") return std::make_unique<Mime>(false);
+  if (name == "FedAvg") return std::make_unique<FedAvg>();
+  throw Error("unknown algorithm: " + name);
+}
+
+std::vector<std::string> table2_algorithms() {
+  return {"HierAdMo", "HierAdMo-R", "HierFAVG", "CFL",
+          "FastSlowMo", "FedADC",   "FedMom",   "SlowMo",
+          "FedNAG",   "Mime",       "FedAvg"};
+}
+
+}  // namespace hfl::algs

@@ -1,0 +1,24 @@
+// Name-based algorithm registry used by benches, examples and tests.
+//
+// Covers the paper's full benchmark set (Table II): HierAdMo, HierAdMo-R,
+// HierFAVG, CFL, FastSlowMo, FedADC, FedMom, SlowMo, FedNAG, Mime, FedAvg.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fl/algorithm.h"
+
+namespace hfl::algs {
+
+// Throws hfl::Error for unknown names. Accepted names are the paper's
+// spellings (case-sensitive): "HierAdMo", "HierAdMo-R", "HierFAVG", "CFL",
+// "FastSlowMo", "FedADC", "FedMom", "SlowMo", "FedNAG", "Mime", "MimeLite",
+// "FedAvg".
+std::unique_ptr<fl::Algorithm> make_algorithm(const std::string& name);
+
+// The eleven algorithms of Table II, in the paper's row order.
+std::vector<std::string> table2_algorithms();
+
+}  // namespace hfl::algs

@@ -1,0 +1,28 @@
+#include "src/algs/slowmo.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::algs {
+
+void SlowMo::init(fl::Context& ctx) {
+  ctx.cloud->extra["slow_m"] = Vec(ctx.cloud->x.size(), 0.0);
+}
+
+void SlowMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  core::sgd_local_step(w, ctx.cfg->eta);
+}
+
+void SlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  Vec& m = ctx.cloud->extra.at("slow_m");
+  Vec& x = ctx.cloud->x;
+  const Scalar beta = ctx.cfg->gamma_edge;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Scalar delta = x[i] - x_scratch_[i];
+    m[i] = beta * m[i] + delta;
+    x[i] -= slow_lr_ * m[i];
+  }
+  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+}
+
+}  // namespace hfl::algs

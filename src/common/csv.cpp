@@ -1,0 +1,49 @@
+#include "src/common/csv.h"
+
+#include <iomanip>
+
+#include "src/common/errors.h"
+
+namespace hfl {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  HFL_CHECK(out_.good(), "cannot open CSV file: " + path);
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  write_row(columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_scalars(const std::vector<Scalar>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const Scalar v : values) fields.push_back(format_scalar(v));
+  write_row(fields);
+}
+
+std::string CsvWriter::format_scalar(Scalar v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace hfl

@@ -1,0 +1,39 @@
+// Minimal CSV writer for experiment output.
+//
+// Benches and examples record per-iteration accuracy curves and table rows.
+// The writer quotes fields that contain separators and renders scalars with
+// enough precision to round-trip.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hfl {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path`. Throws hfl::Error if the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& columns);
+
+  // Append one row. Field count is not enforced against the header: some
+  // experiment outputs are ragged (e.g. per-algorithm curves of different
+  // lengths) and the downstream plotting tolerates that.
+  void write_row(const std::vector<std::string>& fields);
+
+  // Convenience: format scalars then write.
+  void write_row_scalars(const std::vector<Scalar>& values);
+
+  static std::string format_scalar(Scalar v);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ofstream out_;
+};
+
+}  // namespace hfl

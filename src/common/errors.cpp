@@ -1,0 +1,15 @@
+#include "src/common/errors.h"
+
+#include <sstream>
+
+namespace hfl::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "HFL_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace hfl::detail

@@ -1,0 +1,31 @@
+// Error handling helpers.
+//
+// The library throws `hfl::Error` (derived from std::runtime_error) for all
+// precondition violations. `HFL_CHECK` is the single check macro: it is always
+// active (these are API-misuse checks on code paths that are never hot enough
+// to matter) and produces a message with file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hfl {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace hfl
+
+#define HFL_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hfl::detail::throw_check_failure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)

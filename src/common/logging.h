@@ -1,0 +1,43 @@
+// Leveled logging to stderr.
+//
+// Simulation runs are long; progress lines (accuracy at each cloud round,
+// bench sweep positions) go through here so they can be silenced globally in
+// tests. Not thread-safe beyond line-atomicity (a mutex serializes writes).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hfl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hfl
+
+#define HFL_LOG(level) ::hfl::detail::LogLine(::hfl::LogLevel::level)
+#define HFL_INFO() HFL_LOG(kInfo)
+#define HFL_DEBUG() HFL_LOG(kDebug)
+#define HFL_WARN() HFL_LOG(kWarn)

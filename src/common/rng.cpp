@@ -1,0 +1,79 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/errors.h"
+
+namespace hfl {
+
+namespace {
+
+// SplitMix64: used for seeding and for deriving fork seeds.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Scalar Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<Scalar>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Scalar Rng::uniform(Scalar lo, Scalar hi) { return lo + (hi - lo) * uniform(); }
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  HFL_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = n;
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return static_cast<std::size_t>(r % bound);
+}
+
+Scalar Rng::normal() {
+  // Box–Muller; uniform() can return 0 so shift into (0, 1].
+  const Scalar u1 = 1.0 - uniform();
+  const Scalar u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+Scalar Rng::normal(Scalar mean, Scalar stddev) {
+  return mean + stddev * normal();
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+  std::uint64_t mix = s_[0] ^ rotl(s_[3], 13) ^ (tag * 0x9E3779B97F4A7C15ULL) ^
+                      (++fork_counter_);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace hfl

@@ -1,0 +1,91 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace hfl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t num_blocks = std::min(n, workers_.size());
+  if (num_blocks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  Shared shared;
+  shared.remaining.store(num_blocks);
+
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(n, lo + block);
+    submit([&shared, &fn, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.error_mutex);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+      if (shared.remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(shared.done_mutex);
+        shared.done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(shared.done_mutex);
+  shared.done_cv.wait(lock, [&shared] { return shared.remaining.load() == 0; });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace hfl

@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// The simulation engine runs the per-iteration local updates of all simulated
+// workers concurrently (they are data-parallel by construction: each worker
+// owns its model copy, RNG, and batcher). The pool is created once per engine
+// and reused across iterations to avoid thread churn.
+//
+// `parallel_for` blocks until all indices are processed and rethrows the first
+// exception raised by any task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hfl {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Run fn(i) for i in [0, n). Static block partitioning: deterministic work
+  // assignment (though the user-supplied fn must still be data-parallel).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hfl

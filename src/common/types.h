@@ -1,0 +1,19 @@
+// Fundamental scalar and vector aliases shared across the library.
+//
+// The whole federated-learning stack (momentum updates, aggregations, bound
+// computations) operates on flattened parameter vectors; `Vec` is that common
+// currency. Double precision is used throughout: the simulated workloads are
+// small enough that memory is not a concern, and the convergence-bound
+// verification in src/theory benefits from the extra precision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hfl {
+
+using Scalar = double;
+using Vec = std::vector<Scalar>;
+
+}  // namespace hfl

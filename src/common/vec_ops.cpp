@@ -1,0 +1,87 @@
+#include "src/common/vec_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/errors.h"
+
+namespace hfl::vec {
+
+void axpy(Scalar a, std::span<const Scalar> x, std::span<Scalar> y) {
+  HFL_CHECK(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(std::span<Scalar> x, Scalar a) {
+  for (auto& v : x) v *= a;
+}
+
+void linear_combination(Scalar a, std::span<const Scalar> x, Scalar b,
+                        std::span<const Scalar> y, std::span<Scalar> out) {
+  HFL_CHECK(x.size() == y.size() && x.size() == out.size(),
+            "linear_combination size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = a * x[i] + b * y[i];
+}
+
+Scalar dot(std::span<const Scalar> x, std::span<const Scalar> y) {
+  HFL_CHECK(x.size() == y.size(), "dot size mismatch");
+  Scalar acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+Scalar norm(std::span<const Scalar> x) { return std::sqrt(dot(x, x)); }
+
+Scalar distance(std::span<const Scalar> x, std::span<const Scalar> y) {
+  HFL_CHECK(x.size() == y.size(), "distance size mismatch");
+  Scalar acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Scalar d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+Scalar cosine(std::span<const Scalar> x, std::span<const Scalar> y) {
+  const Scalar nx = norm(x);
+  const Scalar ny = norm(y);
+  constexpr Scalar kEps = 1e-12;
+  if (nx < kEps || ny < kEps) return 0.0;
+  const Scalar c = dot(x, y) / (nx * ny);
+  return std::clamp(c, Scalar{-1}, Scalar{1});
+}
+
+void weighted_sum(std::span<const Vec* const> vecs,
+                  std::span<const Scalar> weights, Vec& out) {
+  HFL_CHECK(!vecs.empty(), "weighted_sum needs at least one vector");
+  HFL_CHECK(vecs.size() == weights.size(), "weighted_sum weight count");
+  const std::size_t n = vecs.front()->size();
+  out.assign(n, 0.0);
+  for (std::size_t v = 0; v < vecs.size(); ++v) {
+    HFL_CHECK(vecs[v]->size() == n, "weighted_sum vector size mismatch");
+    axpy(weights[v], *vecs[v], out);
+  }
+}
+
+void weighted_sum(const std::vector<Vec>& vecs,
+                  std::span<const Scalar> weights, Vec& out) {
+  std::vector<const Vec*> ptrs;
+  ptrs.reserve(vecs.size());
+  for (const auto& v : vecs) ptrs.push_back(&v);
+  weighted_sum(std::span<const Vec* const>(ptrs), weights, out);
+}
+
+void fill(std::span<Scalar> x, Scalar value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+Scalar max_abs_diff(std::span<const Scalar> x, std::span<const Scalar> y) {
+  HFL_CHECK(x.size() == y.size(), "max_abs_diff size mismatch");
+  Scalar m = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m = std::max(m, std::abs(x[i] - y[i]));
+  }
+  return m;
+}
+
+}  // namespace hfl::vec

@@ -1,0 +1,55 @@
+// Flat-vector math.
+//
+// Federated-learning algorithms manipulate model parameters as flat vectors:
+// aggregation is a weighted average, momentum updates are axpy operations, and
+// the adaptive-momentum angle of HierAdMo (paper eq. (6)) is a cosine between
+// two accumulated vectors. These helpers are the shared vocabulary for all of
+// that. All binary operations require equal sizes (checked).
+#pragma once
+
+#include <span>
+
+#include "src/common/types.h"
+
+namespace hfl::vec {
+
+// y += a * x
+void axpy(Scalar a, std::span<const Scalar> x, std::span<Scalar> y);
+
+// x *= a
+void scale(std::span<Scalar> x, Scalar a);
+
+// out = a*x + b*y (out may alias x or y)
+void linear_combination(Scalar a, std::span<const Scalar> x, Scalar b,
+                        std::span<const Scalar> y, std::span<Scalar> out);
+
+Scalar dot(std::span<const Scalar> x, std::span<const Scalar> y);
+
+// Euclidean norm.
+Scalar norm(std::span<const Scalar> x);
+
+// ||x - y||
+Scalar distance(std::span<const Scalar> x, std::span<const Scalar> y);
+
+// Cosine of the angle between x and y. Returns 0 when either vector has
+// (near-)zero norm — the natural neutral value for HierAdMo's adaptation,
+// where cosθ ≤ 0 maps to momentum weight 0.
+Scalar cosine(std::span<const Scalar> x, std::span<const Scalar> y);
+
+// out = Σ_i weights[i] * vecs[i]. Weights need not sum to one (callers that
+// want a weighted mean pass normalized weights). All vectors must share the
+// output's size, and vecs.size() == weights.size() >= 1.
+void weighted_sum(std::span<const Vec* const> vecs,
+                  std::span<const Scalar> weights, Vec& out);
+
+// Convenience overload over a vector of Vec values.
+void weighted_sum(const std::vector<Vec>& vecs,
+                  std::span<const Scalar> weights, Vec& out);
+
+// Fill with a constant.
+void fill(std::span<Scalar> x, Scalar value);
+
+// max_i |x_i - y_i|
+Scalar max_abs_diff(std::span<const Scalar> x, std::span<const Scalar> y);
+
+}  // namespace hfl::vec

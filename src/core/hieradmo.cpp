@@ -1,0 +1,160 @@
+#include "src/core/hieradmo.h"
+
+#include "src/core/nag.h"
+
+namespace hfl::core {
+
+HierAdMo::HierAdMo(HierAdMoOptions options) : options_(options) {
+  HFL_CHECK(options_.clamp_max > 0 && options_.clamp_max < 1,
+            "gamma clamp must be in (0, 1)");
+}
+
+std::string HierAdMo::name() const {
+  return options_.adaptive ? "HierAdMo" : "HierAdMo-R";
+}
+
+void HierAdMo::init(fl::Context& ctx) {
+  // Edge states already hold x_{ℓ+} = y_{ℓ+} = x0 (Algorithm 1, lines 1–2).
+  for (fl::EdgeState& e : *ctx.edges) {
+    e.gamma_edge = options_.adaptive ? 0.0 : ctx.cfg->gamma_edge;
+  }
+}
+
+void HierAdMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
+  nag_local_step(w, ctx.cfg->eta, ctx.cfg->gamma, /*accumulate=*/true);
+}
+
+Scalar HierAdMo::compute_cos_theta(const fl::Context& ctx,
+                                   const fl::EdgeState& e) const {
+  const auto& ids = ctx.topo->workers_of_edge(e.id);
+  Scalar cos_theta = 0;
+
+  if (options_.signal == HierAdMoOptions::Signal::kCrossWorker) {
+    // Footnote-1 reading of eq. (6): the disagreement that matters is each
+    // worker's accumulated descent direction vs the edge-aggregated one — a
+    // straggler pointing at an obtuse angle to the aggregate pulls γℓ down.
+    // The gradient accumulators are used (rather than Σv) because the
+    // momentum parameters share a large common component injected by the
+    // re-distribution steps, which would saturate the cosine at 1.
+    Vec aggregated;
+    bool first = true;
+    for (const std::size_t id : ids) {
+      const fl::WorkerState& w = (*ctx.workers)[id];
+      if (first) {
+        aggregated.assign(w.sum_grad.size(), 0.0);
+        first = false;
+      }
+      vec::axpy(w.weight_in_edge, w.sum_grad, aggregated);
+    }
+    for (const std::size_t id : ids) {
+      const fl::WorkerState& w = (*ctx.workers)[id];
+      cos_theta += w.weight_in_edge * vec::cosine(w.sum_grad, aggregated);
+    }
+    return cos_theta;
+  }
+
+  Vec neg_grad;
+  for (const std::size_t id : ids) {
+    const fl::WorkerState& w = (*ctx.workers)[id];
+    neg_grad = w.sum_grad;
+    vec::scale(neg_grad, -1.0);
+    const Vec& momentum_signal =
+        options_.signal == HierAdMoOptions::Signal::kVelocity ? w.sum_v
+                                                              : w.sum_y;
+    cos_theta += w.weight_in_edge * vec::cosine(neg_grad, momentum_signal);
+  }
+  return cos_theta;
+}
+
+Scalar HierAdMo::clamp_gamma(Scalar cos_theta) const {
+  // Eq. (7): 0 for cosθ ≤ 0; cosθ in (0, clamp); clamp above.
+  if (cos_theta <= 0) return 0;
+  if (cos_theta >= options_.clamp_max) return options_.clamp_max;
+  return cos_theta;
+}
+
+void HierAdMo::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
+  auto& workers = *ctx.workers;
+
+  // Optional lossy uplink (extension): what the edge sees of each worker's
+  // upload is the compressed state. Worker state is overwritten by the
+  // redistribution below, so compressing in place models the channel.
+  if (options_.upload_compressor) {
+    for (const std::size_t id : ctx.topo->workers_of_edge(e.id)) {
+      fl::WorkerState& w = workers[id];
+      options_.upload_compressor->compress(w.x);
+      options_.upload_compressor->compress(w.y);
+      options_.upload_compressor->compress(w.sum_grad);
+      options_.upload_compressor->compress(w.sum_y);
+    }
+  }
+
+  // Line 10: adapt γℓ from the interval accumulators.
+  if (options_.adaptive) {
+    e.last_cos_theta = compute_cos_theta(ctx, e);
+    e.gamma_edge = clamp_gamma(e.last_cos_theta);
+  } else {
+    e.gamma_edge = ctx.cfg->gamma_edge;
+  }
+
+  // Line 11: worker momentum edge aggregation y_{ℓ−} = Σ w_i y_i.
+  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_y, y_minus_scratch_);
+  e.y_minus = y_minus_scratch_;
+
+  // Line 12: y_{ℓ+} = x_{ℓ+}^{(k−1)τ} − Σ w_i (x_{ℓ+}^{(k−1)τ} − x_i^{kτ}),
+  // which simplifies to the data-weighted worker model average Σ w_i x_i.
+  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_x, y_plus_scratch_);
+
+  // Line 13: x_{ℓ+} = y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
+  Vec& x_plus = e.x_plus;
+  x_plus.resize(y_plus_scratch_.size());
+  for (std::size_t i = 0; i < x_plus.size(); ++i) {
+    x_plus[i] = y_plus_scratch_[i] +
+                e.gamma_edge * (y_plus_scratch_[i] - e.y_plus[i]);
+  }
+  e.y_plus = y_plus_scratch_;
+
+  // Lines 14–15: re-distribute y_{ℓ−} and x_{ℓ+} to the edge's workers, and
+  // reset the interval accumulators for the next edge interval.
+  for (const std::size_t id : ctx.topo->workers_of_edge(e.id)) {
+    fl::WorkerState& w = workers[id];
+    w.y = e.y_minus;
+    w.x = e.x_plus;
+    w.reset_interval_accumulators();
+  }
+}
+
+void HierAdMo::cloud_sync(fl::Context& ctx, std::size_t) {
+  auto& edges = *ctx.edges;
+  fl::CloudState& cloud = *ctx.cloud;
+
+  // Lines 18–19: cloud aggregation of worker momenta and edge models.
+  cloud.y.assign(cloud.y.size(), 0.0);
+  cloud.x.assign(cloud.x.size(), 0.0);
+  for (const fl::EdgeState& e : edges) {
+    vec::axpy(e.weight_global, e.y_minus, cloud.y);
+    vec::axpy(e.weight_global, e.x_plus, cloud.x);
+  }
+
+  // Lines 20–23: re-distribute to edges, then from edges to workers.
+  for (fl::EdgeState& e : edges) {
+    e.y_minus = cloud.y;
+    e.x_plus = cloud.x;
+  }
+  for (fl::WorkerState& w : *ctx.workers) {
+    w.y = cloud.y;
+    w.x = cloud.x;
+  }
+}
+
+std::unique_ptr<fl::Algorithm> make_hieradmo() {
+  return std::make_unique<HierAdMo>();
+}
+
+std::unique_ptr<fl::Algorithm> make_hieradmo_r() {
+  HierAdMoOptions opt;
+  opt.adaptive = false;
+  return std::make_unique<HierAdMo>(opt);
+}
+
+}  // namespace hfl::core

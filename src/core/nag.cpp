@@ -1,0 +1,36 @@
+#include "src/core/nag.h"
+
+namespace hfl::core {
+
+Scalar nag_local_step(fl::WorkerState& w, Scalar eta, Scalar gamma,
+                      bool accumulate) {
+  const Scalar loss = w.compute_gradient(w.x);  // grad = ∇F_i(x_{t−1})
+
+  if (accumulate) {
+    // Sums over t = (k−1)τ … kτ−1 use the gradient position and the
+    // pre-update momentum parameter (Algorithm 1, line 9).
+    vec::axpy(1.0, w.grad, w.sum_grad);
+    vec::axpy(1.0, w.y, w.sum_y);
+  }
+
+  // y_t = x_{t−1} − η g;  v_t = y_t − y_{t−1};  x_t = y_t + γ v_t.
+  for (std::size_t i = 0; i < w.x.size(); ++i) {
+    const Scalar y_new = w.x[i] - eta * w.grad[i];
+    w.v[i] = y_new - w.y[i];
+    w.y[i] = y_new;
+    w.x[i] = y_new + gamma * w.v[i];
+  }
+
+  if (accumulate) {
+    vec::axpy(1.0, w.v, w.sum_v);
+  }
+  return loss;
+}
+
+Scalar sgd_local_step(fl::WorkerState& w, Scalar eta) {
+  const Scalar loss = w.compute_gradient(w.x);
+  vec::axpy(-eta, w.grad, w.x);
+  return loss;
+}
+
+}  // namespace hfl::core

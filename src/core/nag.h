@@ -1,0 +1,26 @@
+// The NAG worker update shared by HierAdMo, FedNAG and FastSlowMo.
+//
+// Algorithm 1, lines 5–6 (Nesterov Accelerated Gradient in its y/x form):
+//     y_t = x_{t−1} − η ∇F_i(x_{t−1})          (worker momentum update)
+//     x_t = y_t + γ (y_t − y_{t−1})            (worker model update)
+// The helper also maintains v_t = y_t − y_{t−1} and, when requested, the
+// interval accumulators Σ∇F_i(x_t), Σ y_t, Σ v_t uploaded at edge
+// synchronization (Algorithm 1, line 9).
+#pragma once
+
+#include "src/fl/state.h"
+
+namespace hfl::core {
+
+// Performs one NAG step on worker `w` using its next mini-batch.
+// `accumulate` enables the interval accumulators (needed by HierAdMo's
+// adaptive γℓ; the two-tier algorithms skip them).
+// Returns the mini-batch loss.
+Scalar nag_local_step(fl::WorkerState& w, Scalar eta, Scalar gamma,
+                      bool accumulate);
+
+// Plain SGD step: x ← x − η ∇F_i(x). Used by the no-worker-momentum
+// baselines (FedAvg, HierFAVG, CFL, FedMom, SlowMo).
+Scalar sgd_local_step(fl::WorkerState& w, Scalar eta);
+
+}  // namespace hfl::core

@@ -1,0 +1,33 @@
+#include "src/data/batcher.h"
+
+#include <algorithm>
+
+namespace hfl::data {
+
+Batcher::Batcher(const Dataset& dataset, std::vector<std::size_t> indices,
+                 std::size_t batch_size, Rng rng)
+    : dataset_(&dataset),
+      indices_(std::move(indices)),
+      batch_size_(std::min(batch_size, indices_.size())),
+      rng_(std::move(rng)) {
+  HFL_CHECK(!indices_.empty(), "batcher needs at least one sample");
+  HFL_CHECK(batch_size > 0, "batch size must be positive");
+  for (const std::size_t i : indices_) {
+    HFL_CHECK(i < dataset.size(), "batcher index out of dataset range");
+  }
+  rng_.shuffle(indices_);
+}
+
+void Batcher::next(Tensor& x, std::vector<std::size_t>& y) {
+  batch_scratch_.clear();
+  for (std::size_t b = 0; b < batch_size_; ++b) {
+    if (cursor_ == indices_.size()) {
+      rng_.shuffle(indices_);
+      cursor_ = 0;
+    }
+    batch_scratch_.push_back(indices_[cursor_++]);
+  }
+  dataset_->gather(batch_scratch_, x, y);
+}
+
+}  // namespace hfl::data

@@ -1,0 +1,34 @@
+// Mini-batch iterator over a worker's local sample indices.
+//
+// Cycles forever: when an epoch is exhausted the index order is reshuffled
+// with the batcher's own RNG (so per-worker streams are independent and the
+// whole simulation is deterministic). Batch size is capped at the local
+// sample count.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+
+namespace hfl::data {
+
+class Batcher {
+ public:
+  Batcher(const Dataset& dataset, std::vector<std::size_t> indices,
+          std::size_t batch_size, Rng rng);
+
+  // Fills `x` (B, *sample_shape) and `y` with the next mini-batch.
+  void next(Tensor& x, std::vector<std::size_t>& y);
+
+  std::size_t num_samples() const { return indices_.size(); }
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<std::size_t> indices_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+  Rng rng_;
+  std::vector<std::size_t> batch_scratch_;
+};
+
+}  // namespace hfl::data

@@ -1,0 +1,63 @@
+// In-memory labelled dataset.
+//
+// Samples are stored contiguously (row-major, `sample_size()` scalars each).
+// `gather` materializes a mini-batch tensor shaped (B, *sample_shape) from a
+// list of sample indices — the only operation the training loop needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace hfl::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::size_t> sample_shape, std::size_t num_classes);
+
+  const std::vector<std::size_t>& sample_shape() const {
+    return sample_shape_;
+  }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t sample_size() const { return sample_size_; }
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  // Appends one sample. `features` must have sample_size() entries and
+  // `label` must be < num_classes().
+  void add_sample(std::span<const Scalar> features, std::size_t label);
+
+  // Reserve capacity for n samples.
+  void reserve(std::size_t n);
+
+  std::size_t label(std::size_t i) const;
+  std::span<const Scalar> features(std::size_t i) const;
+
+  // Builds the batch tensor (B, *sample_shape) and the label list for the
+  // given sample indices.
+  void gather(std::span<const std::size_t> indices, Tensor& x,
+              std::vector<std::size_t>& y) const;
+
+  // Indices of all samples with the given label.
+  std::vector<std::size_t> indices_of_class(std::size_t label) const;
+
+  // Per-class sample counts.
+  std::vector<std::size_t> class_histogram() const;
+
+ private:
+  std::vector<std::size_t> sample_shape_;
+  std::size_t num_classes_ = 0;
+  std::size_t sample_size_ = 0;
+  Vec features_;
+  std::vector<std::size_t> labels_;
+};
+
+// Train/test pair produced by the synthetic generators.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace hfl::data

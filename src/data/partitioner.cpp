@@ -1,0 +1,129 @@
+#include "src/data/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hfl::data {
+
+namespace {
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  rng.shuffle(idx);
+  return idx;
+}
+}  // namespace
+
+Partition partition_iid(const Dataset& dataset, std::size_t num_workers,
+                        Rng& rng) {
+  HFL_CHECK(num_workers > 0, "need at least one worker");
+  HFL_CHECK(dataset.size() >= num_workers,
+            "fewer samples than workers");
+  const auto idx = shuffled_indices(dataset.size(), rng);
+  Partition parts(num_workers);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    parts[i % num_workers].push_back(idx[i]);
+  }
+  return parts;
+}
+
+Partition partition_by_class(const Dataset& dataset, std::size_t num_workers,
+                             std::size_t classes_per_worker, Rng& rng) {
+  HFL_CHECK(num_workers > 0, "need at least one worker");
+  HFL_CHECK(classes_per_worker > 0, "classes_per_worker must be positive");
+  const std::size_t k = dataset.num_classes();
+  const std::size_t x = std::min(classes_per_worker, k);
+
+  // Cyclic assignment over a shuffled class order: worker w owns classes
+  // order[(w*x + j) % k], j = 0..x-1. Consecutive x entries of a cyclic
+  // sequence over k >= x distinct values are distinct.
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  std::vector<std::vector<std::size_t>> owners(k);  // class -> worker list
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    for (std::size_t j = 0; j < x; ++j) {
+      owners[order[(w * x + j) % k]].push_back(w);
+    }
+  }
+
+  Partition parts(num_workers);
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    auto samples = dataset.indices_of_class(cls);
+    if (owners[cls].empty() || samples.empty()) continue;
+    rng.shuffle(samples);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      parts[owners[cls][i % owners[cls].size()]].push_back(samples[i]);
+    }
+  }
+
+  for (const auto& p : parts) {
+    HFL_CHECK(!p.empty(),
+              "x-class partition produced an empty worker; increase dataset "
+              "size or classes_per_worker");
+  }
+  return parts;
+}
+
+Partition partition_shards(const Dataset& dataset, std::size_t num_workers,
+                           std::size_t shards_per_worker, Rng& rng) {
+  HFL_CHECK(num_workers > 0 && shards_per_worker > 0,
+            "workers and shards must be positive");
+  const std::size_t num_shards = num_workers * shards_per_worker;
+  HFL_CHECK(dataset.size() >= num_shards, "fewer samples than shards");
+
+  // Sort indices by label (stable on index for determinism).
+  std::vector<std::size_t> idx(dataset.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&dataset](std::size_t a, std::size_t b) {
+                     return dataset.label(a) < dataset.label(b);
+                   });
+
+  std::vector<std::size_t> shard_order(num_shards);
+  std::iota(shard_order.begin(), shard_order.end(), std::size_t{0});
+  rng.shuffle(shard_order);
+
+  const std::size_t shard_len = dataset.size() / num_shards;
+  Partition parts(num_workers);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t shard = shard_order[s];
+    const std::size_t lo = shard * shard_len;
+    const std::size_t hi =
+        (shard == num_shards - 1) ? dataset.size() : lo + shard_len;
+    auto& part = parts[s / shards_per_worker];
+    part.insert(part.end(), idx.begin() + lo, idx.begin() + hi);
+  }
+  return parts;
+}
+
+Partition partition_weighted(const Dataset& dataset,
+                             const std::vector<Scalar>& weights, Rng& rng) {
+  HFL_CHECK(!weights.empty(), "need at least one weight");
+  Scalar total = 0;
+  for (const Scalar w : weights) {
+    HFL_CHECK(w > 0, "weights must be positive");
+    total += w;
+  }
+  const auto idx = shuffled_indices(dataset.size(), rng);
+  Partition parts(weights.size());
+  std::size_t pos = 0;
+  for (std::size_t w = 0; w < weights.size(); ++w) {
+    const std::size_t want =
+        w + 1 == weights.size()
+            ? dataset.size() - pos
+            : static_cast<std::size_t>(static_cast<Scalar>(dataset.size()) *
+                                       weights[w] / total);
+    const std::size_t take = std::min(want, dataset.size() - pos);
+    parts[w].insert(parts[w].end(), idx.begin() + pos,
+                    idx.begin() + pos + take);
+    pos += take;
+  }
+  for (auto& p : parts) {
+    HFL_CHECK(!p.empty(), "weighted partition produced an empty worker");
+  }
+  return parts;
+}
+
+}  // namespace hfl::data

@@ -1,0 +1,44 @@
+// Data partitioning across simulated workers.
+//
+// The paper distributes shuffled data among workers with no restriction on
+// the split, and studies "x-class non-i.i.d." scenarios where every worker
+// holds samples from only x of the K classes (Fig. 2(e)–(g): x = 3, 6, 9 on a
+// 10-class task — smaller x means a higher non-i.i.d. level, i.e. larger
+// gradient diversity δ in Assumption 3).
+//
+// All partitioners return one index list per worker; the lists are disjoint
+// and cover (almost) all of the dataset (remainders from uneven division are
+// distributed round-robin).
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/data/dataset.h"
+
+namespace hfl::data {
+
+using Partition = std::vector<std::vector<std::size_t>>;
+
+// Shuffle and deal samples evenly: the i.i.d. baseline.
+Partition partition_iid(const Dataset& dataset, std::size_t num_workers,
+                        Rng& rng);
+
+// x-class non-i.i.d.: each worker is assigned exactly
+// min(classes_per_worker, K) distinct classes (cyclically over a shuffled
+// class order so every class has at least one owner when
+// num_workers * x >= K), then each class's samples are split evenly among
+// its owners.
+Partition partition_by_class(const Dataset& dataset, std::size_t num_workers,
+                             std::size_t classes_per_worker, Rng& rng);
+
+// Shard partitioning (the FedAvg paper's scheme): sort by label, cut into
+// num_workers * shards_per_worker contiguous shards, deal shards randomly.
+Partition partition_shards(const Dataset& dataset, std::size_t num_workers,
+                           std::size_t shards_per_worker, Rng& rng);
+
+// Quantity-skewed i.i.d. split: worker i receives a share proportional to
+// weights[i]. Used to exercise the D_{i,ℓ}/D_ℓ weighting in the aggregation
+// rules.
+Partition partition_weighted(const Dataset& dataset,
+                             const std::vector<Scalar>& weights, Rng& rng);
+
+}  // namespace hfl::data

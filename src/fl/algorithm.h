@@ -1,0 +1,55 @@
+// Algorithm interface.
+//
+// The engine drives the simulation clock (t = 1..T) and calls:
+//   * local_step  — once per worker per iteration (run in parallel; the hook
+//                   must only touch its worker's state),
+//   * edge_sync   — at t = kτ, once per edge, only for three-tier algorithms,
+//   * cloud_sync  — at t = pτπ.
+// `Context` bundles the read-only run configuration and the mutable tier
+// states.
+#pragma once
+
+#include <string>
+
+#include "src/fl/config.h"
+#include "src/fl/state.h"
+
+namespace hfl::fl {
+
+struct Context {
+  const RunConfig* cfg = nullptr;
+  const Topology* topo = nullptr;
+  std::vector<WorkerState>* workers = nullptr;
+  std::vector<EdgeState>* edges = nullptr;
+  CloudState* cloud = nullptr;
+  std::size_t t = 0;  // current iteration (1-based while stepping)
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+  // Three-tier algorithms get edge_sync callbacks; two-tier ones require
+  // cfg.pi == 1 (enforced by the engine) so that their global period is τ.
+  virtual bool three_tier() const = 0;
+
+  // Called once before the first iteration (all states are already sized and
+  // x/y initialized to the common starting point).
+  virtual void init(Context& ctx) { (void)ctx; }
+
+  // One local iteration on worker w. Must not touch other workers.
+  virtual void local_step(Context& ctx, WorkerState& w) = 0;
+
+  // Edge synchronization at t = kτ (k passed for algorithms that care).
+  virtual void edge_sync(Context& ctx, EdgeState& e, std::size_t k) {
+    (void)ctx;
+    (void)e;
+    (void)k;
+  }
+
+  // Cloud synchronization at t = pτπ.
+  virtual void cloud_sync(Context& ctx, std::size_t p) = 0;
+};
+
+}  // namespace hfl::fl

@@ -1,0 +1,90 @@
+#include "src/fl/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/errors.h"
+#include "src/common/vec_ops.h"
+
+namespace hfl::fl {
+
+namespace {
+std::size_t keep_count(Scalar fraction, std::size_t n) {
+  const auto k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<Scalar>(n)));
+  return std::clamp<std::size_t>(k, 1, n);
+}
+}  // namespace
+
+TopKCompressor::TopKCompressor(Scalar keep_fraction) : keep_(keep_fraction) {
+  HFL_CHECK(keep_ > 0 && keep_ <= 1, "keep fraction must be in (0, 1]");
+}
+
+std::string TopKCompressor::name() const {
+  return "topk(" + std::to_string(keep_) + ")";
+}
+
+std::size_t TopKCompressor::compress(Vec& v) {
+  if (v.empty()) return 0;
+  const std::size_t k = keep_count(keep_, v.size());
+  if (k == v.size()) return k;
+  order_.resize(v.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  // Partition so order_[0..k) holds the k largest magnitudes, then zero the
+  // rest of the vector.
+  std::nth_element(order_.begin(), order_.begin() + k, order_.end(),
+                   [&v](std::size_t a, std::size_t b) {
+                     return std::abs(v[a]) > std::abs(v[b]);
+                   });
+  for (std::size_t i = k; i < order_.size(); ++i) v[order_[i]] = 0;
+  return k;
+}
+
+RandomKCompressor::RandomKCompressor(Scalar keep_fraction, std::uint64_t seed)
+    : keep_(keep_fraction), rng_(seed) {
+  HFL_CHECK(keep_ > 0 && keep_ <= 1, "keep fraction must be in (0, 1]");
+}
+
+std::string RandomKCompressor::name() const {
+  return "randomk(" + std::to_string(keep_) + ")";
+}
+
+std::size_t RandomKCompressor::compress(Vec& v) {
+  if (v.empty()) return 0;
+  const std::size_t k = keep_count(keep_, v.size());
+  if (k == v.size()) return k;
+  order_.resize(v.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  rng_.shuffle(order_);
+  const Scalar scale =
+      static_cast<Scalar>(v.size()) / static_cast<Scalar>(k);
+  for (std::size_t i = 0; i < k; ++i) v[order_[i]] *= scale;
+  for (std::size_t i = k; i < order_.size(); ++i) v[order_[i]] = 0;
+  return k;
+}
+
+StochasticQuantizer::StochasticQuantizer(std::size_t levels,
+                                         std::uint64_t seed)
+    : levels_(levels), rng_(seed) {
+  HFL_CHECK(levels_ >= 1, "need at least one quantization level");
+}
+
+std::string StochasticQuantizer::name() const {
+  return "qsgd(" + std::to_string(levels_) + ")";
+}
+
+std::size_t StochasticQuantizer::compress(Vec& v) {
+  const Scalar norm = vec::norm(v);
+  if (norm == 0) return v.empty() ? 0 : 1;  // norm scalar only
+  const Scalar s = static_cast<Scalar>(levels_);
+  for (auto& x : v) {
+    const Scalar r = std::abs(x) / norm * s;  // in [0, s]
+    const Scalar lo = std::floor(r);
+    const Scalar level = lo + (rng_.uniform() < (r - lo) ? 1.0 : 0.0);
+    x = (x < 0 ? -1.0 : 1.0) * norm * level / s;
+  }
+  return v.size();  // every coordinate ships (as a small integer + sign)
+}
+
+}  // namespace hfl::fl

@@ -1,0 +1,75 @@
+// Lossy upload compression (communication-efficiency extension).
+//
+// The paper's motivation is the communication cost of synchronization; a
+// standard follow-on is to compress the worker→edge uploads. This module
+// provides the three classic compressors:
+//   * TopK — keep the k largest-magnitude coordinates (biased, low error),
+//   * RandomK — keep a uniform random subset, rescaled by n/k (unbiased),
+//   * StochasticQuantizer — QSGD-style: per-vector norm, sign, and a
+//     stochastically rounded level out of `levels` (unbiased).
+// `compress` mutates the vector in place and returns the number of payload
+// scalars a real transport would ship (coordinate values; index/bitmap
+// overhead is accounted by the caller if desired).
+//
+// HierAdMo integrates this via HierAdMoOptions::upload_compressor: worker
+// state is compressed at every edge synchronization just before aggregation
+// (the redistribution overwrites it immediately afterwards, exactly like a
+// real lossy uplink). bench_ablation_compression sweeps the keep fraction.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace hfl::fl {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+  virtual std::string name() const = 0;
+  // In-place lossy compression; returns the transmitted scalar count.
+  virtual std::size_t compress(Vec& v) = 0;
+};
+
+using CompressorPtr = std::shared_ptr<Compressor>;
+
+class TopKCompressor final : public Compressor {
+ public:
+  // keep_fraction in (0, 1]; at least one coordinate is always kept.
+  explicit TopKCompressor(Scalar keep_fraction);
+  std::string name() const override;
+  std::size_t compress(Vec& v) override;
+  Scalar keep_fraction() const { return keep_; }
+
+ private:
+  Scalar keep_;
+  std::vector<std::size_t> order_;  // scratch
+};
+
+class RandomKCompressor final : public Compressor {
+ public:
+  RandomKCompressor(Scalar keep_fraction, std::uint64_t seed);
+  std::string name() const override;
+  std::size_t compress(Vec& v) override;
+
+ private:
+  Scalar keep_;
+  Rng rng_;
+  std::vector<std::size_t> order_;  // scratch
+};
+
+class StochasticQuantizer final : public Compressor {
+ public:
+  // levels >= 1: number of positive quantization levels (QSGD's s).
+  StochasticQuantizer(std::size_t levels, std::uint64_t seed);
+  std::string name() const override;
+  std::size_t compress(Vec& v) override;
+
+ private:
+  std::size_t levels_;
+  Rng rng_;
+};
+
+}  // namespace hfl::fl

@@ -1,0 +1,37 @@
+// Run configuration shared by all algorithms (Table I hyper-parameters).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace hfl::fl {
+
+struct RunConfig {
+  // T — total local (worker) iterations. Must be a multiple of tau * pi.
+  std::size_t total_iterations = 200;
+  // τ — worker–edge aggregation period (three-tier) or the global
+  // aggregation period (two-tier, where pi must be 1).
+  std::size_t tau = 10;
+  // π — edge–cloud aggregation period. Two-tier algorithms require pi == 1;
+  // the paper matches the two-tier τ to the three-tier τ·π for fairness.
+  std::size_t pi = 2;
+
+  Scalar eta = 0.01;         // η — worker learning rate
+  Scalar gamma = 0.5;        // γ — worker momentum factor
+  Scalar gamma_edge = 0.5;   // γℓ — edge/server momentum factor (fixed value;
+                             // HierAdMo adapts it online per edge)
+
+  std::size_t batch_size = 16;
+
+  // Evaluation cadence: the engine always evaluates at t = 0 and at every
+  // cloud synchronization; eval_every adds intermediate points (0 disables).
+  std::size_t eval_every = 0;
+  // Cap on test samples per evaluation (0 = full test set).
+  std::size_t eval_max_samples = 0;
+
+  std::uint64_t seed = 1;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+};
+
+}  // namespace hfl::fl

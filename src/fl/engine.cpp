@@ -1,0 +1,204 @@
+#include "src/fl/engine.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace hfl::fl {
+
+Engine::Engine(nn::ModelFactory factory, const data::TrainTest& data,
+               data::Partition partition, Topology topo, RunConfig cfg)
+    : factory_(std::move(factory)),
+      data_(&data),
+      partition_(std::move(partition)),
+      topo_(std::move(topo)),
+      cfg_(cfg) {
+  HFL_CHECK(partition_.size() == topo_.num_workers(),
+            "partition size must equal worker count");
+  HFL_CHECK(cfg_.tau > 0 && cfg_.pi > 0, "tau and pi must be positive");
+  HFL_CHECK(cfg_.total_iterations % (cfg_.tau * cfg_.pi) == 0,
+            "T must be a multiple of tau * pi");
+  for (const auto& p : partition_) {
+    HFL_CHECK(!p.empty(), "every worker needs at least one sample");
+  }
+  pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
+  eval_models_.reserve(pool_->size());
+  for (std::size_t i = 0; i < pool_->size(); ++i) {
+    eval_models_.push_back(factory_());
+  }
+}
+
+void Engine::build_states(Algorithm& alg, std::vector<WorkerState>& workers,
+                          std::vector<EdgeState>& edges, CloudState& cloud) {
+  Rng root(cfg_.seed);
+  Rng init_rng = root.fork(0x1217);
+
+  // One shared initial point (Algorithm 1 lines 1–2).
+  auto init_model = factory_();
+  init_model->init_params(init_rng);
+  const Vec x0 = init_model->get_params();
+  const std::size_t n = x0.size();
+
+  // Data-size weights.
+  std::size_t total_samples = 0;
+  std::vector<std::size_t> edge_samples(topo_.num_edges(), 0);
+  for (std::size_t w = 0; w < topo_.num_workers(); ++w) {
+    total_samples += partition_[w].size();
+    edge_samples[topo_.edge_of_worker(w)] += partition_[w].size();
+  }
+
+  workers.clear();
+  workers.resize(topo_.num_workers());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    WorkerState& w = workers[i];
+    w.id = i;
+    w.edge = topo_.edge_of_worker(i);
+    w.num_samples = partition_[i].size();
+    w.weight_in_edge = static_cast<Scalar>(w.num_samples) /
+                       static_cast<Scalar>(edge_samples[w.edge]);
+    w.weight_global = static_cast<Scalar>(w.num_samples) /
+                      static_cast<Scalar>(total_samples);
+    w.x = x0;
+    w.y = x0;
+    w.v.assign(n, 0.0);
+    w.grad.assign(n, 0.0);
+    w.sum_grad.assign(n, 0.0);
+    w.sum_y.assign(n, 0.0);
+    w.sum_v.assign(n, 0.0);
+    w.model = factory_();
+    Rng wrng = root.fork(1000 + i);
+    w.batcher = std::make_unique<data::Batcher>(
+        data_->train, partition_[i], cfg_.batch_size, wrng.fork(1));
+    w.aux_batcher = std::make_unique<data::Batcher>(
+        data_->train, partition_[i], cfg_.batch_size, wrng.fork(2));
+  }
+
+  edges.clear();
+  edges.resize(topo_.num_edges());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    EdgeState& es = edges[e];
+    es.id = e;
+    es.weight_global = static_cast<Scalar>(edge_samples[e]) /
+                       static_cast<Scalar>(total_samples);
+    es.x_plus = x0;
+    es.y_plus = x0;
+    es.y_minus = x0;
+    es.gamma_edge = cfg_.gamma_edge;
+  }
+
+  cloud.x = x0;
+  cloud.y = x0;
+  cloud.extra.clear();
+
+  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0};
+  alg.init(ctx);
+}
+
+nn::EvalResult Engine::evaluate(const Vec& params) {
+  const data::Dataset& test = data_->test;
+  const std::size_t n = cfg_.eval_max_samples == 0
+                            ? test.size()
+                            : std::min(test.size(), cfg_.eval_max_samples);
+  HFL_CHECK(n > 0, "empty test set");
+
+  constexpr std::size_t kEvalBatch = 128;
+  const std::size_t num_batches = (n + kEvalBatch - 1) / kEvalBatch;
+
+  std::vector<Scalar> losses(num_batches, 0.0);
+  std::vector<Scalar> correct(num_batches, 0.0);
+  std::vector<std::size_t> counts(num_batches, 0);
+
+  // Round-robin batches over the per-thread eval models. parallel_for uses
+  // static block partitioning, so each model is touched by one thread only.
+  const std::size_t num_blocks = std::min(num_batches, eval_models_.size());
+  pool_->parallel_for(num_blocks, [&](std::size_t blk) {
+    nn::Model& model = *eval_models_[blk];
+    model.set_params(params);
+    Tensor x;
+    std::vector<std::size_t> y;
+    std::vector<std::size_t> idx;
+    for (std::size_t b = blk; b < num_batches; b += num_blocks) {
+      const std::size_t lo = b * kEvalBatch;
+      const std::size_t hi = std::min(n, lo + kEvalBatch);
+      idx.resize(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) idx[i - lo] = i;
+      test.gather(idx, x, y);
+      const nn::EvalResult r = model.evaluate(x, y);
+      losses[b] = r.loss * static_cast<Scalar>(hi - lo);
+      correct[b] = r.accuracy * static_cast<Scalar>(hi - lo);
+      counts[b] = hi - lo;
+    }
+  });
+
+  nn::EvalResult total;
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    total.loss += losses[b];
+    total.accuracy += correct[b];
+    count += counts[b];
+  }
+  total.loss /= static_cast<Scalar>(count);
+  total.accuracy /= static_cast<Scalar>(count);
+  return total;
+}
+
+RunResult Engine::run(Algorithm& alg) {
+  if (!alg.three_tier()) {
+    HFL_CHECK(cfg_.pi == 1,
+              "two-tier algorithms require pi == 1 (use tau as the global "
+              "aggregation period)");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<WorkerState> workers;
+  std::vector<EdgeState> edges;
+  CloudState cloud;
+  build_states(alg, workers, edges, cloud);
+
+  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0};
+
+  RunResult result;
+  result.algorithm = alg.name();
+
+  const auto record = [&](std::size_t t, const Vec& params) {
+    const nn::EvalResult r = evaluate(params);
+    result.curve.push_back({t, r.loss, r.accuracy});
+  };
+
+  record(0, cloud.x);
+
+  Vec avg_scratch;
+  const std::size_t global_period = cfg_.tau * cfg_.pi;
+  for (std::size_t t = 1; t <= cfg_.total_iterations; ++t) {
+    ctx.t = t;
+    pool_->parallel_for(workers.size(), [&](std::size_t i) {
+      alg.local_step(ctx, workers[i]);
+    });
+
+    if (alg.three_tier() && t % cfg_.tau == 0) {
+      const std::size_t k = t / cfg_.tau;
+      for (EdgeState& e : edges) alg.edge_sync(ctx, e, k);
+    }
+
+    if (t % global_period == 0) {
+      const std::size_t p = t / global_period;
+      alg.cloud_sync(ctx, p);
+      record(t, cloud.x);
+    } else if (cfg_.eval_every != 0 && t % cfg_.eval_every == 0) {
+      // Between synchronizations, evaluate the data-weighted average of the
+      // worker models (the paper's virtual global model).
+      aggregate_global(workers, worker_x, avg_scratch);
+      record(t, avg_scratch);
+    }
+  }
+
+  result.final_accuracy = result.curve.back().test_accuracy;
+  result.final_loss = result.curve.back().test_loss;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace hfl::fl

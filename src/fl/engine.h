@@ -1,0 +1,53 @@
+// Simulation engine: drives an Algorithm over the three-tier topology.
+//
+// The engine owns the simulation clock. Per iteration it runs every worker's
+// local_step on the thread pool (workers are data-parallel: each owns its
+// model instance, RNG and batch stream, so the run is bit-reproducible for a
+// given seed regardless of scheduling), then fires edge synchronizations at
+// t = kτ (three-tier algorithms only) and cloud synchronizations at t = pτπ.
+//
+// `run` rebuilds all state from the seed, so calling it repeatedly — with the
+// same or different algorithms — always starts from the identical initial
+// model and identical batch streams. That is exactly the experimental setup
+// of the paper's Table II (all algorithms from one initialization).
+#pragma once
+
+#include <memory>
+
+#include "src/common/thread_pool.h"
+#include "src/data/partitioner.h"
+#include "src/fl/algorithm.h"
+#include "src/fl/metrics.h"
+
+namespace hfl::fl {
+
+class Engine {
+ public:
+  // `data` and the partition must outlive the engine. partition[i] holds the
+  // training-sample indices of worker i; its size must equal
+  // topo.num_workers().
+  Engine(nn::ModelFactory factory, const data::TrainTest& data,
+         data::Partition partition, Topology topo, RunConfig cfg);
+
+  RunResult run(Algorithm& alg);
+
+  const Topology& topology() const { return topo_; }
+  const RunConfig& config() const { return cfg_; }
+
+  // Evaluate arbitrary parameters on the test set (parallel over batches).
+  nn::EvalResult evaluate(const Vec& params);
+
+ private:
+  void build_states(Algorithm& alg, std::vector<WorkerState>& workers,
+                    std::vector<EdgeState>& edges, CloudState& cloud);
+
+  nn::ModelFactory factory_;
+  const data::TrainTest* data_;
+  data::Partition partition_;
+  Topology topo_;
+  RunConfig cfg_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<nn::Model>> eval_models_;  // one per thread
+};
+
+}  // namespace hfl::fl

@@ -1,0 +1,35 @@
+#include "src/fl/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/csv.h"
+
+namespace hfl::fl {
+
+std::size_t RunResult::iterations_to_accuracy(Scalar target) const {
+  for (const MetricPoint& p : curve) {
+    if (p.test_accuracy >= target) return std::max<std::size_t>(p.iteration, 1);
+  }
+  return 0;
+}
+
+Scalar RunResult::best_accuracy() const {
+  Scalar best = 0;
+  for (const MetricPoint& p : curve) best = std::max(best, p.test_accuracy);
+  return best;
+}
+
+void write_curves_csv(const std::vector<RunResult>& results,
+                      const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_header({"algorithm", "iteration", "test_loss", "test_accuracy"});
+  for (const RunResult& r : results) {
+    for (const MetricPoint& p : r.curve) {
+      csv.write_row({r.algorithm, std::to_string(p.iteration),
+                     CsvWriter::format_scalar(p.test_loss),
+                     CsvWriter::format_scalar(p.test_accuracy)});
+    }
+  }
+}
+
+}  // namespace hfl::fl

@@ -1,0 +1,37 @@
+// Run results: the accuracy/loss curve and summary statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hfl::fl {
+
+struct MetricPoint {
+  std::size_t iteration = 0;
+  Scalar test_loss = 0;
+  Scalar test_accuracy = 0;
+};
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<MetricPoint> curve;  // includes t = 0 and every cloud sync
+  Scalar final_accuracy = 0;
+  Scalar final_loss = 0;
+  double wall_seconds = 0;  // host time spent simulating (not modeled time)
+
+  // First iteration at which test accuracy reached `target`, or 0 if never.
+  // Linear search over the recorded curve.
+  std::size_t iterations_to_accuracy(Scalar target) const;
+
+  // Best accuracy seen anywhere on the curve.
+  Scalar best_accuracy() const;
+};
+
+// Writes one curve per result to a CSV with columns
+// (algorithm, iteration, test_loss, test_accuracy).
+void write_curves_csv(const std::vector<RunResult>& results,
+                      const std::string& path);
+
+}  // namespace hfl::fl

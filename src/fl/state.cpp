@@ -1,0 +1,57 @@
+#include "src/fl/state.h"
+
+namespace hfl::fl {
+
+Scalar WorkerState::compute_gradient(const Vec& at) {
+  HFL_CHECK(model && batcher, "worker state not initialized");
+  batcher->next(batch_x_, batch_y_);
+  last_loss = model->loss_and_gradient(at, batch_x_, batch_y_, grad);
+  return last_loss;
+}
+
+Scalar WorkerState::compute_gradient_pair(const Vec& at, const Vec& anchor,
+                                          Vec& grad_anchor) {
+  HFL_CHECK(model && batcher, "worker state not initialized");
+  batcher->next(batch_x_, batch_y_);
+  model->loss_and_gradient(anchor, batch_x_, batch_y_, grad_anchor);
+  last_loss = model->loss_and_gradient(at, batch_x_, batch_y_, grad);
+  return last_loss;
+}
+
+Scalar WorkerState::probe_gradient(const Vec& at, Vec& out) {
+  HFL_CHECK(model && aux_batcher, "worker state not initialized");
+  aux_batcher->next(batch_x_, batch_y_);
+  return model->loss_and_gradient(at, batch_x_, batch_y_, out);
+}
+
+void WorkerState::reset_interval_accumulators() {
+  vec::fill(sum_grad, 0.0);
+  vec::fill(sum_y, 0.0);
+  vec::fill(sum_v, 0.0);
+}
+
+void aggregate_edge(const Topology& topo, std::size_t edge,
+                    const std::vector<WorkerState>& workers,
+                    WorkerVecAccessor acc, Vec& out) {
+  const auto& ids = topo.workers_of_edge(edge);
+  HFL_CHECK(!ids.empty(), "edge has no workers");
+  out.assign(acc(workers[ids.front()]).size(), 0.0);
+  for (const std::size_t id : ids) {
+    const WorkerState& w = workers[id];
+    vec::axpy(w.weight_in_edge, acc(w), out);
+  }
+}
+
+void aggregate_global(const std::vector<WorkerState>& workers,
+                      WorkerVecAccessor acc, Vec& out) {
+  HFL_CHECK(!workers.empty(), "no workers to aggregate");
+  out.assign(acc(workers.front()).size(), 0.0);
+  for (const WorkerState& w : workers) {
+    vec::axpy(w.weight_global, acc(w), out);
+  }
+}
+
+const Vec& worker_x(const WorkerState& w) { return w.x; }
+const Vec& worker_y(const WorkerState& w) { return w.y; }
+
+}  // namespace hfl::fl

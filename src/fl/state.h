@@ -1,0 +1,111 @@
+// Mutable per-tier simulation state.
+//
+// WorkerState mirrors the paper's worker {i, ℓ}: model parameters x, momentum
+// parameter y, velocity v = y_t − y_{t−1}, the interval accumulators that
+// Algorithm 1 line 9 uploads (Σ∇F_i and Σy_i, plus Σv_i for the velocity
+// interpretation of eq. (6) — see core/hieradmo.h), the worker's data stream,
+// and a scratch model instance used to evaluate gradients. EdgeState carries
+// the post-aggregation values y_{ℓ−}, y_{ℓ+}, x_{ℓ+} and the currently
+// adapted γℓ. CloudState carries the cloud model and the cloud-aggregated
+// worker momentum.
+//
+// Generic algorithm scratch ("extra" slots) lets two-tier baselines store
+// their server momenta without widening this struct per algorithm.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/vec_ops.h"
+#include "src/data/batcher.h"
+#include "src/fl/topology.h"
+#include "src/nn/model.h"
+
+namespace hfl::fl {
+
+struct WorkerState {
+  std::size_t id = 0;
+  std::size_t edge = 0;
+  Scalar weight_in_edge = 0;  // D_{i,ℓ} / D_ℓ
+  Scalar weight_global = 0;   // D_{i,ℓ} / D
+  std::size_t num_samples = 0;
+
+  Vec x;       // worker model parameter x_{i,ℓ}
+  Vec y;       // worker momentum parameter y_{i,ℓ}
+  Vec v;       // velocity v_{i,ℓ} = y_t − y_{t−1}
+  Vec grad;    // most recent mini-batch gradient ∇F_i(x^{t−1})
+  Scalar last_loss = 0;
+
+  // Interval accumulators (reset at every edge synchronization).
+  Vec sum_grad;  // Σ_t ∇F_i(x^t)
+  Vec sum_y;     // Σ_t y^t_i
+  Vec sum_v;     // Σ_t v^t_i
+
+  std::unique_ptr<nn::Model> model;
+  std::unique_ptr<data::Batcher> batcher;
+  std::unique_ptr<data::Batcher> aux_batcher;  // for gradient probes (Mime)
+
+  // Named algorithm-specific vectors (server momentum copies, etc.).
+  std::map<std::string, Vec> extra;
+
+  // Draw the next mini-batch and compute the gradient of the local loss at
+  // `at`; stores it in `grad` and returns the batch loss.
+  Scalar compute_gradient(const Vec& at);
+
+  // Draw ONE mini-batch and evaluate the gradient at two parameter points on
+  // that same batch (paired SVRG-style evaluation: the sampling noise of the
+  // two gradients cancels in their difference). `grad` receives ∇F_B(at);
+  // `grad_anchor` receives ∇F_B(anchor). Returns the batch loss at `at`.
+  Scalar compute_gradient_pair(const Vec& at, const Vec& anchor,
+                               Vec& grad_anchor);
+
+  // Gradient probe at arbitrary parameters using the auxiliary batch stream
+  // (does not disturb the main stream). Result in `out`.
+  Scalar probe_gradient(const Vec& at, Vec& out);
+
+  void reset_interval_accumulators();
+
+ private:
+  Tensor batch_x_;
+  std::vector<std::size_t> batch_y_;
+};
+
+struct EdgeState {
+  std::size_t id = 0;
+  Scalar weight_global = 0;  // D_ℓ / D
+
+  Vec x_plus;   // x_{ℓ+}: edge model after the edge momentum update
+  Vec y_plus;   // y_{ℓ+}: edge momentum parameter
+  Vec y_minus;  // y_{ℓ−}: edge-aggregated worker momentum
+
+  Scalar gamma_edge = 0;       // current (possibly adapted) γℓ
+  Scalar last_cos_theta = 0;   // diagnostics: cosθ_{k,ℓ} of the last adaptation
+
+  std::map<std::string, Vec> extra;
+};
+
+struct CloudState {
+  Vec x;  // cloud model x
+  Vec y;  // cloud-aggregated worker momentum y
+  std::map<std::string, Vec> extra;
+};
+
+// Weighted aggregation helpers. The accessor receives a worker/edge and
+// returns the vector to aggregate; weights are the paper's D-ratios.
+using WorkerVecAccessor = const Vec& (*)(const WorkerState&);
+
+// out = Σ_{i ∈ edge ℓ} (D_{i,ℓ}/D_ℓ) · acc(worker_i)
+void aggregate_edge(const Topology& topo, std::size_t edge,
+                    const std::vector<WorkerState>& workers,
+                    WorkerVecAccessor acc, Vec& out);
+
+// out = Σ_i (D_{i,ℓ}/D) · acc(worker_i) over all workers.
+void aggregate_global(const std::vector<WorkerState>& workers,
+                      WorkerVecAccessor acc, Vec& out);
+
+// Common accessors.
+const Vec& worker_x(const WorkerState& w);
+const Vec& worker_y(const WorkerState& w);
+
+}  // namespace hfl::fl

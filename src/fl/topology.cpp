@@ -1,0 +1,46 @@
+#include "src/fl/topology.h"
+
+#include "src/common/errors.h"
+
+namespace hfl::fl {
+
+Topology::Topology(std::vector<std::size_t> workers_per_edge)
+    : workers_per_edge_(std::move(workers_per_edge)) {
+  HFL_CHECK(!workers_per_edge_.empty(), "topology needs at least one edge");
+  workers_of_edge_.resize(workers_per_edge_.size());
+  for (std::size_t e = 0; e < workers_per_edge_.size(); ++e) {
+    HFL_CHECK(workers_per_edge_[e] > 0,
+              "every edge must serve at least one worker");
+    for (std::size_t i = 0; i < workers_per_edge_[e]; ++i) {
+      workers_of_edge_[e].push_back(num_workers_);
+      edge_of_worker_.push_back(e);
+      ++num_workers_;
+    }
+  }
+}
+
+Topology Topology::uniform(std::size_t num_edges,
+                           std::size_t workers_per_edge) {
+  HFL_CHECK(num_edges > 0 && workers_per_edge > 0,
+            "uniform topology dims must be positive");
+  return Topology(
+      std::vector<std::size_t>(num_edges, workers_per_edge));
+}
+
+std::size_t Topology::workers_in_edge(std::size_t edge) const {
+  HFL_CHECK(edge < workers_per_edge_.size(), "edge index out of range");
+  return workers_per_edge_[edge];
+}
+
+std::size_t Topology::edge_of_worker(std::size_t worker) const {
+  HFL_CHECK(worker < edge_of_worker_.size(), "worker index out of range");
+  return edge_of_worker_[worker];
+}
+
+const std::vector<std::size_t>& Topology::workers_of_edge(
+    std::size_t edge) const {
+  HFL_CHECK(edge < workers_of_edge_.size(), "edge index out of range");
+  return workers_of_edge_[edge];
+}
+
+}  // namespace hfl::fl

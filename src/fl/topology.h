@@ -1,0 +1,38 @@
+// Three-tier topology: one cloud, L edge nodes, N workers.
+//
+// Worker {i, ℓ} in the paper's notation is globally indexed here; the
+// topology maps between global worker ids and (edge, slot) pairs. Two-tier
+// algorithms run on the same structure and simply ignore the edge tier (the
+// engine skips edge synchronization for them).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hfl::fl {
+
+class Topology {
+ public:
+  // workers_per_edge[ℓ] = C_ℓ. Every edge must serve at least one worker.
+  explicit Topology(std::vector<std::size_t> workers_per_edge);
+
+  // L edges each serving the same number of workers.
+  static Topology uniform(std::size_t num_edges,
+                          std::size_t workers_per_edge);
+
+  std::size_t num_edges() const { return workers_per_edge_.size(); }
+  std::size_t num_workers() const { return num_workers_; }
+  std::size_t workers_in_edge(std::size_t edge) const;
+
+  std::size_t edge_of_worker(std::size_t worker) const;
+  // Global ids of the workers served by `edge`, in ascending order.
+  const std::vector<std::size_t>& workers_of_edge(std::size_t edge) const;
+
+ private:
+  std::vector<std::size_t> workers_per_edge_;
+  std::vector<std::size_t> edge_of_worker_;
+  std::vector<std::vector<std::size_t>> workers_of_edge_;
+  std::size_t num_workers_ = 0;
+};
+
+}  // namespace hfl::fl

@@ -1,0 +1,59 @@
+#include "src/net/profiles.h"
+
+#include <algorithm>
+
+namespace hfl::net {
+
+Scalar DeviceProfile::sample(Rng& rng) const {
+  return std::max(floor_s, rng.normal(mean_s, std_s));
+}
+
+Scalar LinkProfile::sample(Rng& rng, Scalar payload_bytes,
+                           std::size_t concurrent) const {
+  const Scalar k = static_cast<Scalar>(concurrent < 1 ? 1 : concurrent);
+  const Scalar base =
+      latency_s + payload_bytes * k / bandwidth_bytes_per_s;
+  const Scalar j = std::max(Scalar{0.2}, rng.normal(1.0, jitter));
+  return base * j;
+}
+
+DeviceProfile laptop_i3() { return {"laptop-i3-M380", 0.42, 0.05, 1e-4}; }
+DeviceProfile phone_snapdragon835() {
+  return {"nubia-z17s-sd835", 0.30, 0.04, 1e-4};
+}
+DeviceProfile phone_dimensity1200() {
+  return {"realme-gt-neo-d1200", 0.14, 0.02, 1e-4};
+}
+DeviceProfile phone_dimensity1000() {
+  return {"redmi-k30u-d1000plus", 0.17, 0.02, 1e-4};
+}
+DeviceProfile edge_macbook() { return {"macbook-pro-2018", 0.02, 0.004, 1e-5}; }
+DeviceProfile cloud_gpu_server() {
+  return {"gpu-tower-4x2080ti", 0.004, 0.001, 1e-6};
+}
+
+LinkProfile wifi_5ghz() {
+  // ~300 Mbit/s effective, small LAN latency.
+  return {"wifi-5ghz", 0.003, 300e6 / 8, 0.15};
+}
+
+LinkProfile ethernet_1gbps() { return {"ethernet-1gbps", 0.0005, 1e9 / 8, 0.05}; }
+
+LinkProfile public_internet() {
+  // ~50 Mbit/s cross-ISP path with 25 ms latency and heavy jitter.
+  return {"public-internet", 0.025, 50e6 / 8, 0.30};
+}
+
+std::vector<DeviceProfile> default_worker_roster(std::size_t num_workers) {
+  const std::vector<DeviceProfile> base = {
+      laptop_i3(), phone_snapdragon835(), phone_dimensity1200(),
+      phone_dimensity1000()};
+  std::vector<DeviceProfile> out;
+  out.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    out.push_back(base[i % base.size()]);
+  }
+  return out;
+}
+
+}  // namespace hfl::net

@@ -1,0 +1,67 @@
+// Device and link profiles for the trace-driven time simulation.
+//
+// The paper (Section V-D) samples computation delays on real devices (an
+// Intel i3 laptop and three Android phones as workers, a MacBook Pro as the
+// edge node, a GPU tower server as the cloud) and communication delays on
+// real links (5 GHz WiFi worker↔edge, 1 Gbps Ethernet edge↔router, public
+// Internet edge↔cloud and worker↔cloud). Those devices are not available
+// here, so this module provides parameterized delay distributions calibrated
+// to that hardware class (DESIGN.md §3). Delays are sampled once per event
+// from truncated normals — the same replay methodology as the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace hfl::net {
+
+// Per-iteration computation delay (seconds), N(mean, std) truncated at
+// `floor` so a lucky sample can never be non-positive.
+struct DeviceProfile {
+  std::string name;
+  Scalar mean_s = 0.1;
+  Scalar std_s = 0.01;
+  Scalar floor_s = 1e-4;
+
+  Scalar sample(Rng& rng) const;
+};
+
+// Link delay = latency + payload / (bandwidth / concurrent), with
+// multiplicative jitter ~ N(1, jitter) truncated at 0.2.
+//
+// `concurrent` models bandwidth contention on a shared access link: when k
+// senders traverse the same bottleneck simultaneously (all workers of a
+// two-tier system uploading to the cloud; all workers of one edge sharing
+// its WiFi), each gets 1/k of the bandwidth. This is exactly the paper's
+// Fig. 1 scalability argument — the two-tier architecture pushes N
+// end-to-end connections through the public Internet where the three-tier
+// architecture pushes only L.
+struct LinkProfile {
+  std::string name;
+  Scalar latency_s = 0.002;
+  Scalar bandwidth_bytes_per_s = 1e7;
+  Scalar jitter = 0.1;
+
+  Scalar sample(Rng& rng, Scalar payload_bytes,
+                std::size_t concurrent = 1) const;
+};
+
+// The paper's testbed, as profile presets.
+DeviceProfile laptop_i3();            // Intel Core i3 M380 worker
+DeviceProfile phone_snapdragon835();  // Nubia z17s worker
+DeviceProfile phone_dimensity1200();  // Realme GT Neo worker
+DeviceProfile phone_dimensity1000();  // Redmi K30 Ultra worker
+DeviceProfile edge_macbook();         // MacBook Pro 2018 edge node
+DeviceProfile cloud_gpu_server();     // 4× RTX 2080Ti tower server
+
+LinkProfile wifi_5ghz();        // worker ↔ edge (HUAWEI router, 5 GHz)
+LinkProfile ethernet_1gbps();   // edge ↔ router
+LinkProfile public_internet();  // edge/worker ↔ cloud (two ISPs)
+
+// The default four-worker roster used by the paper's trace experiment
+// (laptop + three phones), cycled when more workers are requested.
+std::vector<DeviceProfile> default_worker_roster(std::size_t num_workers);
+
+}  // namespace hfl::net

@@ -1,0 +1,163 @@
+#include "src/net/time_simulator.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+
+namespace hfl::net {
+
+TimeSimConfig make_time_sim_config(const std::string& algorithm,
+                                   bool three_tier, std::size_t model_params,
+                                   std::size_t num_workers) {
+  TimeSimConfig sim;
+  sim.three_tier = three_tier;
+  sim.model_params = model_params;
+  sim.worker_devices = default_worker_roster(num_workers);
+
+  // Message contents per synchronization (vectors of model size):
+  //   HierAdMo/HierAdMo-R — workers upload y, x, Σ∇F, Σy (Algorithm 1 line 9)
+  //     and download y_{ℓ−}, x_{ℓ+}; edges exchange y_{ℓ−}, x_{ℓ+} with the
+  //     cloud both ways.
+  //   FedNAG / FastSlowMo — model + momentum both ways.
+  //   FedADC / Mime — model up; model + server state down.
+  //   Everything else — model only.
+  if (algorithm == "HierAdMo" || algorithm == "HierAdMo-R") {
+    sim.worker_upload_vectors = 4.0;
+    sim.worker_download_vectors = 2.0;
+    sim.edge_upload_vectors = 2.0;
+    sim.edge_download_vectors = 2.0;
+  } else if (algorithm == "FedNAG" || algorithm == "FastSlowMo") {
+    sim.worker_upload_vectors = 2.0;
+    sim.worker_download_vectors = 2.0;
+  } else if (algorithm == "FedADC" || algorithm == "Mime" ||
+             algorithm == "MimeLite") {
+    sim.worker_upload_vectors = 1.0;
+    sim.worker_download_vectors = 2.0;
+  }
+  return sim;
+}
+
+TimeSimulator::TimeSimulator(const fl::Topology& topo,
+                             const fl::RunConfig& cfg, TimeSimConfig sim)
+    : topo_(topo), cfg_(cfg), sim_(std::move(sim)) {
+  HFL_CHECK(sim_.model_params > 0, "time simulation needs the model size");
+  HFL_CHECK(sim_.worker_devices.size() == topo_.num_workers(),
+            "one device profile per worker required");
+  build_timeline();
+}
+
+void TimeSimulator::build_timeline() {
+  Rng rng(sim_.seed);
+  const std::size_t T = cfg_.total_iterations;
+  cumulative_.assign(T + 1, 0.0);
+
+  const Scalar payload = static_cast<Scalar>(sim_.model_params) *
+                         sim_.bytes_per_param;
+
+  if (sim_.three_tier) {
+    // Per-edge running clock; the cloud barrier re-aligns them every π
+    // intervals. Between barriers, edges progress independently.
+    std::vector<Scalar> edge_clock(topo_.num_edges(), 0.0);
+    const std::size_t K = T / cfg_.tau;
+    for (std::size_t k = 1; k <= K; ++k) {
+      for (std::size_t e = 0; e < topo_.num_edges(); ++e) {
+        // Workers compute τ iterations in parallel; the edge waits for the
+        // slowest (compute + upload over WiFi).
+        Scalar slowest = 0;
+        for (const std::size_t w : topo_.workers_of_edge(e)) {
+          Scalar compute = 0;
+          for (std::size_t i = 0; i < cfg_.tau; ++i) {
+            compute += sim_.worker_devices[w].sample(rng);
+          }
+          // All workers of this edge share the WiFi uplink.
+          const Scalar up = sim_.worker_edge_link.sample(
+              rng, payload * sim_.worker_upload_vectors,
+              topo_.workers_in_edge(e));
+          slowest = std::max(slowest, compute + up);
+        }
+        const Scalar agg = sim_.edge_device.sample(rng);
+        const Scalar down = sim_.worker_edge_link.sample(
+            rng, payload * sim_.worker_download_vectors,
+            topo_.workers_in_edge(e));
+        edge_clock[e] += slowest + agg + down;
+      }
+
+      const bool cloud_round = (k % cfg_.pi) == 0;
+      Scalar now;
+      if (cloud_round) {
+        // Cloud barrier: every edge uploads over the public Internet; the
+        // cloud waits for the slowest, aggregates, and pushes back.
+        Scalar slowest_edge = 0;
+        // L edge nodes share the cloud's access link (Fig. 1: only L
+        // connections traverse the public Internet).
+        for (std::size_t e = 0; e < topo_.num_edges(); ++e) {
+          const Scalar up = sim_.edge_cloud_link.sample(
+              rng, payload * sim_.edge_upload_vectors, topo_.num_edges());
+          slowest_edge = std::max(slowest_edge, edge_clock[e] + up);
+        }
+        const Scalar agg = sim_.cloud_device.sample(rng);
+        const Scalar down = sim_.edge_cloud_link.sample(
+            rng, payload * sim_.edge_download_vectors, topo_.num_edges());
+        now = slowest_edge + agg + down;
+        std::fill(edge_clock.begin(), edge_clock.end(), now);
+      } else {
+        now = *std::max_element(edge_clock.begin(), edge_clock.end());
+      }
+
+      // Fill the interval ((k−1)τ, kτ] by linear interpolation from the
+      // previous barrier's time to `now`.
+      const std::size_t lo = (k - 1) * cfg_.tau;
+      const Scalar t0 = cumulative_[lo];
+      for (std::size_t i = 1; i <= cfg_.tau; ++i) {
+        cumulative_[lo + i] =
+            t0 + (now - t0) * static_cast<Scalar>(i) /
+                     static_cast<Scalar>(cfg_.tau);
+      }
+    }
+  } else {
+    // Two-tier: global barrier every τ iterations over the public Internet.
+    const std::size_t rounds = T / cfg_.tau;
+    Scalar clock = 0;
+    for (std::size_t r = 1; r <= rounds; ++r) {
+      Scalar slowest = 0;
+      for (std::size_t w = 0; w < topo_.num_workers(); ++w) {
+        Scalar compute = 0;
+        for (std::size_t i = 0; i < cfg_.tau; ++i) {
+          compute += sim_.worker_devices[w].sample(rng);
+        }
+        // Every worker's end-to-end connection traverses the public
+        // Internet and contends for the cloud's access bandwidth (Fig. 1:
+        // N connections instead of L).
+        const Scalar up = sim_.worker_cloud_link.sample(
+            rng, payload * sim_.worker_upload_vectors, topo_.num_workers());
+        slowest = std::max(slowest, compute + up);
+      }
+      const Scalar agg = sim_.cloud_device.sample(rng);
+      const Scalar down = sim_.worker_cloud_link.sample(
+          rng, payload * sim_.worker_download_vectors, topo_.num_workers());
+      const Scalar now = clock + slowest + agg + down;
+
+      const std::size_t lo = (r - 1) * cfg_.tau;
+      for (std::size_t i = 1; i <= cfg_.tau; ++i) {
+        cumulative_[lo + i] =
+            clock + (now - clock) * static_cast<Scalar>(i) /
+                        static_cast<Scalar>(cfg_.tau);
+      }
+      clock = now;
+    }
+  }
+}
+
+Scalar TimeSimulator::time_at_iteration(std::size_t t) const {
+  HFL_CHECK(t < cumulative_.size(), "iteration beyond simulated horizon");
+  return cumulative_[t];
+}
+
+Scalar TimeSimulator::time_to_accuracy(const fl::RunResult& result,
+                                       Scalar target) const {
+  const std::size_t t = result.iterations_to_accuracy(target);
+  if (t == 0) return 0;
+  return time_at_iteration(std::min(t, cumulative_.size() - 1));
+}
+
+}  // namespace hfl::net

@@ -1,0 +1,83 @@
+// Trace-driven wall-clock simulation (paper Section V-D, Fig. 2(h),(l)).
+//
+// Training is simulated iteration-exactly by fl::Engine; this module replays
+// the resulting iteration trace against sampled computation/communication
+// delays to obtain the wall-clock time each iteration would have completed
+// at in a real deployment. Synchronization is barrier-style:
+//
+//   three-tier: per edge interval, every worker computes τ iterations then
+//   uploads; the edge waits for its slowest worker, aggregates, and pushes
+//   back down. Every π edge intervals the edges additionally traverse the
+//   public Internet to the cloud and back.
+//
+//   two-tier: per global round, every worker computes τ iterations then
+//   uploads straight to the cloud over the public Internet.
+//
+// Payload size per message = model parameters × 4 bytes (float32 on the
+// wire) × the algorithm's vector multiplicity (HierAdMo uploads model,
+// momentum and the two interval accumulators; FedNAG-style algorithms model
+// + momentum; plain-averaging algorithms just the model).
+#pragma once
+
+#include "src/fl/config.h"
+#include "src/fl/metrics.h"
+#include "src/fl/topology.h"
+#include "src/net/profiles.h"
+
+namespace hfl::net {
+
+struct TimeSimConfig {
+  bool three_tier = true;
+  std::size_t model_params = 0;  // scalar parameter count
+  Scalar bytes_per_param = 4.0;  // float32 on the wire
+
+  // Vector multiplicity of each message (see header comment).
+  Scalar worker_upload_vectors = 1.0;
+  Scalar worker_download_vectors = 1.0;
+  Scalar edge_upload_vectors = 1.0;    // three-tier only
+  Scalar edge_download_vectors = 1.0;  // three-tier only
+
+  std::vector<DeviceProfile> worker_devices;  // size = num workers
+  DeviceProfile edge_device = edge_macbook();
+  DeviceProfile cloud_device = cloud_gpu_server();
+
+  LinkProfile worker_edge_link = wifi_5ghz();       // three-tier
+  LinkProfile edge_cloud_link = public_internet();  // three-tier
+  LinkProfile worker_cloud_link = public_internet();  // two-tier
+
+  std::uint64_t seed = 7;
+};
+
+// Per-algorithm message multiplicities for the algorithms in the registry.
+// Unknown names get the conservative default (1 vector each way).
+TimeSimConfig make_time_sim_config(const std::string& algorithm,
+                                   bool three_tier, std::size_t model_params,
+                                   std::size_t num_workers);
+
+class TimeSimulator {
+ public:
+  TimeSimulator(const fl::Topology& topo, const fl::RunConfig& cfg,
+                TimeSimConfig sim);
+
+  // Cumulative wall-clock seconds at which iteration t completes (including
+  // any synchronization ending exactly at t). t may be 0 (returns 0).
+  Scalar time_at_iteration(std::size_t t) const;
+
+  // Total simulated time for the full run.
+  Scalar total_time() const { return time_at_iteration(cfg_.total_iterations); }
+
+  // Wall-clock seconds at which the run (whose accuracy curve is `result`)
+  // first reaches `target` accuracy; 0 if it never does.
+  Scalar time_to_accuracy(const fl::RunResult& result, Scalar target) const;
+
+ private:
+  void build_timeline();
+
+  fl::Topology topo_;
+  fl::RunConfig cfg_;
+  TimeSimConfig sim_;
+  // cumulative_[t] = completion time of iteration t (index 0 = 0.0).
+  std::vector<Scalar> cumulative_;
+};
+
+}  // namespace hfl::net

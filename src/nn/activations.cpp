@@ -1,0 +1,57 @@
+#include "src/nn/activations.h"
+
+#include <cmath>
+
+namespace hfl::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  Tensor out = x;
+  for (auto& v : out.data()) {
+    if (v < 0) v = 0;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  HFL_CHECK(grad_out.same_shape(input_), "ReLU backward shape mismatch");
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (input_[i] <= 0) grad_in[i] = 0;
+  }
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
+  Tensor out = x;
+  for (auto& v : out.data()) v = std::tanh(v);
+  output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  HFL_CHECK(grad_out.same_shape(output_), "Tanh backward shape mismatch");
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    grad_in[i] *= 1.0 - output_[i] * output_[i];
+  }
+  return grad_in;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool /*train*/) {
+  Tensor out = x;
+  for (auto& v : out.data()) v = 1.0 / (1.0 + std::exp(-v));
+  output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  HFL_CHECK(grad_out.same_shape(output_), "Sigmoid backward shape mismatch");
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    grad_in[i] *= output_[i] * (1.0 - output_[i]);
+  }
+  return grad_in;
+}
+
+}  // namespace hfl::nn

@@ -1,0 +1,179 @@
+#include "src/nn/conv2d.h"
+
+#include <cmath>
+
+namespace hfl::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t padding)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel),
+      pad_(padding),
+      weight_({out_ch_, in_ch_, k_, k_}),
+      bias_({out_ch_}),
+      grad_weight_({out_ch_, in_ch_, k_, k_}),
+      grad_bias_({out_ch_}) {
+  HFL_CHECK(in_ch_ > 0 && out_ch_ > 0 && k_ > 0, "conv2d dims must be positive");
+}
+
+void Conv2d::init_params(Rng& rng) {
+  const Scalar fan_in = static_cast<Scalar>(in_ch_ * k_ * k_);
+  const Scalar stddev = std::sqrt(2.0 / fan_in);
+  for (auto& v : weight_.data()) v = rng.normal(0.0, stddev);
+  bias_.fill(0.0);
+}
+
+// The convolution is evaluated sample-by-sample as a GEMM over an im2col
+// buffer: col(r, c) with r indexing (ic, kh, kw) and c indexing (oh, ow).
+// Per-sample buffers keep peak memory at OH·OW·Cin·k² scalars per layer even
+// for large simulated fleets.
+void Conv2d::im2col(const Scalar* xplane_base, std::size_t h, std::size_t w,
+                    std::size_t oh_count, std::size_t ow_count) {
+  const std::size_t cols = oh_count * ow_count;
+  col_.assign(in_ch_ * k_ * k_ * cols, 0.0);
+  std::size_t r = 0;
+  for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+    const Scalar* xplane = xplane_base + ic * h * w;
+    for (std::size_t kh = 0; kh < k_; ++kh) {
+      for (std::size_t kw = 0; kw < k_; ++kw, ++r) {
+        Scalar* crow = col_.data() + r * cols;
+        for (std::size_t oh = 0; oh < oh_count; ++oh) {
+          const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
+                                    static_cast<std::ptrdiff_t>(pad_);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h)) continue;
+          const Scalar* xrow = xplane + ih * static_cast<std::ptrdiff_t>(w);
+          Scalar* cdst = crow + oh * ow_count;
+          // iw = ow + kw − pad must lie in [0, w).
+          const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kw) -
+                                       static_cast<std::ptrdiff_t>(pad_);
+          const std::size_t ow_lo =
+              shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+          const std::size_t ow_hi =
+              std::min(ow_count, static_cast<std::size_t>(
+                                     static_cast<std::ptrdiff_t>(w) - shift));
+          for (std::size_t ow = ow_lo; ow < ow_hi; ++ow) {
+            cdst[ow] = xrow[static_cast<std::ptrdiff_t>(ow) + shift];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  HFL_CHECK(x.rank() == 4 && x.dim(1) == in_ch_,
+            "conv2d forward expects NCHW with C=" + std::to_string(in_ch_) +
+                ", got " + x.shape_string());
+  input_ = x;
+  const std::size_t B = x.dim(0), H = x.dim(2), W = x.dim(3);
+  HFL_CHECK(H + 2 * pad_ >= k_ && W + 2 * pad_ >= k_,
+            "conv2d kernel larger than padded input");
+  const std::size_t OH = H + 2 * pad_ - k_ + 1;
+  const std::size_t OW = W + 2 * pad_ - k_ + 1;
+  const std::size_t cols = OH * OW;
+  const std::size_t kk = in_ch_ * k_ * k_;
+  Tensor out({B, out_ch_, OH, OW});
+
+  const Scalar* pw = weight_.raw();
+  for (std::size_t b = 0; b < B; ++b) {
+    im2col(x.raw() + b * in_ch_ * H * W, H, W, OH, OW);
+    Scalar* oplane = out.raw() + b * out_ch_ * cols;
+    // out(oc, :) = Σ_r W(oc, r) · col(r, :) + bias(oc)
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      Scalar* orow = oplane + oc * cols;
+      const Scalar bias = bias_[oc];
+      for (std::size_t c = 0; c < cols; ++c) orow[c] = bias;
+      const Scalar* wrow = pw + oc * kk;
+      for (std::size_t r = 0; r < kk; ++r) {
+        const Scalar wv = wrow[r];
+        if (wv == 0.0) continue;
+        const Scalar* crow = col_.data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) orow[c] += wv * crow[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::size_t B = input_.dim(0), H = input_.dim(2), W = input_.dim(3);
+  const std::size_t OH = H + 2 * pad_ - k_ + 1;
+  const std::size_t OW = W + 2 * pad_ - k_ + 1;
+  HFL_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == B &&
+                grad_out.dim(1) == out_ch_ && grad_out.dim(2) == OH &&
+                grad_out.dim(3) == OW,
+            "conv2d backward shape mismatch");
+  const std::size_t cols = OH * OW;
+  const std::size_t kk = in_ch_ * k_ * k_;
+
+  Tensor grad_in(input_.shape());
+  const Scalar* pw = weight_.raw();
+  Scalar* pgw = grad_weight_.raw();
+
+  for (std::size_t b = 0; b < B; ++b) {
+    // Rebuild the im2col buffer for this sample (cheaper than caching one
+    // buffer per batch element).
+    im2col(input_.raw() + b * in_ch_ * H * W, H, W, OH, OW);
+    const Scalar* gplane = grad_out.raw() + b * out_ch_ * cols;
+
+    // Bias: row sums. Weights: dW(oc, r) += Σ_c G(oc, c) col(r, c).
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const Scalar* grow = gplane + oc * cols;
+      Scalar gb = 0;
+      for (std::size_t c = 0; c < cols; ++c) gb += grow[c];
+      grad_bias_[oc] += gb;
+      Scalar* gwrow = pgw + oc * kk;
+      for (std::size_t r = 0; r < kk; ++r) {
+        const Scalar* crow = col_.data() + r * cols;
+        Scalar acc = 0;
+        for (std::size_t c = 0; c < cols; ++c) acc += grow[c] * crow[c];
+        gwrow[r] += acc;
+      }
+    }
+
+    // dCol(r, :) = Σ_oc W(oc, r) G(oc, :), then scatter (col2im).
+    dcol_.assign(kk * cols, 0.0);
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const Scalar* grow = gplane + oc * cols;
+      const Scalar* wrow = pw + oc * kk;
+      for (std::size_t r = 0; r < kk; ++r) {
+        const Scalar wv = wrow[r];
+        if (wv == 0.0) continue;
+        Scalar* drow = dcol_.data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) drow[c] += wv * grow[c];
+      }
+    }
+
+    Scalar* giplane_base = grad_in.raw() + b * in_ch_ * H * W;
+    std::size_t r = 0;
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      Scalar* giplane = giplane_base + ic * H * W;
+      for (std::size_t kh = 0; kh < k_; ++kh) {
+        for (std::size_t kw = 0; kw < k_; ++kw, ++r) {
+          const Scalar* drow = dcol_.data() + r * cols;
+          for (std::size_t oh = 0; oh < OH; ++oh) {
+            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
+                                      static_cast<std::ptrdiff_t>(pad_);
+            if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
+            Scalar* xrow = giplane + ih * static_cast<std::ptrdiff_t>(W);
+            const Scalar* dsrc = drow + oh * OW;
+            const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kw) -
+                                         static_cast<std::ptrdiff_t>(pad_);
+            const std::size_t ow_lo =
+                shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+            const std::size_t ow_hi = std::min(
+                OW, static_cast<std::size_t>(
+                        static_cast<std::ptrdiff_t>(W) - shift));
+            for (std::size_t ow = ow_lo; ow < ow_hi; ++ow) {
+              xrow[static_cast<std::ptrdiff_t>(ow) + shift] += dsrc[ow];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace hfl::nn

@@ -1,0 +1,37 @@
+// 2-D convolution over NCHW tensors.
+//
+// Direct (non-im2col) convolution with stride 1 and symmetric zero padding;
+// the simulated models are small enough that a cache-friendly direct loop is
+// fast and keeps the backward pass transparent. Weight layout is
+// (out_ch, in_ch, kh, kw), one bias per output channel.
+#pragma once
+
+#include "src/nn/layer.h"
+
+namespace hfl::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t padding);
+
+  std::string kind() const override { return "conv2d"; }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  void init_params(Rng& rng) override;
+
+ private:
+  // Fills col_ with the im2col expansion of one input sample.
+  void im2col(const Scalar* xplane_base, std::size_t h, std::size_t w,
+              std::size_t oh_count, std::size_t ow_count);
+
+  std::size_t in_ch_, out_ch_, k_, pad_;
+  Tensor weight_, bias_;
+  Tensor grad_weight_, grad_bias_;
+  Tensor input_;
+  Vec col_, dcol_;  // per-sample im2col scratch
+};
+
+}  // namespace hfl::nn

@@ -1,0 +1,34 @@
+#include "src/nn/dropout.h"
+
+namespace hfl::nn {
+
+Dropout::Dropout(Scalar rate) : rate_(rate) {
+  HFL_CHECK(rate_ >= 0.0 && rate_ < 1.0, "dropout rate must be in [0, 1)");
+}
+
+void Dropout::init_params(Rng& rng) { rng_ = rng.fork(0xD60); }
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  last_train_ = train && rate_ > 0.0;
+  if (!last_train_) return x;
+  HFL_CHECK(rng_.has_value(), "dropout used before init_params");
+  const Scalar keep = 1.0 - rate_;
+  const Scalar scale = 1.0 / keep;
+  mask_.resize(x.size());
+  Tensor out = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mask_[i] = rng_->uniform() < keep ? scale : 0.0;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!last_train_) return grad_out;
+  HFL_CHECK(grad_out.size() == mask_.size(), "dropout backward shape mismatch");
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+}  // namespace hfl::nn

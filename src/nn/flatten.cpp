@@ -1,0 +1,20 @@
+#include "src/nn/flatten.h"
+
+namespace hfl::nn {
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  HFL_CHECK(x.rank() >= 2, "flatten expects rank >= 2");
+  in_shape_ = x.shape();
+  Tensor out = x;
+  out.reshape({x.dim(0), x.size() / x.dim(0)});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  HFL_CHECK(!in_shape_.empty(), "flatten backward before forward");
+  Tensor grad_in = grad_out;
+  grad_in.reshape(in_shape_);
+  return grad_in;
+}
+
+}  // namespace hfl::nn

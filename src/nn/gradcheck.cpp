@@ -1,0 +1,43 @@
+#include "src/nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hfl::nn {
+
+GradCheckResult check_gradients(Model& model, const Vec& params,
+                                const Tensor& x,
+                                const std::vector<std::size_t>& labels,
+                                Scalar step, std::size_t max_coords) {
+  Vec analytic;
+  model.loss_and_gradient(params, x, labels, analytic);
+
+  const std::size_t n = params.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / max_coords);
+
+  GradCheckResult result;
+  Vec perturbed = params;
+  for (std::size_t i = 0; i < n; i += stride) {
+    // Numeric probes use eval-mode forwards; models under grad-check must be
+    // free of train-only stochastic layers (dropout), which the tests honour.
+    perturbed[i] = params[i] + step;
+    model.set_params(perturbed);
+    const Scalar loss_plus = model.evaluate(x, labels).loss;
+
+    perturbed[i] = params[i] - step;
+    model.set_params(perturbed);
+    const Scalar loss_minus = model.evaluate(x, labels).loss;
+    perturbed[i] = params[i];
+
+    const Scalar numeric = (loss_plus - loss_minus) / (2 * step);
+    const Scalar abs_err = std::abs(numeric - analytic[i]);
+    const Scalar denom =
+        std::max({std::abs(numeric), std::abs(analytic[i]), Scalar{1e-8}});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    ++result.checked;
+  }
+  return result;
+}
+
+}  // namespace hfl::nn

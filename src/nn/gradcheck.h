@@ -1,0 +1,27 @@
+// Numerical gradient checking.
+//
+// Verifies a Model's analytic gradient against central finite differences.
+// Used by the test suite on every layer type; kept in the library (not the
+// tests) so downstream users can validate custom layers the same way.
+#pragma once
+
+#include "src/nn/model.h"
+
+namespace hfl::nn {
+
+struct GradCheckResult {
+  Scalar max_abs_error = 0;    // max_i |analytic_i - numeric_i|
+  Scalar max_rel_error = 0;    // relative to max(|a|, |n|, eps)
+  std::size_t checked = 0;     // number of coordinates compared
+};
+
+// Compares analytic and numeric gradients at `params` on the given batch.
+// `max_coords` bounds how many (deterministically strided) coordinates are
+// probed, keeping checks on conv models fast.
+GradCheckResult check_gradients(Model& model, const Vec& params,
+                                const Tensor& x,
+                                const std::vector<std::size_t>& labels,
+                                Scalar step = 1e-5,
+                                std::size_t max_coords = 200);
+
+}  // namespace hfl::nn

@@ -1,0 +1,15 @@
+#include "src/nn/layer.h"
+
+namespace hfl::nn {
+
+void Layer::zero_grads() {
+  for (Tensor* g : grads()) g->fill(0.0);
+}
+
+std::size_t Layer::num_params() {
+  std::size_t n = 0;
+  for (Tensor* p : params()) n += p->size();
+  return n;
+}
+
+}  // namespace hfl::nn

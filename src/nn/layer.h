@@ -1,0 +1,54 @@
+// Layer interface for the manual-backprop neural-network substrate.
+//
+// Each layer is a stateful node: `forward` caches whatever it needs for the
+// matching `backward` call, and `backward` both returns the gradient with
+// respect to the layer input and accumulates gradients into the layer's
+// parameter-gradient tensors. Layers expose their parameters and gradients as
+// parallel lists of tensors so `Model` can flatten them into the single `Vec`
+// that the federated-learning algorithms operate on.
+//
+// Thread-safety: a layer instance is owned by exactly one simulated worker;
+// no cross-thread sharing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace hfl::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Human-readable layer kind ("dense", "conv2d", ...), for diagnostics.
+  virtual std::string kind() const = 0;
+
+  // Forward pass. `train` enables training-only behaviour (dropout masks).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // Backward pass for the most recent forward. Accumulates parameter
+  // gradients and returns d(loss)/d(input).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  // Parameter tensors (empty for stateless layers). The grads list is
+  // index-aligned with params.
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  // (Re-)initialize parameters. Stateless layers ignore this.
+  virtual void init_params(Rng& rng) { (void)rng; }
+
+  // Set all parameter gradients to zero.
+  void zero_grads();
+
+  // Total number of scalar parameters.
+  std::size_t num_params();
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace hfl::nn

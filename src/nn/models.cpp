@@ -1,0 +1,205 @@
+#include "src/nn/models.h"
+
+#include <numeric>
+
+#include "src/nn/activations.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/flatten.h"
+#include "src/nn/pool2d.h"
+#include "src/nn/residual.h"
+
+namespace hfl::nn {
+
+namespace {
+
+std::size_t flat_size(const std::vector<std::size_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+
+struct ImageDims {
+  std::size_t c, h, w;
+};
+
+ImageDims image_dims(const std::vector<std::size_t>& sample_shape,
+                     const char* model) {
+  HFL_CHECK(sample_shape.size() == 3,
+            std::string(model) + " expects a {C, H, W} sample shape");
+  return {sample_shape[0], sample_shape[1], sample_shape[2]};
+}
+
+}  // namespace
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinearRegression: return "linear";
+    case ModelKind::kLogisticRegression: return "logistic";
+    case ModelKind::kMlp: return "mlp";
+    case ModelKind::kCnn: return "cnn";
+    case ModelKind::kMiniVgg: return "minivgg";
+    case ModelKind::kMiniResNet: return "miniresnet";
+  }
+  return "?";
+}
+
+ModelFactory linear_regression(std::vector<std::size_t> sample_shape,
+                               std::size_t num_classes) {
+  const std::size_t in = flat_size(sample_shape);
+  return [sample_shape, in, num_classes] {
+    auto net = std::make_unique<Sequential>();
+    net->emplace<Flatten>();
+    net->emplace<Dense>(in, num_classes, InitScheme::kZero);
+    return std::make_unique<Model>(std::move(net),
+                                   std::make_unique<MseOnOneHot>(),
+                                   sample_shape);
+  };
+}
+
+ModelFactory logistic_regression(std::vector<std::size_t> sample_shape,
+                                 std::size_t num_classes) {
+  const std::size_t in = flat_size(sample_shape);
+  return [sample_shape, in, num_classes] {
+    auto net = std::make_unique<Sequential>();
+    net->emplace<Flatten>();
+    net->emplace<Dense>(in, num_classes, InitScheme::kZero);
+    return std::make_unique<Model>(std::move(net),
+                                   std::make_unique<SoftmaxCrossEntropy>(),
+                                   sample_shape);
+  };
+}
+
+ModelFactory mlp(std::vector<std::size_t> sample_shape, std::size_t hidden,
+                 std::size_t num_classes) {
+  const std::size_t in = flat_size(sample_shape);
+  return [sample_shape, in, hidden, num_classes] {
+    auto net = std::make_unique<Sequential>();
+    net->emplace<Flatten>();
+    net->emplace<Dense>(in, hidden, InitScheme::kHe);
+    net->emplace<ReLU>();
+    net->emplace<Dense>(hidden, num_classes, InitScheme::kXavier);
+    return std::make_unique<Model>(std::move(net),
+                                   std::make_unique<SoftmaxCrossEntropy>(),
+                                   sample_shape);
+  };
+}
+
+ModelFactory cnn(std::vector<std::size_t> sample_shape,
+                 std::size_t num_classes) {
+  const ImageDims d = image_dims(sample_shape, "cnn");
+  HFL_CHECK(d.h % 4 == 0 && d.w % 4 == 0,
+            "cnn needs H and W divisible by 4");
+  return [sample_shape, d, num_classes] {
+    auto net = std::make_unique<Sequential>();
+    net->emplace<Conv2d>(d.c, 8, 5, 2);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    net->emplace<Conv2d>(8, 16, 5, 2);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    net->emplace<Flatten>();
+    net->emplace<Dense>(16 * (d.h / 4) * (d.w / 4), num_classes,
+                        InitScheme::kXavier);
+    return std::make_unique<Model>(std::move(net),
+                                   std::make_unique<SoftmaxCrossEntropy>(),
+                                   sample_shape);
+  };
+}
+
+ModelFactory mini_vgg(std::vector<std::size_t> sample_shape,
+                      std::size_t num_classes) {
+  const ImageDims d = image_dims(sample_shape, "mini_vgg");
+  HFL_CHECK(d.h % 8 == 0 && d.w % 8 == 0,
+            "mini_vgg needs H and W divisible by 8");
+  return [sample_shape, d, num_classes] {
+    auto net = std::make_unique<Sequential>();
+    // Block 1 (channel widths scaled for single-core simulation; DESIGN.md §3)
+    net->emplace<Conv2d>(d.c, 8, 3, 1);
+    net->emplace<ReLU>();
+    net->emplace<Conv2d>(8, 8, 3, 1);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    // Block 2
+    net->emplace<Conv2d>(8, 16, 3, 1);
+    net->emplace<ReLU>();
+    net->emplace<Conv2d>(16, 16, 3, 1);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    // Block 3
+    net->emplace<Conv2d>(16, 32, 3, 1);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    // Classifier
+    net->emplace<Flatten>();
+    net->emplace<Dense>(32 * (d.h / 8) * (d.w / 8), 64, InitScheme::kHe);
+    net->emplace<ReLU>();
+    net->emplace<Dense>(64, num_classes, InitScheme::kXavier);
+    return std::make_unique<Model>(std::move(net),
+                                   std::make_unique<SoftmaxCrossEntropy>(),
+                                   sample_shape);
+  };
+}
+
+ModelFactory mini_resnet(std::vector<std::size_t> sample_shape,
+                         std::size_t num_classes) {
+  const ImageDims d = image_dims(sample_shape, "mini_resnet");
+  HFL_CHECK(d.h == d.w, "mini_resnet needs a square input");
+  HFL_CHECK(d.h % 4 == 0, "mini_resnet needs H divisible by 4");
+  return [sample_shape, d, num_classes] {
+    auto net = std::make_unique<Sequential>();
+    // Stem (channel widths scaled for single-core simulation; DESIGN.md §3)
+    net->emplace<Conv2d>(d.c, 8, 3, 1);
+    net->emplace<ReLU>();
+    // Stage 1: identity residual at 8 channels.
+    {
+      auto inner = std::make_unique<Sequential>();
+      inner->emplace<Conv2d>(8, 8, 3, 1);
+      inner->emplace<ReLU>();
+      inner->emplace<Conv2d>(8, 8, 3, 1);
+      net->add(std::make_unique<Residual>(std::move(inner)));
+    }
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    // Stage 2: projection residual 8 -> 16 channels.
+    {
+      auto inner = std::make_unique<Sequential>();
+      inner->emplace<Conv2d>(8, 16, 3, 1);
+      inner->emplace<ReLU>();
+      inner->emplace<Conv2d>(16, 16, 3, 1);
+      auto shortcut = std::make_unique<Conv2d>(8, 16, 1, 0);
+      net->add(std::make_unique<Residual>(std::move(inner),
+                                          std::move(shortcut)));
+    }
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    // Global average pool + classifier.
+    net->emplace<AvgPool2d>(d.h / 4);
+    net->emplace<Flatten>();
+    net->emplace<Dense>(16, num_classes, InitScheme::kXavier);
+    return std::make_unique<Model>(std::move(net),
+                                   std::make_unique<SoftmaxCrossEntropy>(),
+                                   sample_shape);
+  };
+}
+
+ModelFactory make_model_factory(ModelKind kind,
+                                std::vector<std::size_t> sample_shape,
+                                std::size_t num_classes) {
+  switch (kind) {
+    case ModelKind::kLinearRegression:
+      return linear_regression(std::move(sample_shape), num_classes);
+    case ModelKind::kLogisticRegression:
+      return logistic_regression(std::move(sample_shape), num_classes);
+    case ModelKind::kMlp:
+      return mlp(std::move(sample_shape), 64, num_classes);
+    case ModelKind::kCnn:
+      return cnn(std::move(sample_shape), num_classes);
+    case ModelKind::kMiniVgg:
+      return mini_vgg(std::move(sample_shape), num_classes);
+    case ModelKind::kMiniResNet:
+      return mini_resnet(std::move(sample_shape), num_classes);
+  }
+  throw Error("unknown model kind");
+}
+
+}  // namespace hfl::nn

@@ -1,0 +1,54 @@
+// Model zoo: the five model families of the paper's evaluation (Table II).
+//
+//  * linear regression  — Flatten + Dense, MSE-on-one-hot loss (convex)
+//  * logistic regression — Flatten + Dense, softmax cross-entropy (convex)
+//  * CNN — the classic two-conv/two-pool structure of [29]
+//  * MiniVGG — VGG-topology conv blocks standing in for VGG16 (see DESIGN.md
+//    §3 on scaling)
+//  * MiniResNet — identity/projection residual blocks standing in for
+//    ResNet18
+//  * MLP — an extra small non-convex model used by tests and examples
+//
+// Every builder returns a `ModelFactory` so each simulated worker can own an
+// independent instance of the architecture.
+#pragma once
+
+#include <string>
+
+#include "src/nn/model.h"
+
+namespace hfl::nn {
+
+enum class ModelKind {
+  kLinearRegression,
+  kLogisticRegression,
+  kMlp,
+  kCnn,
+  kMiniVgg,
+  kMiniResNet,
+};
+
+std::string to_string(ModelKind kind);
+
+// sample_shape excludes the batch dimension: {C, H, W} for images, {F} for
+// flat feature vectors. Constraints: kCnn needs H and W divisible by 4;
+// kMiniVgg by 8; kMiniResNet needs a square input divisible by 4.
+ModelFactory make_model_factory(ModelKind kind,
+                                std::vector<std::size_t> sample_shape,
+                                std::size_t num_classes);
+
+// Individual builders (same contracts as above).
+ModelFactory linear_regression(std::vector<std::size_t> sample_shape,
+                               std::size_t num_classes);
+ModelFactory logistic_regression(std::vector<std::size_t> sample_shape,
+                                 std::size_t num_classes);
+ModelFactory mlp(std::vector<std::size_t> sample_shape, std::size_t hidden,
+                 std::size_t num_classes);
+ModelFactory cnn(std::vector<std::size_t> sample_shape,
+                 std::size_t num_classes);
+ModelFactory mini_vgg(std::vector<std::size_t> sample_shape,
+                      std::size_t num_classes);
+ModelFactory mini_resnet(std::vector<std::size_t> sample_shape,
+                         std::size_t num_classes);
+
+}  // namespace hfl::nn

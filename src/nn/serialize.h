@@ -1,0 +1,25 @@
+// Model checkpointing.
+//
+// Binary format: magic "HFLCKPT1", little-endian u64 parameter count, then
+// the raw IEEE-754 doubles. Load validates the magic and that the size
+// matches the receiving model, so checkpoints cannot be silently applied to
+// a different architecture (only equal parameter counts are checkable — the
+// format deliberately stays architecture-agnostic so flat parameter vectors
+// produced by the FL engine can be stored too).
+#pragma once
+
+#include <string>
+
+#include "src/nn/model.h"
+
+namespace hfl::nn {
+
+// Raw flat-vector checkpoints.
+void save_params(const Vec& params, const std::string& path);
+Vec load_params(const std::string& path);
+
+// Model convenience wrappers.
+void save_model(const Model& model, const std::string& path);
+void load_model(Model& model, const std::string& path);
+
+}  // namespace hfl::nn

@@ -1,0 +1,38 @@
+// Tensor operations used by the neural-network layers.
+//
+// Only what the NN substrate needs: 2-D GEMM variants (with the transposes
+// required by dense-layer backprop), bias broadcast, elementwise helpers, and
+// an argmax over the class axis for accuracy computation. All functions check
+// shapes and write into caller-provided outputs so hot loops don't allocate.
+#pragma once
+
+#include "src/tensor/tensor.h"
+
+namespace hfl::ops {
+
+// c = a(m×k) * b(k×n). c is resized/reshaped to (m×n).
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+// c = a(m×k) * b^T where b is (n×k). c becomes (m×n).
+void matmul_transpose_b(const Tensor& a, const Tensor& b, Tensor& c);
+
+// c = a^T * b where a is (k×m), b is (k×n). c becomes (m×n).
+void matmul_transpose_a(const Tensor& a, const Tensor& b, Tensor& c);
+
+// Adds bias (length n) to every row of x (m×n).
+void add_row_bias(Tensor& x, const Tensor& bias);
+
+// Sums the rows of x (m×n) into out (length n). Used for bias gradients.
+void sum_rows(const Tensor& x, Tensor& out);
+
+// out[i] = argmax_j x(i, j) for a (m×n) tensor.
+void argmax_rows(const Tensor& x, std::vector<std::size_t>& out);
+
+// Elementwise: out = a + b, out = a - b (out may alias inputs).
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+void sub(const Tensor& a, const Tensor& b, Tensor& out);
+
+// Elementwise product (Hadamard).
+void mul(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace hfl::ops

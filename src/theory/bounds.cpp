@@ -1,0 +1,108 @@
+#include "src/theory/bounds.h"
+
+#include <cmath>
+
+#include "src/common/errors.h"
+
+namespace hfl::theory {
+
+namespace {
+void check_params(const BoundParams& p) {
+  HFL_CHECK(p.eta > 0 && p.beta > 0 && p.rho > 0, "eta/beta/rho must be > 0");
+  HFL_CHECK(p.gamma > 0 && p.gamma < 1, "gamma must be in (0, 1)");
+  HFL_CHECK(p.gamma_edge > 0 && p.gamma_edge < 1,
+            "gamma_edge must be in (0, 1)");
+  HFL_CHECK(p.mu >= 0, "mu must be non-negative");
+}
+}  // namespace
+
+MomentumConstants momentum_constants(const BoundParams& p) {
+  check_params(p);
+  MomentumConstants c;
+  const Scalar eb = 1 + p.eta * p.beta;
+  const Scalar g = p.gamma;
+  const Scalar disc = eb * eb * (1 + g) * (1 + g) - 4 * g * eb;
+  HFL_CHECK(disc >= 0, "negative discriminant in momentum constants");
+  const Scalar root = std::sqrt(disc);
+  c.A = (eb * (1 + g) + root) / (2 * g);
+  c.B = (eb * (1 + g) - root) / (2 * g);
+  HFL_CHECK(std::abs(c.A - c.B) > 1e-15, "A == B degenerate case");
+  c.I = (g * c.A + c.A - 1) / ((c.A - c.B) * (g * c.A - 1));
+  c.J = (g * c.B + c.B - 1) / ((c.A - c.B) * (1 - g * c.B));
+  c.U = (c.A - 1) / (c.A - c.B);
+  c.V = (1 - c.B) / (c.A - c.B);
+  return c;
+}
+
+Scalar h_gap(const BoundParams& p, std::size_t x, Scalar delta) {
+  check_params(p);
+  HFL_CHECK(delta >= 0, "delta must be non-negative");
+  if (x == 0) return 0;
+  const MomentumConstants c = momentum_constants(p);
+  const Scalar g = p.gamma;
+  const Scalar xf = static_cast<Scalar>(x);
+  // Eq. (17) with the U/V root-weight constants (U + V = 1, which yields the
+  // paper's h(0, δ) = 0 exactly, and h(1, δ) = 0 — the divergence needs one
+  // step of position drift before it compounds):
+  //   h = ηδ [ (U(γA)^x + V(γB)^x − 1)/(ηβ)
+  //            − (γ²(γ^x − 1) − (γ−1)x) / (γ−1)² ]
+  const Scalar term1 =
+      (c.U * std::pow(g * c.A, xf) + c.V * std::pow(g * c.B, xf) - 1) /
+      (p.eta * p.beta);
+  const Scalar term2 =
+      (g * g * (std::pow(g, xf) - 1) - (g - 1) * xf) / ((g - 1) * (g - 1));
+  return p.eta * delta * (term1 - term2);
+}
+
+Scalar s_gap(const BoundParams& p, std::size_t tau) {
+  check_params(p);
+  return p.gamma_edge * static_cast<Scalar>(tau) * p.eta * p.rho *
+         (p.gamma * p.mu + p.gamma + 1);
+}
+
+Scalar j_gap(const BoundParams& p, std::size_t tau, std::size_t pi,
+             const std::vector<Scalar>& delta_edges,
+             const std::vector<Scalar>& edge_weights, Scalar delta_global) {
+  HFL_CHECK(delta_edges.size() == edge_weights.size(),
+            "delta/weight count mismatch");
+  HFL_CHECK(!delta_edges.empty(), "need at least one edge");
+  // Eq. (23): j = h(τπ, δ) + (π+1) Σ_ℓ (Dℓ/D)(h(τ, δℓ) + s(τ)).
+  Scalar edge_sum = 0;
+  for (std::size_t l = 0; l < delta_edges.size(); ++l) {
+    edge_sum += edge_weights[l] * (h_gap(p, tau, delta_edges[l]) +
+                                   s_gap(p, tau));
+  }
+  return h_gap(p, tau * pi, delta_global) +
+         static_cast<Scalar>(pi + 1) * edge_sum;
+}
+
+Scalar alpha(const BoundParams& p) {
+  check_params(p);
+  // Eq. (37).
+  const Scalar e = p.eta, b = p.beta, g = p.gamma, m = p.mu;
+  return e * (g + 1) * (1 - b * e * (g + 1) / 2) -
+         b * e * e * g * g * m * m / 2 - e * g * m * (1 - b * e * (g + 1));
+}
+
+Theorem4Result theorem4_bound(const Theorem4Inputs& in) {
+  HFL_CHECK(in.tau > 0 && in.pi > 0, "tau and pi must be positive");
+  HFL_CHECK(in.total_iterations % (in.tau * in.pi) == 0,
+            "T must be a multiple of tau*pi");
+  HFL_CHECK(in.epsilon > 0, "epsilon must be positive");
+  Theorem4Result r;
+  r.alpha_value = alpha(in.params);
+  r.j_value = j_gap(in.params, in.tau, in.pi, in.delta_edges, in.edge_weights,
+                    in.delta_global);
+  r.denominator =
+      in.omega * r.alpha_value * in.sigma * in.sigma -
+      in.params.rho * r.j_value /
+          (static_cast<Scalar>(in.tau * in.pi) * in.epsilon * in.epsilon);
+  r.feasible = r.denominator > 0;
+  r.bound = r.feasible
+                ? 1.0 / (static_cast<Scalar>(in.total_iterations) *
+                         r.denominator)
+                : 0.0;
+  return r;
+}
+
+}  // namespace hfl::theory

@@ -1,0 +1,75 @@
+// Convergence-bound machinery (Section IV and Appendices A–D of the paper).
+//
+// Implements the constants A, B, I, J, U, V (Appendix A-B), the gap
+// functions
+//   h(x, δ)        — Theorem 1: worker-vs-edge virtual update gap,
+//   s(τ)           — Theorem 2: edge momentum update gap,
+//   j(τ, π, δℓ, δ) — Theorem 4 eq. (23): the combined per-cloud-interval gap,
+// the α constant of eq. (37), and the Theorem 4 bound
+//   F(x_T) − F(x*) ≤ 1 / (T (ωασ² − ρ j /(τπε²))).
+// All functions are pure; parameters mirror the paper's symbols.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hfl::theory {
+
+// Problem/algorithm parameters the bound depends on.
+struct BoundParams {
+  Scalar eta = 0.01;   // η — learning rate
+  Scalar beta = 1.0;   // β — smoothness (Assumption 2)
+  Scalar rho = 1.0;    // ρ — Lipschitz constant (Assumption 1)
+  Scalar gamma = 0.5;  // γ — worker momentum factor, in (0, 1)
+  Scalar gamma_edge = 0.5;  // γℓ — edge momentum factor, in (0, 1)
+  Scalar mu = 1.0;     // μ — momentum/gradient norm ratio bound, eq. (30)
+};
+
+// Appendix A constants. Requires 0 < gamma < 1 and eta, beta > 0.
+struct MomentumConstants {
+  Scalar A = 0, B = 0, I = 0, J = 0, U = 0, V = 0;
+};
+MomentumConstants momentum_constants(const BoundParams& p);
+
+// Theorem 1 gap h(x, δ) (eq. (17)); x is the iteration offset inside the
+// edge interval, δ the relevant gradient-diversity level. h(0, δ) = 0 and h
+// is non-decreasing in x (eq. (39)).
+Scalar h_gap(const BoundParams& p, std::size_t x, Scalar delta);
+
+// Theorem 2 gap s(τ) = γℓ τ η ρ (γμ + γ + 1) (eq. (20)).
+Scalar s_gap(const BoundParams& p, std::size_t tau);
+
+// Theorem 3/4 combined gap j(τ, π, δℓ, δ) (eq. (23)); delta_edges are the
+// per-edge δℓ with matching data weights Dℓ/D.
+Scalar j_gap(const BoundParams& p, std::size_t tau, std::size_t pi,
+             const std::vector<Scalar>& delta_edges,
+             const std::vector<Scalar>& edge_weights, Scalar delta_global);
+
+// Eq. (37): the descent coefficient α. Positive α is required by Theorem 4.
+Scalar alpha(const BoundParams& p);
+
+// Theorem 4 right-hand side and feasibility check.
+struct Theorem4Inputs {
+  BoundParams params;
+  std::size_t tau = 10, pi = 2;
+  std::size_t total_iterations = 1000;  // T
+  Scalar omega = 1.0;    // ω — eq. (36)
+  Scalar sigma = 1.0;    // σ — eq. (36)
+  Scalar epsilon = 0.1;  // ε — Condition (2)
+  std::vector<Scalar> delta_edges;
+  std::vector<Scalar> edge_weights;
+  Scalar delta_global = 0;
+};
+
+struct Theorem4Result {
+  bool feasible = false;  // Condition (2.1): ωασ² − ρj/(τπε²) > 0
+  Scalar denominator = 0; // ωασ² − ρj/(τπε²)
+  Scalar bound = 0;       // 1 / (T · denominator), valid when feasible
+  Scalar j_value = 0;
+  Scalar alpha_value = 0;
+};
+Theorem4Result theorem4_bound(const Theorem4Inputs& in);
+
+}  // namespace hfl::theory

@@ -1,0 +1,40 @@
+// Empirical estimators for the paper's assumption constants.
+//
+// Theorem 4's bound is stated in terms of ρ (Lipschitz, Assumption 1),
+// β (smoothness, Assumption 2), the gradient-diversity levels δ_{i,ℓ}, δℓ, δ
+// (Assumption 3), and μ (eq. (30)). These cannot be computed exactly for
+// neural models, but they can be probed: we sample random parameter points
+// near the initialization, evaluate per-worker mini-batch gradients at the
+// SAME point for all workers, and take empirical maxima/weighted averages.
+// The estimates feed the theory benches so the bound can be evaluated on the
+// actual workloads rather than with made-up constants.
+#pragma once
+
+#include "src/data/partitioner.h"
+#include "src/fl/topology.h"
+#include "src/nn/model.h"
+
+namespace hfl::theory {
+
+struct AssumptionEstimates {
+  Scalar rho = 0;    // max observed gradient norm
+  Scalar beta = 0;   // max observed ||∇F(x1)−∇F(x2)|| / ||x1−x2||
+  Scalar delta_global = 0;            // δ — weighted average of δℓ
+  std::vector<Scalar> delta_edges;    // δℓ per edge
+  std::vector<Scalar> edge_weights;   // Dℓ/D, aligned with delta_edges
+};
+
+struct EstimatorOptions {
+  std::size_t probe_points = 4;   // random parameter points probed
+  std::size_t batch_size = 64;    // per-worker samples per gradient estimate
+  Scalar point_spread = 0.05;     // stddev of the probe-point perturbation
+  std::uint64_t seed = 99;
+};
+
+AssumptionEstimates estimate_assumptions(const nn::ModelFactory& factory,
+                                         const data::Dataset& train,
+                                         const data::Partition& partition,
+                                         const fl::Topology& topo,
+                                         const EstimatorOptions& options = {});
+
+}  // namespace hfl::theory

@@ -1,0 +1,45 @@
+// Theorem 5 (Appendix E): expected tightness of the adaptive bound.
+//
+// Under cosθ_{k,ℓ} ~ U(−1, 1), the adapted factor γℓ = clamp(cosθ) of
+// eq. (7) has E[γℓ] = 1/4 and D[γℓ] = 5/48, whereas a fixed factor drawn
+// uniformly from (0, 1) has E = 1/2 and D = 1/12. Since s(τ) (Theorem 2) is
+// linear in γℓ, the adaptive variant's expected bound is tighter. This
+// module provides the analytic moments, the clamp itself, and a Monte-Carlo
+// verification harness used by tests and bench_theory_bounds.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/rng.h"
+#include "src/theory/bounds.h"
+
+namespace hfl::theory {
+
+// Eq. (7) clamp. `clamp_max` defaults to the paper's 0.99.
+Scalar clamp_gamma_edge(Scalar cos_theta, Scalar clamp_max = 0.99);
+
+// Analytic moments of γℓ under cosθ ~ U(−1, 1) with the idealized clamp
+// (clamp_max → 1, as used in the paper's Appendix E): E = 1/4, D = 5/48.
+struct Moments {
+  Scalar mean = 0;
+  Scalar variance = 0;
+};
+Moments adaptive_gamma_moments();          // E = 1/4, D = 5/48
+Moments fixed_gamma_moments();             // E = 1/2, D = 1/12 (γ̃ ~ U(0,1))
+
+// Monte-Carlo estimate of the γℓ moments under cosθ ~ U(−1, 1) including
+// the real 0.99 clamp.
+Moments simulate_adaptive_gamma(Rng& rng, std::size_t samples,
+                                Scalar clamp_max = 0.99);
+
+// Expected s(τ) (Theorem 2) under adaptive vs fixed γℓ; the adaptive value
+// is strictly smaller, which is the mechanism behind Theorem 5.
+struct Theorem5Comparison {
+  Scalar s_adaptive = 0;  // E[s(τ)] with γℓ adapted
+  Scalar s_fixed = 0;     // E[s(τ)] with γ̃ℓ ~ U(0,1)
+  bool adaptive_tighter = false;
+};
+Theorem5Comparison compare_expected_s(const BoundParams& params,
+                                      std::size_t tau);
+
+}  // namespace hfl::theory

@@ -1,0 +1,214 @@
+// Tests for the upload-compression extension (fl/compression) and its
+// integration into HierAdMo.
+#include "src/fl/compression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/errors.h"
+#include "src/core/hieradmo.h"
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+#include "src/fl/engine.h"
+#include "src/nn/models.h"
+
+namespace hfl::fl {
+namespace {
+
+TEST(TopKTest, KeepsLargestMagnitudes) {
+  TopKCompressor c(0.5);
+  Vec v{1, -5, 2, -0.5, 4, 0.1};
+  const std::size_t sent = c.compress(v);
+  EXPECT_EQ(sent, 3u);
+  EXPECT_EQ(v, (Vec{0, -5, 2, 0, 4, 0}));
+}
+
+TEST(TopKTest, FullKeepIsIdentity) {
+  TopKCompressor c(1.0);
+  Vec v{3, -1, 2};
+  const Vec original = v;
+  EXPECT_EQ(c.compress(v), 3u);
+  EXPECT_EQ(v, original);
+}
+
+TEST(TopKTest, AlwaysKeepsAtLeastOne) {
+  TopKCompressor c(0.01);
+  Vec v{1, 2, 3};
+  EXPECT_EQ(c.compress(v), 1u);
+  EXPECT_EQ(v, (Vec{0, 0, 3}));
+}
+
+TEST(TopKTest, EmptyVector) {
+  TopKCompressor c(0.5);
+  Vec v;
+  EXPECT_EQ(c.compress(v), 0u);
+}
+
+TEST(TopKTest, InvalidFractionThrows) {
+  EXPECT_THROW(TopKCompressor(0.0), Error);
+  EXPECT_THROW(TopKCompressor(1.5), Error);
+}
+
+TEST(TopKTest, ErrorIsBestPossibleForSparsification) {
+  // Property: among all k-sparse approximations, top-k minimizes the L2
+  // error — in particular it beats random-k on the same vector.
+  Rng rng(1);
+  Vec v(256);
+  for (auto& x : v) x = rng.normal();
+  Vec topk = v, randk = v;
+  TopKCompressor tc(0.25);
+  RandomKCompressor rc(0.25, 7);
+  tc.compress(topk);
+  rc.compress(randk);
+  Scalar err_top = 0, err_rand = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    err_top += (v[i] - topk[i]) * (v[i] - topk[i]);
+    err_rand += (v[i] - randk[i]) * (v[i] - randk[i]);
+  }
+  EXPECT_LT(err_top, err_rand);
+}
+
+TEST(RandomKTest, KeepsExactlyKScaled) {
+  RandomKCompressor c(0.5, 3);
+  Vec v(10, 1.0);
+  EXPECT_EQ(c.compress(v), 5u);
+  std::size_t nonzero = 0;
+  for (const Scalar x : v) {
+    if (x != 0) {
+      EXPECT_DOUBLE_EQ(x, 2.0);  // scaled by n/k = 2
+      ++nonzero;
+    }
+  }
+  EXPECT_EQ(nonzero, 5u);
+}
+
+TEST(RandomKTest, UnbiasedInExpectation) {
+  Vec base{1, -2, 3, -4, 5, -6, 7, -8};
+  Vec mean(base.size(), 0.0);
+  const int trials = 4000;
+  RandomKCompressor c(0.25, 11);
+  for (int t = 0; t < trials; ++t) {
+    Vec v = base;
+    c.compress(v);
+    for (std::size_t i = 0; i < v.size(); ++i) mean[i] += v[i] / trials;
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(mean[i], base[i], 0.4) << "coordinate " << i;
+  }
+}
+
+TEST(QuantizerTest, PreservesSignsAndBoundsError) {
+  StochasticQuantizer q(8, 5);
+  Rng rng(2);
+  Vec v(64);
+  for (auto& x : v) x = rng.normal();
+  const Vec original = v;
+  q.compress(v);
+  const Scalar norm = vec::norm(original);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != 0) {
+      EXPECT_EQ(std::signbit(v[i]), std::signbit(original[i]));
+    }
+    // Each coordinate moves by at most one quantization step.
+    EXPECT_LE(std::abs(v[i] - original[i]), norm / 8 + 1e-12);
+  }
+}
+
+TEST(QuantizerTest, UnbiasedInExpectation) {
+  Vec base{0.3, -0.7, 0.1, 0.9};
+  Vec mean(base.size(), 0.0);
+  const int trials = 6000;
+  StochasticQuantizer q(4, 13);
+  for (int t = 0; t < trials; ++t) {
+    Vec v = base;
+    q.compress(v);
+    for (std::size_t i = 0; i < v.size(); ++i) mean[i] += v[i] / trials;
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(mean[i], base[i], 0.03) << "coordinate " << i;
+  }
+}
+
+TEST(QuantizerTest, ZeroVectorStaysZero) {
+  StochasticQuantizer q(4, 1);
+  Vec v(8, 0.0);
+  q.compress(v);
+  for (const Scalar x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+// ------------------------- HierAdMo integration -------------------------
+
+struct CompressedRunFixture {
+  data::TrainTest dataset;
+  Topology topo{Topology::uniform(2, 2)};
+  data::Partition partition;
+  nn::ModelFactory factory;
+
+  CompressedRunFixture() {
+    Rng rng(21);
+    data::SyntheticSpec spec;
+    spec.sample_shape = {1, 2, 2};
+    spec.num_classes = 3;
+    spec.train_size = 150;
+    spec.test_size = 60;
+    spec.separation = 1.2;
+    spec.noise = 0.5;
+    dataset = data::make_synthetic(rng, spec);
+    partition = data::partition_iid(dataset.train, 4, rng);
+    factory = nn::logistic_regression({1, 2, 2}, 3);
+  }
+
+  RunConfig config() const {
+    RunConfig cfg;
+    cfg.total_iterations = 80;
+    cfg.tau = 5;
+    cfg.pi = 2;
+    cfg.eta = 0.05;
+    cfg.batch_size = 8;
+    cfg.seed = 22;
+    return cfg;
+  }
+};
+
+TEST(HierAdMoCompressionTest, FullKeepMatchesUncompressed) {
+  CompressedRunFixture f;
+  Engine engine(f.factory, f.dataset, f.partition, f.topo, f.config());
+
+  core::HierAdMo plain;
+  core::HierAdMoOptions opt;
+  opt.upload_compressor = std::make_shared<TopKCompressor>(1.0);
+  core::HierAdMo compressed(opt);
+
+  const RunResult r1 = engine.run(plain);
+  const RunResult r2 = engine.run(compressed);
+  ASSERT_EQ(r1.curve.size(), r2.curve.size());
+  for (std::size_t i = 0; i < r1.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.curve[i].test_loss, r2.curve[i].test_loss);
+  }
+}
+
+TEST(HierAdMoCompressionTest, AggressiveTopKStillLearns) {
+  CompressedRunFixture f;
+  Engine engine(f.factory, f.dataset, f.partition, f.topo, f.config());
+  core::HierAdMoOptions opt;
+  opt.upload_compressor = std::make_shared<TopKCompressor>(0.25);
+  core::HierAdMo alg(opt);
+  const RunResult r = engine.run(alg);
+  // Keeping 25% of a 63-parameter model is aggressive; "learns" here means
+  // clearly above the 3-class chance level, not full accuracy.
+  EXPECT_GT(r.final_accuracy, 0.5);
+}
+
+TEST(HierAdMoCompressionTest, QuantizedUploadsStillLearn) {
+  CompressedRunFixture f;
+  Engine engine(f.factory, f.dataset, f.partition, f.topo, f.config());
+  core::HierAdMoOptions opt;
+  opt.upload_compressor = std::make_shared<StochasticQuantizer>(16, 31);
+  core::HierAdMo alg(opt);
+  const RunResult r = engine.run(alg);
+  EXPECT_GT(r.final_accuracy, 0.7);
+}
+
+}  // namespace
+}  // namespace hfl::fl

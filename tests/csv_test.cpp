@@ -1,0 +1,79 @@
+// Tests for common/csv and common/logging.
+#include "src/common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/errors.h"
+#include "src/common/logging.h"
+
+namespace hfl {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "csv_test_out.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_);
+    w.write_header({"a", "b"});
+    w.write_row({"1", "2"});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2\n");
+}
+
+TEST_F(CsvTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"x,y", "he said \"hi\"", "plain"});
+  }
+  EXPECT_EQ(read_file(path_), "\"x,y\",\"he said \"\"hi\"\"\",plain\n");
+}
+
+TEST_F(CsvTest, ScalarRowRoundTrips) {
+  {
+    CsvWriter w(path_);
+    w.write_row_scalars({1.5, -0.25, 1e-9});
+  }
+  const std::string content = read_file(path_);
+  EXPECT_NE(content.find("1.5"), std::string::npos);
+  EXPECT_NE(content.find("-0.25"), std::string::npos);
+  EXPECT_NE(content.find("1e-09"), std::string::npos);
+}
+
+TEST_F(CsvTest, FormatScalarPrecision) {
+  EXPECT_EQ(CsvWriter::format_scalar(0.5), "0.5");
+  const std::string pi = CsvWriter::format_scalar(3.14159265358979);
+  EXPECT_NE(pi.find("3.14159265"), std::string::npos);
+}
+
+TEST(CsvWriterTest, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), Error);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // These must not crash; visual output is not asserted.
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kWarn, "kept");
+  HFL_INFO() << "streamed " << 42;
+  set_log_level(old_level);
+}
+
+}  // namespace
+}  // namespace hfl

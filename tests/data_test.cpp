@@ -1,0 +1,287 @@
+// Tests for the data substrate: Dataset, synthetic generators, partitioners,
+// Batcher. Heavy on properties (coverage, disjointness, determinism).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "src/data/batcher.h"
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+
+namespace hfl::data {
+namespace {
+
+Dataset small_dataset(std::size_t n, std::size_t classes) {
+  Dataset d({2}, classes);
+  Vec f(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    f[0] = static_cast<Scalar>(i);
+    f[1] = -static_cast<Scalar>(i);
+    d.add_sample(f, i % classes);
+  }
+  return d;
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d = small_dataset(10, 3);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.sample_size(), 2u);
+  EXPECT_EQ(d.label(4), 1u);
+  EXPECT_DOUBLE_EQ(d.features(4)[0], 4.0);
+}
+
+TEST(DatasetTest, RejectsBadSamples) {
+  Dataset d({2}, 3);
+  Vec wrong_size(3, 0.0);
+  EXPECT_THROW(d.add_sample(wrong_size, 0), Error);
+  Vec ok(2, 0.0);
+  EXPECT_THROW(d.add_sample(ok, 3), Error);
+}
+
+TEST(DatasetTest, GatherBuildsBatch) {
+  Dataset d = small_dataset(10, 2);
+  Tensor x;
+  std::vector<std::size_t> y;
+  const std::vector<std::size_t> idx{1, 3, 5};
+  d.gather(idx, x, y);
+  EXPECT_EQ(x.shape(), (std::vector<std::size_t>{3, 2}));
+  EXPECT_DOUBLE_EQ(x.at({1, 0}), 3.0);
+  EXPECT_EQ(y, (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(DatasetTest, ClassHistogramAndIndices) {
+  Dataset d = small_dataset(10, 3);
+  const auto hist = d.class_histogram();
+  EXPECT_EQ(hist, (std::vector<std::size_t>{4, 3, 3}));
+  const auto idx0 = d.indices_of_class(0);
+  EXPECT_EQ(idx0, (std::vector<std::size_t>{0, 3, 6, 9}));
+}
+
+TEST(SyntheticTest, ShapesAndSizes) {
+  Rng rng(1);
+  SyntheticSpec spec;
+  spec.sample_shape = {2, 6, 6};
+  spec.num_classes = 4;
+  spec.train_size = 100;
+  spec.test_size = 40;
+  const TrainTest tt = make_synthetic(rng, spec);
+  EXPECT_EQ(tt.train.size(), 100u);
+  EXPECT_EQ(tt.test.size(), 40u);
+  EXPECT_EQ(tt.train.sample_size(), 72u);
+  EXPECT_EQ(tt.train.num_classes(), 4u);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.sample_shape = {1, 4, 4};
+  spec.num_classes = 3;
+  spec.train_size = 20;
+  spec.test_size = 5;
+  Rng a(9), b(9);
+  const TrainTest ta = make_synthetic(a, spec);
+  const TrainTest tb = make_synthetic(b, spec);
+  for (std::size_t i = 0; i < ta.train.size(); ++i) {
+    EXPECT_EQ(ta.train.label(i), tb.train.label(i));
+    const auto fa = ta.train.features(i);
+    const auto fb = tb.train.features(i);
+    for (std::size_t j = 0; j < fa.size(); ++j) EXPECT_EQ(fa[j], fb[j]);
+  }
+}
+
+TEST(SyntheticTest, ClassesAreRoughlyBalanced) {
+  Rng rng(2);
+  SyntheticSpec spec;
+  spec.sample_shape = {1, 4, 4};
+  spec.num_classes = 5;
+  spec.train_size = 500;
+  spec.test_size = 10;
+  const TrainTest tt = make_synthetic(rng, spec);
+  for (const std::size_t c : tt.train.class_histogram()) {
+    EXPECT_NEAR(static_cast<double>(c), 100.0, 15.0);
+  }
+}
+
+TEST(SyntheticTest, SeparationControlsClassDistance) {
+  // Property: higher separation => larger distance between per-class feature
+  // means relative to noise.
+  auto class_mean_distance = [](Scalar separation) {
+    Rng rng(3);
+    SyntheticSpec spec;
+    spec.sample_shape = {1, 6, 6};
+    spec.num_classes = 2;
+    spec.train_size = 400;
+    spec.test_size = 10;
+    spec.separation = separation;
+    spec.noise = 1.0;
+    const TrainTest tt = make_synthetic(rng, spec);
+    Vec mean0(36, 0.0), mean1(36, 0.0);
+    std::size_t n0 = 0, n1 = 0;
+    for (std::size_t i = 0; i < tt.train.size(); ++i) {
+      const auto f = tt.train.features(i);
+      Vec& m = tt.train.label(i) == 0 ? mean0 : mean1;
+      (tt.train.label(i) == 0 ? n0 : n1)++;
+      for (std::size_t j = 0; j < 36; ++j) m[j] += f[j];
+    }
+    Scalar dist = 0;
+    for (std::size_t j = 0; j < 36; ++j) {
+      const Scalar d = mean0[j] / n0 - mean1[j] / n1;
+      dist += d * d;
+    }
+    return std::sqrt(dist);
+  };
+  EXPECT_GT(class_mean_distance(2.0), 2.0 * class_mean_distance(0.3));
+}
+
+TEST(SyntheticTest, PresetShapes) {
+  Rng rng(4);
+  EXPECT_EQ(make_synthetic_mnist(rng, 0.1).train.sample_shape(),
+            (std::vector<std::size_t>{1, 28, 28}));
+  EXPECT_EQ(make_synthetic_cifar10(rng, 0.1).train.sample_shape(),
+            (std::vector<std::size_t>{3, 32, 32}));
+  EXPECT_EQ(make_synthetic_imagenet(rng, 0.1).train.num_classes(), 20u);
+  EXPECT_EQ(make_synthetic_har(rng, 0.1).train.num_classes(), 6u);
+}
+
+// ------------------------- partitioners -------------------------
+
+void expect_disjoint_cover(const Partition& parts, std::size_t total) {
+  std::set<std::size_t> seen;
+  std::size_t count = 0;
+  for (const auto& p : parts) {
+    for (const std::size_t i : p) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, total);
+}
+
+TEST(PartitionerTest, IidDisjointCoverAndBalance) {
+  Dataset d = small_dataset(103, 5);
+  Rng rng(5);
+  const Partition parts = partition_iid(d, 4, rng);
+  ASSERT_EQ(parts.size(), 4u);
+  expect_disjoint_cover(parts, 103);
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 25u);
+    EXPECT_LE(p.size(), 26u);
+  }
+}
+
+TEST(PartitionerTest, ByClassRespectsClassBudget) {
+  Rng rng(6);
+  SyntheticSpec spec;
+  spec.sample_shape = {1, 2, 2};
+  spec.num_classes = 10;
+  spec.train_size = 600;
+  spec.test_size = 10;
+  const TrainTest tt = make_synthetic(rng, spec);
+
+  for (const std::size_t x : {1, 3, 6, 9, 10}) {
+    const Partition parts = partition_by_class(tt.train, 4, x, rng);
+    if (4 * x >= 10) {
+      // Every class has an owner, so the partition covers the dataset.
+      expect_disjoint_cover(parts, tt.train.size());
+    }
+    for (const auto& p : parts) {
+      std::set<std::size_t> classes;
+      for (const std::size_t i : p) classes.insert(tt.train.label(i));
+      EXPECT_LE(classes.size(), x) << "worker holds too many classes";
+      EXPECT_EQ(classes.size(), std::min<std::size_t>(x, 10));
+    }
+  }
+}
+
+TEST(PartitionerTest, ByClassEveryWorkerNonEmpty) {
+  Rng rng(7);
+  SyntheticSpec spec;
+  spec.sample_shape = {1, 2, 2};
+  spec.num_classes = 10;
+  spec.train_size = 1000;
+  spec.test_size = 10;
+  const TrainTest tt = make_synthetic(rng, spec);
+  const Partition parts = partition_by_class(tt.train, 100, 3, rng);
+  for (const auto& p : parts) EXPECT_FALSE(p.empty());
+}
+
+TEST(PartitionerTest, ShardsDisjointCover) {
+  Dataset d = small_dataset(120, 6);
+  Rng rng(8);
+  const Partition parts = partition_shards(d, 4, 3, rng);
+  expect_disjoint_cover(parts, 120);
+  // Shard partitioning limits classes per worker (3 shards -> <= 6 classes,
+  // usually fewer).
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 30u);
+}
+
+TEST(PartitionerTest, WeightedSplitsProportionally) {
+  Dataset d = small_dataset(1000, 4);
+  Rng rng(9);
+  const Partition parts = partition_weighted(d, {1.0, 3.0}, rng);
+  ASSERT_EQ(parts.size(), 2u);
+  expect_disjoint_cover(parts, 1000);
+  EXPECT_NEAR(static_cast<double>(parts[0].size()), 250.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(parts[1].size()), 750.0, 1.0);
+}
+
+TEST(PartitionerTest, WeightedRejectsBadWeights) {
+  Dataset d = small_dataset(10, 2);
+  Rng rng(10);
+  EXPECT_THROW(partition_weighted(d, {1.0, 0.0}, rng), Error);
+  EXPECT_THROW(partition_weighted(d, {}, rng), Error);
+}
+
+// ------------------------- batcher -------------------------
+
+TEST(BatcherTest, CoversEpochBeforeRepeating) {
+  Dataset d = small_dataset(10, 2);
+  std::vector<std::size_t> idx(10);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Batcher b(d, idx, 5, Rng(11));
+  Tensor x;
+  std::vector<std::size_t> y;
+  std::set<Scalar> seen;
+  for (int i = 0; i < 2; ++i) {
+    b.next(x, y);
+    for (std::size_t j = 0; j < 5; ++j) seen.insert(x.at({j, 0}));
+  }
+  EXPECT_EQ(seen.size(), 10u);  // first two batches = one full epoch
+}
+
+TEST(BatcherTest, BatchSizeCappedAtSampleCount) {
+  Dataset d = small_dataset(10, 2);
+  Batcher b(d, {1, 2, 3}, 64, Rng(12));
+  EXPECT_EQ(b.batch_size(), 3u);
+  Tensor x;
+  std::vector<std::size_t> y;
+  b.next(x, y);
+  EXPECT_EQ(x.dim(0), 3u);
+}
+
+TEST(BatcherTest, DeterministicStream) {
+  Dataset d = small_dataset(20, 2);
+  std::vector<std::size_t> idx(20);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Batcher a(d, idx, 4, Rng(13));
+  Batcher b(d, idx, 4, Rng(13));
+  Tensor xa, xb;
+  std::vector<std::size_t> ya, yb;
+  for (int i = 0; i < 10; ++i) {
+    a.next(xa, ya);
+    b.next(xb, yb);
+    EXPECT_EQ(ya, yb);
+    EXPECT_EQ(xa.data(), xb.data());
+  }
+}
+
+TEST(BatcherTest, RejectsEmptyOrInvalidIndices) {
+  Dataset d = small_dataset(5, 2);
+  EXPECT_THROW(Batcher(d, {}, 2, Rng(14)), Error);
+  EXPECT_THROW(Batcher(d, {7}, 2, Rng(14)), Error);
+}
+
+}  // namespace
+}  // namespace hfl::data

@@ -1,0 +1,146 @@
+// Tests for the network/time simulation: profile sampling, timeline
+// monotonicity, barrier semantics, and the three-tier-vs-two-tier WAN
+// traffic property that motivates the paper's Fig. 1.
+#include <gtest/gtest.h>
+
+#include "src/common/errors.h"
+
+#include "src/net/time_simulator.h"
+
+namespace hfl::net {
+namespace {
+
+TEST(ProfilesTest, DeviceSamplesArePositiveAndCentered) {
+  Rng rng(1);
+  const DeviceProfile d = laptop_i3();
+  Scalar sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Scalar s = d.sample(rng);
+    EXPECT_GT(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum / 2000, d.mean_s, 0.01);
+}
+
+TEST(ProfilesTest, LinkDelayScalesWithPayload) {
+  Rng rng(2);
+  const LinkProfile link = public_internet();
+  Scalar small = 0, large = 0;
+  for (int i = 0; i < 500; ++i) small += link.sample(rng, 1e4);
+  for (int i = 0; i < 500; ++i) large += link.sample(rng, 1e7);
+  EXPECT_GT(large / 500, small / 500);
+  // 10 MB over ~6.25 MB/s should take roughly 1.6s on average.
+  EXPECT_NEAR(large / 500, 0.025 + 1e7 / (50e6 / 8), 0.5);
+}
+
+TEST(ProfilesTest, RosterCyclesDevices) {
+  const auto roster = default_worker_roster(6);
+  ASSERT_EQ(roster.size(), 6u);
+  EXPECT_EQ(roster[0].name, roster[4].name);
+  EXPECT_EQ(roster[1].name, roster[5].name);
+  EXPECT_NE(roster[0].name, roster[1].name);
+}
+
+fl::RunConfig sim_config(std::size_t T, std::size_t tau, std::size_t pi) {
+  fl::RunConfig cfg;
+  cfg.total_iterations = T;
+  cfg.tau = tau;
+  cfg.pi = pi;
+  return cfg;
+}
+
+TimeSimConfig sim_for(const fl::Topology& topo, bool three_tier) {
+  TimeSimConfig sim;
+  sim.three_tier = three_tier;
+  sim.model_params = 10000;
+  sim.worker_devices = default_worker_roster(topo.num_workers());
+  return sim;
+}
+
+TEST(TimeSimulatorTest, TimelineIsMonotone) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = sim_config(40, 5, 2);
+  TimeSimulator sim(topo, cfg, sim_for(topo, true));
+  EXPECT_DOUBLE_EQ(sim.time_at_iteration(0), 0.0);
+  Scalar prev = 0;
+  for (std::size_t t = 1; t <= 40; ++t) {
+    const Scalar now = sim.time_at_iteration(t);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_GT(sim.total_time(), 0.0);
+  EXPECT_THROW(sim.time_at_iteration(41), Error);
+}
+
+TEST(TimeSimulatorTest, DeterministicGivenSeed) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = sim_config(40, 5, 2);
+  TimeSimulator a(topo, cfg, sim_for(topo, true));
+  TimeSimulator b(topo, cfg, sim_for(topo, true));
+  EXPECT_DOUBLE_EQ(a.total_time(), b.total_time());
+}
+
+TEST(TimeSimulatorTest, ThreeTierBeatsTwoTierWhenWanIsSlow) {
+  // The architectural claim of Fig. 1: with a slow WAN, syncing through the
+  // edge (τ=10, π=2: one WAN round-trip per 20 iterations) is faster than
+  // syncing every 20 iterations straight over the WAN per worker — because
+  // two-tier pays per-worker WAN jitter on the barrier, while three-tier
+  // pays cheap WiFi barriers plus one WAN exchange per cloud round.
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  TimeSimConfig sim3 = sim_for(topo, true);
+  TimeSimConfig sim2 = sim_for(topo, false);
+  // Exaggerate the WAN cost so the effect dominates compute.
+  sim3.edge_cloud_link.latency_s = 1.0;
+  sim2.worker_cloud_link.latency_s = 1.0;
+  sim3.model_params = 2000000;
+  sim2.model_params = 2000000;
+
+  TimeSimulator three(topo, sim_config(200, 10, 2), sim3);
+  TimeSimulator two(topo, sim_config(200, 20, 1), sim2);
+  EXPECT_LT(three.total_time(), two.total_time());
+}
+
+TEST(TimeSimulatorTest, MoreFrequentCloudSyncCostsMore) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  TimeSimConfig sim = sim_for(topo, true);
+  sim.model_params = 1000000;
+  TimeSimulator pi1(topo, sim_config(120, 10, 1), sim);
+  TimeSimulator pi4(topo, sim_config(120, 10, 4), sim);
+  // π = 1 does 12 WAN exchanges, π = 4 only 3.
+  EXPECT_GT(pi1.total_time(), pi4.total_time());
+}
+
+TEST(TimeSimulatorTest, TimeToAccuracyUsesCurve) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = sim_config(40, 5, 2);
+  TimeSimulator sim(topo, cfg, sim_for(topo, true));
+  fl::RunResult r;
+  r.curve = {{0, 1.0, 0.1}, {20, 0.5, 0.7}, {40, 0.2, 0.95}};
+  const Scalar t_07 = sim.time_to_accuracy(r, 0.6);
+  EXPECT_DOUBLE_EQ(t_07, sim.time_at_iteration(20));
+  EXPECT_DOUBLE_EQ(sim.time_to_accuracy(r, 0.99), 0.0);  // never reached
+}
+
+TEST(TimeSimulatorTest, ConfigValidation) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  TimeSimConfig sim = sim_for(topo, true);
+  sim.model_params = 0;
+  EXPECT_THROW(TimeSimulator(topo, sim_config(20, 5, 2), sim), Error);
+  sim.model_params = 100;
+  sim.worker_devices.pop_back();
+  EXPECT_THROW(TimeSimulator(topo, sim_config(20, 5, 2), sim), Error);
+}
+
+TEST(TimeSimConfigTest, AlgorithmMultiplicities) {
+  const TimeSimConfig h = make_time_sim_config("HierAdMo", true, 100, 4);
+  EXPECT_DOUBLE_EQ(h.worker_upload_vectors, 4.0);  // y, x, Σ∇F, Σy (line 9)
+  EXPECT_DOUBLE_EQ(h.worker_download_vectors, 2.0);
+  const TimeSimConfig n = make_time_sim_config("FedNAG", false, 100, 4);
+  EXPECT_DOUBLE_EQ(n.worker_upload_vectors, 2.0);
+  const TimeSimConfig f = make_time_sim_config("FedAvg", false, 100, 4);
+  EXPECT_DOUBLE_EQ(f.worker_upload_vectors, 1.0);
+  EXPECT_EQ(f.worker_devices.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hfl::net

@@ -1,0 +1,247 @@
+// Tests for losses, the Model flat-parameter interface, and the model zoo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/dense.h"
+#include "src/nn/flatten.h"
+#include "src/nn/gradcheck.h"
+#include "src/nn/models.h"
+
+namespace hfl::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropy loss;
+  Tensor pred({2, 4});  // all-zero logits -> uniform softmax
+  const Scalar l = loss.forward(pred, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0), 1e-12);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor pred({1, 3}, Vec{20, 0, 0});
+  EXPECT_LT(loss.forward(pred, {0}), 1e-6);
+  Tensor pred_wrong({1, 3}, Vec{20, 0, 0});
+  EXPECT_GT(loss.forward(pred_wrong, {1}), 10.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientSumsToZeroPerRow) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  Tensor pred = Tensor::randn({3, 5}, rng);
+  loss.forward(pred, {0, 2, 4});
+  Tensor g = loss.backward();
+  for (std::size_t i = 0; i < 3; ++i) {
+    Scalar row_sum = 0;
+    for (std::size_t j = 0; j < 5; ++j) row_sum += g.at({i, j});
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);  // softmax-CE grad rows sum to zero
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, NumericalGradient) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(2);
+  Tensor pred = Tensor::randn({2, 4}, rng);
+  const std::vector<std::size_t> labels{1, 3};
+  loss.forward(pred, labels);
+  Tensor g = loss.backward();
+  const Scalar eps = 1e-6;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    Tensor p = pred;
+    p[i] += eps;
+    const Scalar up = loss.forward(p, labels);
+    p[i] -= 2 * eps;
+    const Scalar down = loss.forward(p, labels);
+    EXPECT_NEAR((up - down) / (2 * eps), g[i], 1e-6);
+  }
+}
+
+TEST(MseOnOneHotTest, PerfectPredictionZeroLoss) {
+  MseOnOneHot loss;
+  Tensor pred({2, 3}, Vec{1, 0, 0, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(loss.forward(pred, {0, 2}), 0.0);
+}
+
+TEST(MseOnOneHotTest, KnownValue) {
+  MseOnOneHot loss;
+  Tensor pred({1, 2}, Vec{0, 0});
+  // 0.5 * ((0-1)^2 + 0^2) = 0.5
+  EXPECT_DOUBLE_EQ(loss.forward(pred, {0}), 0.5);
+}
+
+TEST(MseOnOneHotTest, NumericalGradient) {
+  MseOnOneHot loss;
+  Rng rng(3);
+  Tensor pred = Tensor::randn({2, 3}, rng);
+  const std::vector<std::size_t> labels{2, 0};
+  loss.forward(pred, labels);
+  Tensor g = loss.backward();
+  const Scalar eps = 1e-6;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    Tensor p = pred;
+    p[i] += eps;
+    const Scalar up = loss.forward(p, labels);
+    p[i] -= 2 * eps;
+    const Scalar down = loss.forward(p, labels);
+    EXPECT_NEAR((up - down) / (2 * eps), g[i], 1e-6);
+  }
+}
+
+TEST(LossTest, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor pred({1, 3});
+  EXPECT_THROW(loss.forward(pred, {3}), Error);
+}
+
+std::unique_ptr<Model> tiny_model() {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  net->emplace<Dense>(4, 3);
+  return std::make_unique<Model>(std::move(net),
+                                 std::make_unique<SoftmaxCrossEntropy>(),
+                                 std::vector<std::size_t>{4});
+}
+
+TEST(ModelTest, ParamRoundTrip) {
+  auto model = tiny_model();
+  Rng rng(4);
+  model->init_params(rng);
+  EXPECT_EQ(model->num_params(), 4u * 3 + 3);
+  Vec p = model->get_params();
+  for (auto& v : p) v += 1.0;
+  model->set_params(p);
+  EXPECT_EQ(model->get_params(), p);
+}
+
+TEST(ModelTest, SetParamsSizeMismatchThrows) {
+  auto model = tiny_model();
+  Vec wrong(7, 0.0);
+  EXPECT_THROW(model->set_params(wrong), Error);
+}
+
+TEST(ModelTest, GradientIsDeterministic) {
+  auto model = tiny_model();
+  Rng rng(5);
+  model->init_params(rng);
+  const Vec p = model->get_params();
+  Tensor x = Tensor::randn({4, 4}, rng);
+  std::vector<std::size_t> y{0, 1, 2, 0};
+  Vec g1, g2;
+  model->loss_and_gradient(p, x, y, g1);
+  model->loss_and_gradient(p, x, y, g2);
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(ModelTest, EvaluatePerfectAndChance) {
+  auto model = tiny_model();
+  // Weights that copy feature i to logit i (features 0..2).
+  Vec p(model->num_params(), 0.0);
+  p[0] = 10;   // W(0,0)
+  p[5] = 10;   // W(1,1)
+  p[10] = 10;  // W(2,2)
+  model->set_params(p);
+  Tensor x({3, 4});
+  x.at({0, 0}) = 1;
+  x.at({1, 1}) = 1;
+  x.at({2, 2}) = 1;
+  const EvalResult r = model->evaluate(x, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_LT(r.loss, 1e-3);
+}
+
+TEST(ModelTest, ZeroGradsClearsAccumulation) {
+  auto model = tiny_model();
+  Rng rng(6);
+  model->init_params(rng);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  model->forward_backward(x, {0, 1});
+  model->zero_grads();
+  Vec g;
+  model->get_grads(g);
+  for (const Scalar v : g) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+class ModelZooTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelZooTest, BuildsRunsAndRoundTrips) {
+  const ModelKind kind = GetParam();
+  const std::vector<std::size_t> shape =
+      kind == ModelKind::kMiniVgg || kind == ModelKind::kMiniResNet
+          ? std::vector<std::size_t>{3, 8, 8}
+          : std::vector<std::size_t>{1, 8, 8};
+  auto factory = make_model_factory(kind, shape, 4);
+  auto model = factory();
+  Rng rng(7);
+  model->init_params(rng);
+  EXPECT_GT(model->num_params(), 0u);
+
+  std::vector<std::size_t> bshape{2};
+  bshape.insert(bshape.end(), shape.begin(), shape.end());
+  Tensor x = Tensor::randn(bshape, rng);
+  std::vector<std::size_t> labels{0, 3};
+  Vec grad;
+  const Scalar loss =
+      model->loss_and_gradient(model->get_params(), x, labels, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_EQ(grad.size(), model->num_params());
+  Scalar norm = 0;
+  for (const Scalar g : grad) norm += g * g;
+  EXPECT_GT(norm, 0.0);
+
+  // Factory instances are independent.
+  auto other = factory();
+  EXPECT_EQ(other->num_params(), model->num_params());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest,
+    ::testing::Values(ModelKind::kLinearRegression,
+                      ModelKind::kLogisticRegression, ModelKind::kMlp,
+                      ModelKind::kCnn, ModelKind::kMiniVgg,
+                      ModelKind::kMiniResNet),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      return to_string(info.param);
+    });
+
+TEST(ModelZooTest, GradCheckCnn) {
+  auto factory = cnn({1, 8, 8}, 3);
+  auto model = factory();
+  Rng rng(8);
+  model->init_params(rng);
+  Tensor x = Tensor::randn({2, 1, 8, 8}, rng);
+  const GradCheckResult r =
+      check_gradients(*model, model->get_params(), x, {0, 2}, 1e-5, 120);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+TEST(ModelZooTest, GradCheckMiniResNet) {
+  auto factory = mini_resnet({1, 8, 8}, 3);
+  auto model = factory();
+  Rng rng(9);
+  model->init_params(rng);
+  Tensor x = Tensor::randn({2, 1, 8, 8}, rng);
+  const GradCheckResult r =
+      check_gradients(*model, model->get_params(), x, {1, 2}, 1e-5, 120);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+TEST(ModelZooTest, GradCheckLinearRegression) {
+  auto factory = linear_regression({1, 4, 4}, 3);
+  auto model = factory();
+  Rng rng(10);
+  model->init_params(rng);
+  Tensor x = Tensor::randn({3, 1, 4, 4}, rng);
+  const GradCheckResult r =
+      check_gradients(*model, model->get_params(), x, {0, 1, 2}, 1e-5, 60);
+  EXPECT_LT(r.max_rel_error, 1e-5);
+}
+
+TEST(ModelZooTest, CnnRejectsBadGeometry) {
+  EXPECT_THROW(cnn({1, 7, 7}, 10), Error);        // not divisible by 4
+  EXPECT_THROW(mini_vgg({3, 12, 12}, 10), Error); // not divisible by 8
+  EXPECT_THROW(mini_resnet({3, 8, 12}, 10), Error);  // not square
+}
+
+}  // namespace
+}  // namespace hfl::nn

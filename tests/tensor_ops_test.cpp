@@ -1,0 +1,133 @@
+// Tests for tensor/tensor_ops: the GEMM variants and reductions against
+// hand-computed and property-based references.
+#include "src/tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hfl {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  return Tensor::randn(std::move(shape), rng);
+}
+
+TEST(TensorOpsTest, MatmulKnownValues) {
+  Tensor a({2, 3}, Vec{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, Vec{7, 8, 9, 10, 11, 12});
+  Tensor c;
+  ops::matmul(a, b, c);
+  EXPECT_EQ(c.shape(), (std::vector<std::size_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(c.at({0, 0}), 58.0);
+  EXPECT_DOUBLE_EQ(c.at({0, 1}), 64.0);
+  EXPECT_DOUBLE_EQ(c.at({1, 0}), 139.0);
+  EXPECT_DOUBLE_EQ(c.at({1, 1}), 154.0);
+}
+
+TEST(TensorOpsTest, MatmulIdentity) {
+  Rng rng(1);
+  Tensor a = random_tensor({4, 4}, rng);
+  Tensor id({4, 4});
+  for (std::size_t i = 0; i < 4; ++i) id.at({i, i}) = 1.0;
+  Tensor c;
+  ops::matmul(a, id, c);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(c[i], a[i], 1e-12);
+}
+
+TEST(TensorOpsTest, MatmulDimensionMismatchThrows) {
+  Tensor a({2, 3}), b({2, 2}), c;
+  EXPECT_THROW(ops::matmul(a, b, c), Error);
+}
+
+TEST(TensorOpsTest, TransposeVariantsAgreeWithExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = random_tensor({3, 5}, rng);
+  Tensor b = random_tensor({4, 5}, rng);  // b^T is 5x4
+  // Explicit transpose of b.
+  Tensor bt({5, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) bt.at({j, i}) = b.at({i, j});
+  }
+  Tensor c1, c2;
+  ops::matmul_transpose_b(a, b, c1);
+  ops::matmul(a, bt, c2);
+  ASSERT_EQ(c1.shape(), c2.shape());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-10);
+}
+
+TEST(TensorOpsTest, MatmulTransposeAAgreesWithExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = random_tensor({6, 3}, rng);  // a^T is 3x6
+  Tensor b = random_tensor({6, 2}, rng);
+  Tensor at({3, 6});
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at({j, i}) = a.at({i, j});
+  }
+  Tensor c1, c2;
+  ops::matmul_transpose_a(a, b, c1);
+  ops::matmul(at, b, c2);
+  ASSERT_EQ(c1.shape(), c2.shape());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-10);
+}
+
+TEST(TensorOpsTest, AddRowBias) {
+  Tensor x({2, 3}, Vec{0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, Vec{1, 2, 3});
+  ops::add_row_bias(x, bias);
+  EXPECT_EQ(x.data(), (Vec{1, 2, 3, 2, 3, 4}));
+}
+
+TEST(TensorOpsTest, SumRows) {
+  Tensor x({3, 2}, Vec{1, 2, 3, 4, 5, 6});
+  Tensor out;
+  ops::sum_rows(x, out);
+  EXPECT_EQ(out.data(), (Vec{9, 12}));
+}
+
+TEST(TensorOpsTest, ArgmaxRows) {
+  Tensor x({2, 3}, Vec{0.1, 0.9, 0.5, 2.0, -1.0, 1.5});
+  std::vector<std::size_t> idx;
+  ops::argmax_rows(x, idx);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(TensorOpsTest, ArgmaxTieBreaksToFirst) {
+  Tensor x({1, 3}, Vec{1.0, 1.0, 1.0});
+  std::vector<std::size_t> idx;
+  ops::argmax_rows(x, idx);
+  EXPECT_EQ(idx[0], 0u);
+}
+
+TEST(TensorOpsTest, ElementwiseAddSubMul) {
+  Tensor a({2}, Vec{1, 2}), b({2}, Vec{3, 5}), out;
+  ops::add(a, b, out);
+  EXPECT_EQ(out.data(), (Vec{4, 7}));
+  ops::sub(a, b, out);
+  EXPECT_EQ(out.data(), (Vec{-2, -3}));
+  ops::mul(a, b, out);
+  EXPECT_EQ(out.data(), (Vec{3, 10}));
+}
+
+TEST(TensorOpsTest, ElementwiseShapeMismatchThrows) {
+  Tensor a({2}), b({3}), out;
+  EXPECT_THROW(ops::add(a, b, out), Error);
+}
+
+TEST(TensorOpsTest, MatmulAssociativityProperty) {
+  Rng rng(4);
+  Tensor a = random_tensor({3, 4}, rng);
+  Tensor b = random_tensor({4, 5}, rng);
+  Tensor c = random_tensor({5, 2}, rng);
+  Tensor ab, abc1, bc, abc2;
+  ops::matmul(a, b, ab);
+  ops::matmul(ab, c, abc1);
+  ops::matmul(b, c, bc);
+  ops::matmul(a, bc, abc2);
+  for (std::size_t i = 0; i < abc1.size(); ++i) {
+    EXPECT_NEAR(abc1[i], abc2[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace hfl

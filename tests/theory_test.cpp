@@ -1,0 +1,272 @@
+// Tests for the convergence-bound machinery (Theorems 1–5) and the empirical
+// assumption estimators.
+#include <gtest/gtest.h>
+
+#include "src/common/errors.h"
+
+#include <cmath>
+
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+#include "src/nn/models.h"
+#include "src/theory/bounds.h"
+#include "src/theory/estimators.h"
+#include "src/theory/theorem5.h"
+
+namespace hfl::theory {
+namespace {
+
+BoundParams default_params() {
+  BoundParams p;
+  p.eta = 0.01;
+  p.beta = 2.0;
+  p.rho = 5.0;
+  p.gamma = 0.5;
+  p.gamma_edge = 0.5;
+  p.mu = 1.0;
+  return p;
+}
+
+TEST(MomentumConstantsTest, RootIdentities) {
+  const BoundParams p = default_params();
+  const MomentumConstants c = momentum_constants(p);
+  // A and B are the roots of γ z² − (1+ηβ)(1+γ) z + (1+ηβ) = 0:
+  //   A + B = (1+ηβ)(1+γ)/γ,   A·B = (1+ηβ)/γ.
+  const Scalar eb = 1 + p.eta * p.beta;
+  EXPECT_NEAR(c.A + c.B, eb * (1 + p.gamma) / p.gamma, 1e-10);
+  EXPECT_NEAR(c.A * c.B, eb / p.gamma, 1e-10);
+  EXPECT_GT(c.A, c.B);
+  EXPECT_GT(c.B, 0.0);
+  // U + V = 1 — this is what makes h(0, δ) = 0 exact.
+  EXPECT_NEAR(c.U + c.V, 1.0, 1e-12);
+}
+
+TEST(MomentumConstantsTest, InvalidParamsThrow) {
+  BoundParams p = default_params();
+  p.gamma = 0.0;
+  EXPECT_THROW(momentum_constants(p), Error);
+  p = default_params();
+  p.gamma = 1.0;
+  EXPECT_THROW(momentum_constants(p), Error);
+  p = default_params();
+  p.eta = 0.0;
+  EXPECT_THROW(momentum_constants(p), Error);
+}
+
+TEST(HGapTest, ZeroAtZeroAndOne) {
+  const BoundParams p = default_params();
+  EXPECT_DOUBLE_EQ(h_gap(p, 0, 3.0), 0.0);
+  // h(1, δ) = 0: after one step from a common point the averaged worker
+  // update equals the virtual edge update exactly (the gradient divergence
+  // needs position drift to compound).
+  EXPECT_NEAR(h_gap(p, 1, 3.0), 0.0, 1e-10);
+}
+
+TEST(HGapTest, NonNegativeAndIncreasing) {
+  const BoundParams p = default_params();
+  Scalar prev = 0;
+  for (std::size_t x = 1; x <= 60; ++x) {
+    const Scalar h = h_gap(p, x, 1.0);
+    EXPECT_GE(h, -1e-12) << "x=" << x;
+    EXPECT_GE(h, prev - 1e-12) << "x=" << x;  // eq. (39): non-decreasing
+    prev = h;
+  }
+}
+
+TEST(HGapTest, LinearInDelta) {
+  const BoundParams p = default_params();
+  const Scalar h1 = h_gap(p, 10, 1.0);
+  const Scalar h3 = h_gap(p, 10, 3.0);
+  EXPECT_NEAR(h3, 3 * h1, 1e-9);
+  EXPECT_DOUBLE_EQ(h_gap(p, 10, 0.0), 0.0);
+}
+
+TEST(SGapTest, MatchesEquation20) {
+  const BoundParams p = default_params();
+  // s(τ) = γℓ τ η ρ (γμ + γ + 1) = 0.5·τ·0.01·5·2 = 0.05τ.
+  EXPECT_NEAR(s_gap(p, 1), 0.05, 1e-12);
+  EXPECT_NEAR(s_gap(p, 20), 1.0, 1e-12);
+}
+
+TEST(SGapTest, LinearInTauAndGammaEdge) {
+  BoundParams p = default_params();
+  const Scalar base = s_gap(p, 10);
+  EXPECT_NEAR(s_gap(p, 20), 2 * base, 1e-12);
+  p.gamma_edge = 0.25;
+  EXPECT_NEAR(s_gap(p, 10), base / 2, 1e-12);
+}
+
+TEST(JGapTest, IncreasingInTauAndPi) {
+  const BoundParams p = default_params();
+  const std::vector<Scalar> deltas{1.0, 2.0};
+  const std::vector<Scalar> weights{0.5, 0.5};
+  const Scalar j_small = j_gap(p, 5, 2, deltas, weights, 1.5);
+  const Scalar j_tau = j_gap(p, 10, 2, deltas, weights, 1.5);
+  const Scalar j_pi = j_gap(p, 5, 4, deltas, weights, 1.5);
+  EXPECT_GT(j_tau, j_small);
+  EXPECT_GT(j_pi, j_small);
+}
+
+TEST(JGapTest, MatchesEquation23ByHand) {
+  const BoundParams p = default_params();
+  const std::vector<Scalar> deltas{1.0};
+  const std::vector<Scalar> weights{1.0};
+  const std::size_t tau = 4, pi = 3;
+  const Scalar expected =
+      h_gap(p, tau * pi, 2.0) +
+      static_cast<Scalar>(pi + 1) * (h_gap(p, tau, 1.0) + s_gap(p, tau));
+  EXPECT_NEAR(j_gap(p, tau, pi, deltas, weights, 2.0), expected, 1e-12);
+}
+
+TEST(AlphaTest, PositiveForSmallEta) {
+  BoundParams p = default_params();
+  p.mu = 0.2;
+  EXPECT_GT(alpha(p), 0.0);
+}
+
+TEST(AlphaTest, ShrinksWithLargerMu) {
+  BoundParams p = default_params();
+  p.mu = 0.1;
+  const Scalar a_small = alpha(p);
+  p.mu = 2.0;
+  EXPECT_LT(alpha(p), a_small);
+}
+
+Theorem4Inputs feasible_inputs() {
+  Theorem4Inputs in;
+  in.params = default_params();
+  in.params.beta = 1.0;
+  in.params.rho = 1.0;
+  in.params.mu = 0.2;
+  in.tau = 2;
+  in.pi = 1;
+  in.total_iterations = 100;
+  in.omega = 1.0;
+  in.sigma = 1.0;
+  in.epsilon = 1.0;
+  in.delta_edges = {0.01};
+  in.edge_weights = {1.0};
+  in.delta_global = 0.01;
+  in.params.gamma_edge = 0.05;
+  return in;
+}
+
+TEST(Theorem4Test, FeasibleRegimeGivesPositiveBound) {
+  const Theorem4Result r = theorem4_bound(feasible_inputs());
+  ASSERT_TRUE(r.feasible) << "denominator " << r.denominator;
+  EXPECT_GT(r.bound, 0.0);
+}
+
+TEST(Theorem4Test, BoundDecreasesWithT) {
+  Theorem4Inputs in = feasible_inputs();
+  const Theorem4Result r100 = theorem4_bound(in);
+  in.total_iterations = 1000;
+  const Theorem4Result r1000 = theorem4_bound(in);
+  ASSERT_TRUE(r100.feasible && r1000.feasible);
+  // O(1/T): ten times the iterations, a tenth of the bound.
+  EXPECT_NEAR(r1000.bound, r100.bound / 10, r100.bound * 1e-9);
+}
+
+TEST(Theorem4Test, LargeDiversityBreaksFeasibility) {
+  Theorem4Inputs in = feasible_inputs();
+  in.delta_edges = {100.0};
+  in.delta_global = 100.0;
+  const Theorem4Result r = theorem4_bound(in);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.bound, 0.0);
+}
+
+TEST(Theorem4Test, ValidatesInputs) {
+  Theorem4Inputs in = feasible_inputs();
+  in.total_iterations = 101;  // not a multiple of τπ = 2
+  EXPECT_THROW(theorem4_bound(in), Error);
+}
+
+// ------------------------- Theorem 5 -------------------------
+
+TEST(Theorem5Test, ClampMatchesEquation7) {
+  EXPECT_DOUBLE_EQ(clamp_gamma_edge(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_gamma_edge(0.4), 0.4);
+  EXPECT_DOUBLE_EQ(clamp_gamma_edge(0.995), 0.99);
+}
+
+TEST(Theorem5Test, AnalyticMoments) {
+  const Moments a = adaptive_gamma_moments();
+  EXPECT_DOUBLE_EQ(a.mean, 0.25);
+  EXPECT_NEAR(a.variance, 5.0 / 48.0, 1e-12);
+  const Moments f = fixed_gamma_moments();
+  EXPECT_DOUBLE_EQ(f.mean, 0.5);
+  EXPECT_NEAR(f.variance, 1.0 / 12.0, 1e-12);
+}
+
+TEST(Theorem5Test, MonteCarloMatchesAnalytic) {
+  Rng rng(123);
+  const Moments mc = simulate_adaptive_gamma(rng, 400000);
+  EXPECT_NEAR(mc.mean, 0.25, 0.005);
+  EXPECT_NEAR(mc.variance, 5.0 / 48.0, 0.005);
+}
+
+TEST(Theorem5Test, AdaptiveExpectedSIsTighter) {
+  const Theorem5Comparison c = compare_expected_s(default_params(), 20);
+  EXPECT_TRUE(c.adaptive_tighter);
+  EXPECT_NEAR(c.s_adaptive / c.s_fixed, 0.5, 1e-9);  // E ratio 1/4 vs 1/2
+}
+
+// ------------------------- estimators -------------------------
+
+TEST(EstimatorsTest, NonIidPartitionHasLargerDelta) {
+  Rng rng(9);
+  data::SyntheticSpec spec;
+  spec.sample_shape = {1, 4, 4};
+  spec.num_classes = 6;
+  spec.train_size = 360;
+  spec.test_size = 30;
+  spec.separation = 1.0;
+  spec.noise = 0.5;
+  const data::TrainTest tt = data::make_synthetic(rng, spec);
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const nn::ModelFactory factory = nn::logistic_regression({1, 4, 4}, 6);
+
+  EstimatorOptions opts;
+  opts.probe_points = 3;
+  opts.batch_size = 90;
+
+  const data::Partition iid = data::partition_iid(tt.train, 4, rng);
+  const data::Partition skewed =
+      data::partition_by_class(tt.train, 4, 2, rng);
+
+  const AssumptionEstimates e_iid =
+      estimate_assumptions(factory, tt.train, iid, topo, opts);
+  const AssumptionEstimates e_skew =
+      estimate_assumptions(factory, tt.train, skewed, topo, opts);
+
+  EXPECT_GT(e_skew.delta_global, e_iid.delta_global);
+  EXPECT_GT(e_iid.rho, 0.0);
+  EXPECT_GT(e_iid.beta, 0.0);
+  ASSERT_EQ(e_iid.delta_edges.size(), 2u);
+  EXPECT_NEAR(e_iid.edge_weights[0] + e_iid.edge_weights[1], 1.0, 1e-12);
+}
+
+TEST(EstimatorsTest, DeterministicGivenSeed) {
+  Rng rng(10);
+  data::SyntheticSpec spec;
+  spec.sample_shape = {1, 2, 2};
+  spec.num_classes = 3;
+  spec.train_size = 120;
+  spec.test_size = 30;
+  const data::TrainTest tt = data::make_synthetic(rng, spec);
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const nn::ModelFactory factory = nn::logistic_regression({1, 2, 2}, 3);
+  const data::Partition part = data::partition_iid(tt.train, 4, rng);
+
+  const AssumptionEstimates a =
+      estimate_assumptions(factory, tt.train, part, topo);
+  const AssumptionEstimates b =
+      estimate_assumptions(factory, tt.train, part, topo);
+  EXPECT_DOUBLE_EQ(a.rho, b.rho);
+  EXPECT_DOUBLE_EQ(a.beta, b.beta);
+  EXPECT_DOUBLE_EQ(a.delta_global, b.delta_global);
+}
+
+}  // namespace
+}  // namespace hfl::theory

@@ -1,0 +1,88 @@
+// Tests for common/thread_pool.
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hfl {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, MoreWorkThanThreads) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, StaticPartitioningIsDisjoint) {
+  // With block partitioning each index is visited by exactly one thread, so
+  // per-index writes need no synchronization.
+  ThreadPool pool(8);
+  std::vector<int> data(5000, 0);
+  pool.parallel_for(5000, [&](std::size_t i) { data[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace hfl

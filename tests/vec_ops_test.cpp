@@ -1,0 +1,132 @@
+// Tests for common/vec_ops: the flat-vector math every FL algorithm uses.
+#include "src/common/vec_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/errors.h"
+#include "src/common/rng.h"
+
+namespace hfl {
+namespace {
+
+TEST(VecOpsTest, AxpyAccumulates) {
+  Vec x{1, 2, 3}, y{10, 20, 30};
+  vec::axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{12, 24, 36}));
+}
+
+TEST(VecOpsTest, AxpySizeMismatchThrows) {
+  Vec x{1, 2}, y{1};
+  EXPECT_THROW(vec::axpy(1.0, x, y), Error);
+}
+
+TEST(VecOpsTest, ScaleMultiplies) {
+  Vec x{1, -2, 4};
+  vec::scale(x, -0.5);
+  EXPECT_EQ(x, (Vec{-0.5, 1, -2}));
+}
+
+TEST(VecOpsTest, LinearCombination) {
+  Vec x{1, 2}, y{3, 4}, out(2);
+  vec::linear_combination(2.0, x, -1.0, y, out);
+  EXPECT_EQ(out, (Vec{-1, 0}));
+}
+
+TEST(VecOpsTest, LinearCombinationAliasesSafely) {
+  Vec x{1, 2}, y{3, 4};
+  vec::linear_combination(1.0, x, 1.0, y, x);
+  EXPECT_EQ(x, (Vec{4, 6}));
+}
+
+TEST(VecOpsTest, DotProduct) {
+  Vec x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(vec::dot(x, y), 32.0);
+}
+
+TEST(VecOpsTest, NormOfUnitVectors) {
+  Vec x{3, 4};
+  EXPECT_DOUBLE_EQ(vec::norm(x), 5.0);
+  Vec zero{0, 0, 0};
+  EXPECT_DOUBLE_EQ(vec::norm(zero), 0.0);
+}
+
+TEST(VecOpsTest, Distance) {
+  Vec x{1, 1}, y{4, 5};
+  EXPECT_DOUBLE_EQ(vec::distance(x, y), 5.0);
+}
+
+TEST(VecOpsTest, CosineParallel) {
+  Vec x{1, 2, 3}, y{2, 4, 6};
+  EXPECT_NEAR(vec::cosine(x, y), 1.0, 1e-12);
+}
+
+TEST(VecOpsTest, CosineAntiParallel) {
+  Vec x{1, 0}, y{-3, 0};
+  EXPECT_NEAR(vec::cosine(x, y), -1.0, 1e-12);
+}
+
+TEST(VecOpsTest, CosineOrthogonal) {
+  Vec x{1, 0}, y{0, 7};
+  EXPECT_NEAR(vec::cosine(x, y), 0.0, 1e-12);
+}
+
+TEST(VecOpsTest, CosineZeroVectorIsZero) {
+  Vec x{0, 0}, y{1, 2};
+  EXPECT_DOUBLE_EQ(vec::cosine(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(vec::cosine(y, x), 0.0);
+}
+
+TEST(VecOpsTest, CosineClampedToValidRange) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec x(5), y(5);
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : y) v = rng.normal();
+    const Scalar c = vec::cosine(x, y);
+    EXPECT_GE(c, -1.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(VecOpsTest, WeightedSumBasic) {
+  std::vector<Vec> vs{{1, 0}, {0, 1}};
+  Vec weights{0.25, 0.75};
+  Vec out;
+  vec::weighted_sum(vs, weights, out);
+  EXPECT_EQ(out, (Vec{0.25, 0.75}));
+}
+
+TEST(VecOpsTest, WeightedMeanPreservesConstantVectors) {
+  // Property: a weighted mean (weights summing to one) of identical vectors
+  // returns that vector — the redistribution invariant of FL aggregation.
+  std::vector<Vec> vs(4, Vec{3.0, -1.5, 2.25});
+  Vec weights{0.1, 0.2, 0.3, 0.4};
+  Vec out;
+  vec::weighted_sum(vs, weights, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], vs[0][i], 1e-12);
+  }
+}
+
+TEST(VecOpsTest, WeightedSumMismatchThrows) {
+  std::vector<Vec> vs{{1, 0}, {0, 1}};
+  Vec weights{1.0};
+  Vec out;
+  EXPECT_THROW(vec::weighted_sum(vs, weights, out), Error);
+}
+
+TEST(VecOpsTest, FillSetsAllEntries) {
+  Vec x(5, 1.0);
+  vec::fill(x, -2.5);
+  for (const Scalar v : x) EXPECT_DOUBLE_EQ(v, -2.5);
+}
+
+TEST(VecOpsTest, MaxAbsDiff) {
+  Vec x{1, 2, 3}, y{1, 5, 2.5};
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(x, y), 3.0);
+}
+
+}  // namespace
+}  // namespace hfl
