@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_adaptive.dir/bench_fig2_adaptive.cpp.o"
+  "CMakeFiles/bench_fig2_adaptive.dir/bench_fig2_adaptive.cpp.o.d"
+  "CMakeFiles/bench_fig2_adaptive.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig2_adaptive.dir/bench_util.cpp.o.d"
+  "bench_fig2_adaptive"
+  "bench_fig2_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_largeN.dir/bench_fig2_largeN.cpp.o"
+  "CMakeFiles/bench_fig2_largeN.dir/bench_fig2_largeN.cpp.o.d"
+  "CMakeFiles/bench_fig2_largeN.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig2_largeN.dir/bench_util.cpp.o.d"
+  "bench_fig2_largeN"
+  "bench_fig2_largeN.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_largeN.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_noniid.dir/bench_fig2_noniid.cpp.o"
+  "CMakeFiles/bench_fig2_noniid.dir/bench_fig2_noniid.cpp.o.d"
+  "CMakeFiles/bench_fig2_noniid.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig2_noniid.dir/bench_util.cpp.o.d"
+  "bench_fig2_noniid"
+  "bench_fig2_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tau_pi.dir/bench_fig2_tau_pi.cpp.o"
+  "CMakeFiles/bench_fig2_tau_pi.dir/bench_fig2_tau_pi.cpp.o.d"
+  "CMakeFiles/bench_fig2_tau_pi.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig2_tau_pi.dir/bench_util.cpp.o.d"
+  "bench_fig2_tau_pi"
+  "bench_fig2_tau_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tau_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

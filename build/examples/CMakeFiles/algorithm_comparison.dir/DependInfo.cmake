@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/algorithm_comparison.cpp" "examples/CMakeFiles/algorithm_comparison.dir/algorithm_comparison.cpp.o" "gcc" "examples/CMakeFiles/algorithm_comparison.dir/algorithm_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/hfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algs/CMakeFiles/hfl_algs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/hfl_theory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

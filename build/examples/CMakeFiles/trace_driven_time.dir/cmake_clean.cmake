@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_driven_time.dir/trace_driven_time.cpp.o"
+  "CMakeFiles/trace_driven_time.dir/trace_driven_time.cpp.o.d"
+  "trace_driven_time"
+  "trace_driven_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_driven_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

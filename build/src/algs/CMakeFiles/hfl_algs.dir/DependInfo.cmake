@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algs/cfl.cpp" "src/algs/CMakeFiles/hfl_algs.dir/cfl.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/cfl.cpp.o.d"
+  "/root/repo/src/algs/fastslowmo.cpp" "src/algs/CMakeFiles/hfl_algs.dir/fastslowmo.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/fastslowmo.cpp.o.d"
+  "/root/repo/src/algs/fedadc.cpp" "src/algs/CMakeFiles/hfl_algs.dir/fedadc.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/fedadc.cpp.o.d"
+  "/root/repo/src/algs/fedavg.cpp" "src/algs/CMakeFiles/hfl_algs.dir/fedavg.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/fedavg.cpp.o.d"
+  "/root/repo/src/algs/fedmom.cpp" "src/algs/CMakeFiles/hfl_algs.dir/fedmom.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/fedmom.cpp.o.d"
+  "/root/repo/src/algs/fednag.cpp" "src/algs/CMakeFiles/hfl_algs.dir/fednag.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/fednag.cpp.o.d"
+  "/root/repo/src/algs/hierfavg.cpp" "src/algs/CMakeFiles/hfl_algs.dir/hierfavg.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/hierfavg.cpp.o.d"
+  "/root/repo/src/algs/mime.cpp" "src/algs/CMakeFiles/hfl_algs.dir/mime.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/mime.cpp.o.d"
+  "/root/repo/src/algs/registry.cpp" "src/algs/CMakeFiles/hfl_algs.dir/registry.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/registry.cpp.o.d"
+  "/root/repo/src/algs/slowmo.cpp" "src/algs/CMakeFiles/hfl_algs.dir/slowmo.cpp.o" "gcc" "src/algs/CMakeFiles/hfl_algs.dir/slowmo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/hfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

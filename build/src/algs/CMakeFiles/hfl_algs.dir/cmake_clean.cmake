@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_algs.dir/cfl.cpp.o"
+  "CMakeFiles/hfl_algs.dir/cfl.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/fastslowmo.cpp.o"
+  "CMakeFiles/hfl_algs.dir/fastslowmo.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/fedadc.cpp.o"
+  "CMakeFiles/hfl_algs.dir/fedadc.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/fedavg.cpp.o"
+  "CMakeFiles/hfl_algs.dir/fedavg.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/fedmom.cpp.o"
+  "CMakeFiles/hfl_algs.dir/fedmom.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/fednag.cpp.o"
+  "CMakeFiles/hfl_algs.dir/fednag.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/hierfavg.cpp.o"
+  "CMakeFiles/hfl_algs.dir/hierfavg.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/mime.cpp.o"
+  "CMakeFiles/hfl_algs.dir/mime.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/registry.cpp.o"
+  "CMakeFiles/hfl_algs.dir/registry.cpp.o.d"
+  "CMakeFiles/hfl_algs.dir/slowmo.cpp.o"
+  "CMakeFiles/hfl_algs.dir/slowmo.cpp.o.d"
+  "libhfl_algs.a"
+  "libhfl_algs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_algs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_common.dir/csv.cpp.o"
+  "CMakeFiles/hfl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hfl_common.dir/errors.cpp.o"
+  "CMakeFiles/hfl_common.dir/errors.cpp.o.d"
+  "CMakeFiles/hfl_common.dir/logging.cpp.o"
+  "CMakeFiles/hfl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hfl_common.dir/rng.cpp.o"
+  "CMakeFiles/hfl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hfl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/hfl_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/hfl_common.dir/vec_ops.cpp.o"
+  "CMakeFiles/hfl_common.dir/vec_ops.cpp.o.d"
+  "libhfl_common.a"
+  "libhfl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

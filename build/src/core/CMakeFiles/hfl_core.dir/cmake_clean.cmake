@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_core.dir/hieradmo.cpp.o"
+  "CMakeFiles/hfl_core.dir/hieradmo.cpp.o.d"
+  "CMakeFiles/hfl_core.dir/nag.cpp.o"
+  "CMakeFiles/hfl_core.dir/nag.cpp.o.d"
+  "libhfl_core.a"
+  "libhfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

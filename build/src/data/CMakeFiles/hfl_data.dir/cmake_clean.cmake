@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_data.dir/batcher.cpp.o"
+  "CMakeFiles/hfl_data.dir/batcher.cpp.o.d"
+  "CMakeFiles/hfl_data.dir/dataset.cpp.o"
+  "CMakeFiles/hfl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hfl_data.dir/partitioner.cpp.o"
+  "CMakeFiles/hfl_data.dir/partitioner.cpp.o.d"
+  "CMakeFiles/hfl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/hfl_data.dir/synthetic.cpp.o.d"
+  "libhfl_data.a"
+  "libhfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/compression.cpp" "src/fl/CMakeFiles/hfl_fl.dir/compression.cpp.o" "gcc" "src/fl/CMakeFiles/hfl_fl.dir/compression.cpp.o.d"
+  "/root/repo/src/fl/engine.cpp" "src/fl/CMakeFiles/hfl_fl.dir/engine.cpp.o" "gcc" "src/fl/CMakeFiles/hfl_fl.dir/engine.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/fl/CMakeFiles/hfl_fl.dir/metrics.cpp.o" "gcc" "src/fl/CMakeFiles/hfl_fl.dir/metrics.cpp.o.d"
+  "/root/repo/src/fl/state.cpp" "src/fl/CMakeFiles/hfl_fl.dir/state.cpp.o" "gcc" "src/fl/CMakeFiles/hfl_fl.dir/state.cpp.o.d"
+  "/root/repo/src/fl/topology.cpp" "src/fl/CMakeFiles/hfl_fl.dir/topology.cpp.o" "gcc" "src/fl/CMakeFiles/hfl_fl.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hfl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_fl.dir/compression.cpp.o"
+  "CMakeFiles/hfl_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/hfl_fl.dir/engine.cpp.o"
+  "CMakeFiles/hfl_fl.dir/engine.cpp.o.d"
+  "CMakeFiles/hfl_fl.dir/metrics.cpp.o"
+  "CMakeFiles/hfl_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/hfl_fl.dir/state.cpp.o"
+  "CMakeFiles/hfl_fl.dir/state.cpp.o.d"
+  "CMakeFiles/hfl_fl.dir/topology.cpp.o"
+  "CMakeFiles/hfl_fl.dir/topology.cpp.o.d"
+  "libhfl_fl.a"
+  "libhfl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_net.dir/profiles.cpp.o"
+  "CMakeFiles/hfl_net.dir/profiles.cpp.o.d"
+  "CMakeFiles/hfl_net.dir/time_simulator.cpp.o"
+  "CMakeFiles/hfl_net.dir/time_simulator.cpp.o.d"
+  "libhfl_net.a"
+  "libhfl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/hfl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/hfl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/hfl_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/hfl_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/hfl_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/hfl_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/hfl_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/hfl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/hfl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/hfl_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/pool2d.cpp" "src/nn/CMakeFiles/hfl_nn.dir/pool2d.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/pool2d.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/hfl_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/hfl_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/hfl_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/hfl_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hfl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

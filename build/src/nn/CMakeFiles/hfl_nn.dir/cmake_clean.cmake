@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_nn.dir/activations.cpp.o"
+  "CMakeFiles/hfl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/hfl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/dense.cpp.o"
+  "CMakeFiles/hfl_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/dropout.cpp.o"
+  "CMakeFiles/hfl_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/flatten.cpp.o"
+  "CMakeFiles/hfl_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/hfl_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/layer.cpp.o"
+  "CMakeFiles/hfl_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/loss.cpp.o"
+  "CMakeFiles/hfl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/model.cpp.o"
+  "CMakeFiles/hfl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/models.cpp.o"
+  "CMakeFiles/hfl_nn.dir/models.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/pool2d.cpp.o"
+  "CMakeFiles/hfl_nn.dir/pool2d.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/residual.cpp.o"
+  "CMakeFiles/hfl_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/hfl_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/hfl_nn.dir/serialize.cpp.o"
+  "CMakeFiles/hfl_nn.dir/serialize.cpp.o.d"
+  "libhfl_nn.a"
+  "libhfl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/hfl_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/hfl_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/hfl_tensor.dir/tensor_ops.cpp.o.d"
+  "libhfl_tensor.a"
+  "libhfl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhfl_tensor.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/bounds.cpp" "src/theory/CMakeFiles/hfl_theory.dir/bounds.cpp.o" "gcc" "src/theory/CMakeFiles/hfl_theory.dir/bounds.cpp.o.d"
+  "/root/repo/src/theory/estimators.cpp" "src/theory/CMakeFiles/hfl_theory.dir/estimators.cpp.o" "gcc" "src/theory/CMakeFiles/hfl_theory.dir/estimators.cpp.o.d"
+  "/root/repo/src/theory/theorem5.cpp" "src/theory/CMakeFiles/hfl_theory.dir/theorem5.cpp.o" "gcc" "src/theory/CMakeFiles/hfl_theory.dir/theorem5.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/hfl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hfl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hfl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hfl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfl_theory.dir/bounds.cpp.o"
+  "CMakeFiles/hfl_theory.dir/bounds.cpp.o.d"
+  "CMakeFiles/hfl_theory.dir/estimators.cpp.o"
+  "CMakeFiles/hfl_theory.dir/estimators.cpp.o.d"
+  "CMakeFiles/hfl_theory.dir/theorem5.cpp.o"
+  "CMakeFiles/hfl_theory.dir/theorem5.cpp.o.d"
+  "libhfl_theory.a"
+  "libhfl_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfl_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

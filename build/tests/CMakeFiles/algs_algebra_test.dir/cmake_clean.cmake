@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algs_algebra_test.dir/algs_algebra_test.cpp.o"
+  "CMakeFiles/algs_algebra_test.dir/algs_algebra_test.cpp.o.d"
+  "algs_algebra_test"
+  "algs_algebra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algs_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

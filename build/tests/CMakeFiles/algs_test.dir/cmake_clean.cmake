@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algs_test.dir/algs_test.cpp.o"
+  "CMakeFiles/algs_test.dir/algs_test.cpp.o.d"
+  "algs_test"
+  "algs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_schedule_test.dir/engine_schedule_test.cpp.o"
+  "CMakeFiles/engine_schedule_test.dir/engine_schedule_test.cpp.o.d"
+  "engine_schedule_test"
+  "engine_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_weights_test.dir/engine_weights_test.cpp.o"
+  "CMakeFiles/engine_weights_test.dir/engine_weights_test.cpp.o.d"
+  "engine_weights_test"
+  "engine_weights_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

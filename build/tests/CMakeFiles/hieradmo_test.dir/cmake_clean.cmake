@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hieradmo_test.dir/hieradmo_test.cpp.o"
+  "CMakeFiles/hieradmo_test.dir/hieradmo_test.cpp.o.d"
+  "hieradmo_test"
+  "hieradmo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hieradmo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nag_test.dir/nag_test.cpp.o"
+  "CMakeFiles/nag_test.dir/nag_test.cpp.o.d"
+  "nag_test"
+  "nag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_ops_test.dir/vec_ops_test.cpp.o"
+  "CMakeFiles/vec_ops_test.dir/vec_ops_test.cpp.o.d"
+  "vec_ops_test"
+  "vec_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
