@@ -1,13 +1,17 @@
 // E11 — substrate microbenchmarks (google-benchmark).
 //
-// Covers the hot paths of the simulation: GEMM, direct convolution
-// forward/backward, flat-vector aggregation primitives, and a full CNN
-// gradient step. These are the knobs that determine how large a simulated
-// deployment the engine can sustain.
+// Covers the hot paths of the simulation: GEMM (square and the skinny
+// conv-lowered shapes), Conv2d forward/backward, flat-vector aggregation
+// primitives, and full model gradient steps. These are the knobs that
+// determine how large a simulated deployment the engine can sustain.
+//
+// Emit a machine-readable trajectory file with bench/run_micro.sh, which
+// writes BENCH_micro.json at the repository root.
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
 #include "src/common/vec_ops.h"
+#include "src/nn/conv2d.h"
 #include "src/nn/models.h"
 #include "src/tensor/tensor_ops.h"
 
@@ -26,7 +30,107 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The conv-lowered GEMM shapes of the model zoo: C = W(m×k) · col(k×n) with
+// m = out_ch, k = in_ch·kh·kw, n = B·OH·OW. These are short-and-wide — the
+// shape class a naive ikj loop handles worst.
+void BM_GemmConvShape(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(7);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c;
+  for (auto _ : state) {
+    ops::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m * k * n);
+}
+BENCHMARK(BM_GemmConvShape)
+    ->Args({8, 25, 12544})    // CNN conv1: 1->8 5x5, B=16 on 28x28
+    ->Args({16, 200, 3136})   // CNN conv2: 8->16 5x5, B=16 on 14x14
+    ->Args({16, 72, 8192})    // MiniVGG 8->16 3x3, B=8 on 32x32
+    ->Args({32, 144, 512})    // MiniVGG 16->32 3x3, B=8 on 8x8
+    ->Args({16, 8, 1568});    // MiniResNet 1x1 shortcut, B=8 on 14x14
+
+// Transposed variants as used by dense backprop (dW = g^T x, dX = g W).
+void BM_GemmTransposeA(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c;
+  for (auto _ : state) {
+    ops::matmul_transpose_a(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_GemmTransposeA)->Arg(128);
+
+void BM_GemmTransposeB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c;
+  for (auto _ : state) {
+    ops::matmul_transpose_b(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_GemmTransposeB)->Arg(128);
+
+// Conv2d layer forward/backward on the CNN's second conv (the FLOP-dominant
+// layer of the Table II MNIST fleet) and MiniVGG's widest early conv.
+// Args: {in_ch, out_ch, kernel, pad, batch, spatial}.
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto in_ch = static_cast<std::size_t>(state.range(0));
+  const auto out_ch = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const auto pad = static_cast<std::size_t>(state.range(3));
+  const auto batch = static_cast<std::size_t>(state.range(4));
+  const auto hw = static_cast<std::size_t>(state.range(5));
+  Rng rng(10);
+  nn::Conv2d conv(in_ch, out_ch, k, pad);
+  conv.init_params(rng);
+  Tensor x = Tensor::randn({batch, in_ch, hw, hw}, rng);
+  for (auto _ : state) {
+    Tensor out = conv.forward(x, true);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_Conv2dForward)
+    ->Args({8, 16, 5, 2, 16, 14})   // CNN conv2
+    ->Args({8, 16, 3, 1, 8, 16});   // MiniVGG block-2 entry
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const auto in_ch = static_cast<std::size_t>(state.range(0));
+  const auto out_ch = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const auto pad = static_cast<std::size_t>(state.range(3));
+  const auto batch = static_cast<std::size_t>(state.range(4));
+  const auto hw = static_cast<std::size_t>(state.range(5));
+  Rng rng(11);
+  nn::Conv2d conv(in_ch, out_ch, k, pad);
+  conv.init_params(rng);
+  Tensor x = Tensor::randn({batch, in_ch, hw, hw}, rng);
+  Tensor out = conv.forward(x, true);
+  Tensor g = Tensor::randn(out.shape(), rng);
+  for (auto _ : state) {
+    Tensor gin = conv.backward(g);
+    benchmark::DoNotOptimize(gin.raw());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_Conv2dBackward)
+    ->Args({8, 16, 5, 2, 16, 14})   // CNN conv2
+    ->Args({8, 16, 3, 1, 8, 16});   // MiniVGG block-2 entry
 
 void BM_VecAxpy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -54,6 +158,8 @@ void BM_VecCosine(benchmark::State& state) {
 }
 BENCHMARK(BM_VecCosine)->Arg(1 << 12)->Arg(1 << 16);
 
+// Fleet-scale aggregation: Fig. 2(d) runs N=100, and the north star is
+// larger fleets still. The model size matches CNN-on-MNIST.
 void BM_WeightedAggregation(benchmark::State& state) {
   const auto workers = static_cast<std::size_t>(state.range(0));
   const std::size_t n = 11274;  // CNN-on-MNIST parameter count scale
@@ -68,8 +174,10 @@ void BM_WeightedAggregation(benchmark::State& state) {
     vec::weighted_sum(models, weights, out);
     benchmark::DoNotOptimize(out.data());
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * workers *
+                          n);
 }
-BENCHMARK(BM_WeightedAggregation)->Arg(4)->Arg(16)->Arg(100);
+BENCHMARK(BM_WeightedAggregation)->Arg(4)->Arg(16)->Arg(100)->Arg(400)->Arg(1000);
 
 void BM_CnnGradientStep(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));

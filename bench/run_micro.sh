@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmark suite and writes BENCH_micro.json at the repo root.
+#
+# Usage: bench/run_micro.sh [build_dir]
+#
+# Each benchmark family runs in a fresh process and the per-family JSON files
+# are merged at the end. Running the whole suite in one process lets earlier
+# families perturb later ones (allocator churn defeats huge-page backing of
+# the large thread-local scratch buffers, which costs the conv kernels ~25%),
+# so single-process numbers are not representative of steady-state use.
+#
+# The min-time bump (0.2s per benchmark, passed as a plain number — this
+# google-benchmark version rejects a unit suffix) trades runtime for less
+# jitter on shared machines; results still wobble a few percent, so compare
+# medians across runs before reading anything into small deltas.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+bench_bin="${build_dir}/bench/bench_micro"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "bench_micro not found at ${bench_bin}; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+families=(
+  BM_Matmul
+  BM_GemmConvShape
+  BM_GemmTransposeA
+  BM_GemmTransposeB
+  BM_Conv2dForward
+  BM_Conv2dBackward
+  BM_VecAxpy
+  BM_VecCosine
+  BM_WeightedAggregation
+  BM_CnnGradientStep
+  BM_MiniVggGradientStep
+)
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+for family in "${families[@]}"; do
+  "${bench_bin}" \
+    --benchmark_filter="^${family}/?" \
+    --benchmark_min_time=0.2 \
+    --benchmark_format=json \
+    --benchmark_out="${tmp_dir}/${family}.json" \
+    --benchmark_out_format=json
+done
+
+python3 - "${repo_root}/BENCH_micro.json" "${tmp_dir}" "${families[@]}" <<'PY'
+import json, sys
+
+out_path, tmp_dir, families = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = None
+for family in families:
+    with open(f"{tmp_dir}/{family}.json") as f:
+        part = json.load(f)
+    if merged is None:
+        merged = part
+    else:
+        merged["benchmarks"].extend(part["benchmarks"])
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+PY

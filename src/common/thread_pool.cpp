@@ -4,6 +4,13 @@
 #include <atomic>
 
 namespace hfl {
+namespace {
+
+// Set while a pool worker executes tasks; lets parallel_for detect re-entrant
+// use from inside one of its own tasks.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -33,6 +40,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -49,6 +57,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Re-entrant call from one of this pool's own workers: run inline. Queuing
+  // and blocking here would deadlock once every worker waits on sub-tasks
+  // that only the waiting workers could drain.
+  if (tl_worker_pool == this) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t num_blocks = std::min(n, workers_.size());
   if (num_blocks <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);

@@ -33,6 +33,9 @@ class ThreadPool {
 
   // Run fn(i) for i in [0, n). Static block partitioning: deterministic work
   // assignment (though the user-supplied fn must still be data-parallel).
+  // Safe to call from inside one of this pool's own tasks: a nested call
+  // runs its iterations inline on the calling worker instead of deadlocking
+  // on the shared queue.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -51,24 +51,61 @@ Scalar cosine(std::span<const Scalar> x, std::span<const Scalar> y) {
   return std::clamp(c, Scalar{-1}, Scalar{1});
 }
 
+namespace {
+
+// Fused single-pass weighted sum: each output tile stays cache-resident
+// while every input vector streams through it, instead of one full memory
+// pass over `out` per input (which is what an axpy-per-worker loop costs at
+// fleet scale). Four inputs fold per pass, quartering the read-modify-write
+// traffic on the output tile.
+constexpr std::size_t kSumTile = 4096;
+
+template <class VecAt>
+void weighted_sum_tiled(std::size_t count, std::span<const Scalar> weights,
+                        Vec& out, VecAt&& vec_at) {
+  HFL_CHECK(count > 0, "weighted_sum needs at least one vector");
+  HFL_CHECK(count == weights.size(), "weighted_sum weight count");
+  const std::size_t n = vec_at(0).size();
+  for (std::size_t v = 1; v < count; ++v) {
+    HFL_CHECK(vec_at(v).size() == n, "weighted_sum vector size mismatch");
+  }
+  out.assign(n, 0.0);
+  Scalar* o = out.data();
+  for (std::size_t lo = 0; lo < n; lo += kSumTile) {
+    const std::size_t hi = std::min(n, lo + kSumTile);
+    std::size_t v = 0;
+    for (; v + 4 <= count; v += 4) {
+      const Scalar w0 = weights[v], w1 = weights[v + 1];
+      const Scalar w2 = weights[v + 2], w3 = weights[v + 3];
+      const Scalar* x0 = vec_at(v).data();
+      const Scalar* x1 = vec_at(v + 1).data();
+      const Scalar* x2 = vec_at(v + 2).data();
+      const Scalar* x3 = vec_at(v + 3).data();
+      for (std::size_t i = lo; i < hi; ++i) {
+        o[i] += w0 * x0[i] + w1 * x1[i] + w2 * x2[i] + w3 * x3[i];
+      }
+    }
+    for (; v < count; ++v) {
+      const Scalar wv = weights[v];
+      const Scalar* x = vec_at(v).data();
+      for (std::size_t i = lo; i < hi; ++i) o[i] += wv * x[i];
+    }
+  }
+}
+
+}  // namespace
+
 void weighted_sum(std::span<const Vec* const> vecs,
                   std::span<const Scalar> weights, Vec& out) {
-  HFL_CHECK(!vecs.empty(), "weighted_sum needs at least one vector");
-  HFL_CHECK(vecs.size() == weights.size(), "weighted_sum weight count");
-  const std::size_t n = vecs.front()->size();
-  out.assign(n, 0.0);
-  for (std::size_t v = 0; v < vecs.size(); ++v) {
-    HFL_CHECK(vecs[v]->size() == n, "weighted_sum vector size mismatch");
-    axpy(weights[v], *vecs[v], out);
-  }
+  weighted_sum_tiled(vecs.size(), weights, out,
+                     [&](std::size_t v) -> const Vec& { return *vecs[v]; });
 }
 
 void weighted_sum(const std::vector<Vec>& vecs,
                   std::span<const Scalar> weights, Vec& out) {
-  std::vector<const Vec*> ptrs;
-  ptrs.reserve(vecs.size());
-  for (const auto& v : vecs) ptrs.push_back(&v);
-  weighted_sum(std::span<const Vec* const>(ptrs), weights, out);
+  // Indexes the vectors directly — no per-call pointer-array rebuild.
+  weighted_sum_tiled(vecs.size(), weights, out,
+                     [&](std::size_t v) -> const Vec& { return vecs[v]; });
 }
 
 void fill(std::span<Scalar> x, Scalar value) {

@@ -38,11 +38,14 @@ Scalar cosine(std::span<const Scalar> x, std::span<const Scalar> y);
 
 // out = Σ_i weights[i] * vecs[i]. Weights need not sum to one (callers that
 // want a weighted mean pass normalized weights). All vectors must share the
-// output's size, and vecs.size() == weights.size() >= 1.
+// output's size, and vecs.size() == weights.size() >= 1. Fused single pass:
+// the output is accumulated tile-by-tile across all inputs, so cost stays
+// one stream per input plus one cache-resident output tile even at large
+// fleet sizes. `out` must not alias any input.
 void weighted_sum(std::span<const Vec* const> vecs,
                   std::span<const Scalar> weights, Vec& out);
 
-// Convenience overload over a vector of Vec values.
+// Overload over a vector of Vec values (no pointer-array indirection).
 void weighted_sum(const std::vector<Vec>& vecs,
                   std::span<const Scalar> weights, Vec& out);
 

@@ -30,25 +30,44 @@ void WorkerState::reset_interval_accumulators() {
   vec::fill(sum_v, 0.0);
 }
 
+namespace {
+
+// Gather scratch for the fused aggregation below: pointer + weight arrays
+// sized by the fleet, reused across sync rounds (thread-local because edges
+// may aggregate concurrently under the engine's thread pool).
+thread_local std::vector<const Vec*> tl_agg_vecs;
+thread_local Vec tl_agg_weights;
+
+}  // namespace
+
 void aggregate_edge(const Topology& topo, std::size_t edge,
                     const std::vector<WorkerState>& workers,
                     WorkerVecAccessor acc, Vec& out) {
   const auto& ids = topo.workers_of_edge(edge);
   HFL_CHECK(!ids.empty(), "edge has no workers");
-  out.assign(acc(workers[ids.front()]).size(), 0.0);
+  tl_agg_vecs.clear();
+  tl_agg_weights.clear();
   for (const std::size_t id : ids) {
     const WorkerState& w = workers[id];
-    vec::axpy(w.weight_in_edge, acc(w), out);
+    tl_agg_vecs.push_back(&acc(w));
+    tl_agg_weights.push_back(w.weight_in_edge);
   }
+  // Fused single pass over all member vectors (vs. one axpy sweep each).
+  vec::weighted_sum(std::span<const Vec* const>(tl_agg_vecs), tl_agg_weights,
+                    out);
 }
 
 void aggregate_global(const std::vector<WorkerState>& workers,
                       WorkerVecAccessor acc, Vec& out) {
   HFL_CHECK(!workers.empty(), "no workers to aggregate");
-  out.assign(acc(workers.front()).size(), 0.0);
+  tl_agg_vecs.clear();
+  tl_agg_weights.clear();
   for (const WorkerState& w : workers) {
-    vec::axpy(w.weight_global, acc(w), out);
+    tl_agg_vecs.push_back(&acc(w));
+    tl_agg_weights.push_back(w.weight_global);
   }
+  vec::weighted_sum(std::span<const Vec* const>(tl_agg_vecs), tl_agg_weights,
+                    out);
 }
 
 const Vec& worker_x(const WorkerState& w) { return w.x; }

@@ -1,8 +1,28 @@
 #include "src/nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "src/tensor/gemm.h"
 
 namespace hfl::nn {
+namespace {
+
+// Scratch for the im2col/col2im lowering, shared by every Conv2d on the
+// thread and reused across calls. Simulation workers run on dedicated pool
+// threads, so this bounds scratch memory by threads × chunk size instead of
+// per-layer members that multiply with the fleet size.
+thread_local Vec tl_col;   // im2col chunk, kk × chunk_cols
+thread_local Vec tl_dcol;  // gradient w.r.t. one sample's im2col block
+
+// Upper bound on the im2col chunk so it stays cache-resident between being
+// written (im2col) and consumed (GEMM). A whole-minibatch col matrix of a
+// realistic conv layer is several MB — materializing it in one piece turns
+// the lowering memory-bound; chunked, the col block never leaves L2.
+constexpr std::size_t kColChunkBytes = 1 << 20;
+
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t padding)
@@ -24,41 +44,108 @@ void Conv2d::init_params(Rng& rng) {
   bias_.fill(0.0);
 }
 
-// The convolution is evaluated sample-by-sample as a GEMM over an im2col
-// buffer: col(r, c) with r indexing (ic, kh, kw) and c indexing (oh, ow).
-// Per-sample buffers keep peak memory at OH·OW·Cin·k² scalars per layer even
-// for large simulated fleets.
-void Conv2d::im2col(const Scalar* xplane_base, std::size_t h, std::size_t w,
-                    std::size_t oh_count, std::size_t ow_count) {
+// im2col over the sample chunk [b0, b0+bn): col(r, c) with r indexing
+// (ic, kh, kw) and c indexing (b − b0, oh, ow). Feeding the GEMM a
+// multi-sample chunk is what lets the blocked kernel run at panel width
+// instead of B separate OH·OW-wide products; chunking (rather than the whole
+// minibatch) keeps the expansion cache-resident. Every element is written —
+// padding gaps are zeroed explicitly — so no full-buffer clear is needed.
+void Conv2d::im2col(const Tensor& x, std::size_t b0, std::size_t bn,
+                    std::size_t oh_count, std::size_t ow_count,
+                    Vec& col) const {
+  const std::size_t h = x.dim(2), w = x.dim(3);
   const std::size_t cols = oh_count * ow_count;
-  col_.assign(in_ch_ * k_ * k_ * cols, 0.0);
+  const std::size_t total = bn * cols;
+  col.resize(in_ch_ * k_ * k_ * total);
+  // Loop order is (r, b), not (b, r): for a fixed col row r the per-sample
+  // blocks are adjacent, so the destination streams sequentially through the
+  // whole buffer instead of striding by `total` between 1 KB writes, and the
+  // clip geometry below — which depends only on (kh, kw) — is computed once
+  // per row instead of once per (row, sample).
   std::size_t r = 0;
   for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-    const Scalar* xplane = xplane_base + ic * h * w;
     for (std::size_t kh = 0; kh < k_; ++kh) {
       for (std::size_t kw = 0; kw < k_; ++kw, ++r) {
-        Scalar* crow = col_.data() + r * cols;
-        for (std::size_t oh = 0; oh < oh_count; ++oh) {
-          const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
-                                    static_cast<std::ptrdiff_t>(pad_);
-          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(h)) continue;
-          const Scalar* xrow = xplane + ih * static_cast<std::ptrdiff_t>(w);
-          Scalar* cdst = crow + oh * ow_count;
-          // iw = ow + kw − pad must lie in [0, w).
-          const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kw) -
-                                       static_cast<std::ptrdiff_t>(pad_);
-          const std::size_t ow_lo =
-              shift < 0 ? static_cast<std::size_t>(-shift) : 0;
-          const std::size_t ow_hi =
-              std::min(ow_count, static_cast<std::size_t>(
-                                     static_cast<std::ptrdiff_t>(w) - shift));
-          for (std::size_t ow = ow_lo; ow < ow_hi; ++ow) {
-            cdst[ow] = xrow[static_cast<std::ptrdiff_t>(ow) + shift];
+        // In-range output ranges: iw = ow + kw − pad ∈ [0, w) and
+        // ih = oh + kh − pad ∈ [0, h). Out-of-range rows/edges are zero
+        // blocks, filled up front so the copy loop below is branch-free.
+        const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kw) -
+                                     static_cast<std::ptrdiff_t>(pad_);
+        const std::size_t ow_lo =
+            shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+        const std::size_t ow_hi =
+            std::min(ow_count, static_cast<std::size_t>(
+                                   static_cast<std::ptrdiff_t>(w) - shift));
+        const std::size_t oh_lo = std::min(oh_count, kh < pad_ ? pad_ - kh : 0);
+        // max(oh_lo, …): for kh ≥ h + pad every row is out of range and
+        // the two zero fills below must cover the whole block.
+        const std::size_t oh_hi =
+            std::max(oh_lo, h + pad_ > kh ? std::min(oh_count, h + pad_ - kh)
+                                          : std::size_t{0});
+        for (std::size_t b = 0; b < bn; ++b) {
+          const Scalar* xplane =
+              x.raw() + ((b0 + b) * in_ch_ + ic) * h * w;
+          Scalar* crow = col.data() + r * total + b * cols;
+          std::fill(crow, crow + oh_lo * ow_count, 0.0);
+          std::fill(crow + oh_hi * ow_count, crow + oh_count * ow_count, 0.0);
+          if (ow_count == w) {
+            // Same-width conv (OW == W): dst and src row strides match, so
+            // the whole in-range block is one contiguous copy shifted by
+            // `shift`, clipped where the shift runs off the plane; the few
+            // horizontal-pad columns are re-zeroed afterwards. This is the
+            // layout of every stride-1 "same" conv in the models here, and
+            // it replaces OH short row copies with one memcpy per (ic, kh,
+            // kw, b).
+            if (oh_hi > oh_lo) {
+              Scalar* dblock = crow + oh_lo * ow_count;
+              const std::size_t rows = oh_hi - oh_lo;
+              const std::ptrdiff_t src0 =
+                  static_cast<std::ptrdiff_t>((oh_lo + kh - pad_) * w) + shift;
+              const std::ptrdiff_t src1 =
+                  src0 + static_cast<std::ptrdiff_t>(rows * w);
+              const std::ptrdiff_t lo_clip = std::max<std::ptrdiff_t>(src0, 0);
+              const std::ptrdiff_t hi_clip = std::min<std::ptrdiff_t>(
+                  src1, static_cast<std::ptrdiff_t>(h * w));
+              Scalar* d0 = dblock + (lo_clip - src0);
+              Scalar* d1 = dblock + (hi_clip - src0);
+              for (Scalar* p = dblock; p < d0; ++p) *p = 0.0;
+              std::memcpy(d0, xplane + lo_clip,
+                          static_cast<std::size_t>(hi_clip - lo_clip) *
+                              sizeof(Scalar));
+              for (Scalar* p = d1; p < dblock + rows * ow_count; ++p) *p = 0.0;
+              if (ow_lo > 0 || ow_hi < ow_count) {
+                for (std::size_t oh = oh_lo; oh < oh_hi; ++oh) {
+                  Scalar* cdst = crow + oh * ow_count;
+                  for (std::size_t ow = 0; ow < ow_lo; ++ow) cdst[ow] = 0.0;
+                  for (std::size_t ow = ow_hi; ow < ow_count; ++ow) {
+                    cdst[ow] = 0.0;
+                  }
+                }
+              }
+            }
+            continue;
+          }
+          for (std::size_t oh = oh_lo; oh < oh_hi; ++oh) {
+            const std::size_t ih = oh + kh - pad_;
+            Scalar* cdst = crow + oh * ow_count;
+            const Scalar* xrow = xplane + ih * w;
+            for (std::size_t ow = 0; ow < ow_lo; ++ow) cdst[ow] = 0.0;
+            for (std::size_t ow = ow_lo; ow < ow_hi; ++ow) {
+              cdst[ow] = xrow[static_cast<std::ptrdiff_t>(ow) + shift];
+            }
+            for (std::size_t ow = ow_hi; ow < ow_count; ++ow) cdst[ow] = 0.0;
           }
         }
       }
     }
   }
+}
+
+std::size_t Conv2d::samples_per_chunk(std::size_t cols) const {
+  const std::size_t kk = in_ch_ * k_ * k_;
+  const std::size_t per_sample = kk * cols * sizeof(Scalar);
+  return std::max<std::size_t>(1, kColChunkBytes / std::max<std::size_t>(
+                                                       1, per_sample));
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
@@ -73,24 +160,26 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   const std::size_t OW = W + 2 * pad_ - k_ + 1;
   const std::size_t cols = OH * OW;
   const std::size_t kk = in_ch_ * k_ * k_;
-  Tensor out({B, out_ch_, OH, OW});
+  const std::size_t chunk = samples_per_chunk(cols);
 
-  const Scalar* pw = weight_.raw();
-  for (std::size_t b = 0; b < B; ++b) {
-    im2col(x.raw() + b * in_ch_ * H * W, H, W, OH, OW);
-    Scalar* oplane = out.raw() + b * out_ch_ * cols;
-    // out(oc, :) = Σ_r W(oc, r) · col(r, :) + bias(oc)
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      Scalar* orow = oplane + oc * cols;
-      const Scalar bias = bias_[oc];
-      for (std::size_t c = 0; c < cols; ++c) orow[c] = bias;
-      const Scalar* wrow = pw + oc * kk;
-      for (std::size_t r = 0; r < kk; ++r) {
-        const Scalar wv = wrow[r];
-        if (wv == 0.0) continue;
-        const Scalar* crow = col_.data() + r * cols;
-        for (std::size_t c = 0; c < cols; ++c) orow[c] += wv * crow[c];
+  Tensor out({B, out_ch_, OH, OW});
+  for (std::size_t b0 = 0; b0 < B; b0 += chunk) {
+    const std::size_t bn = std::min(chunk, B - b0);
+    const std::size_t total = bn * cols;
+    im2col(x, b0, bn, OH, OW, tl_col);
+
+    // Each sample's output plane already has the GEMM's (oc, oh·ow) layout,
+    // so the product lands directly in the output tensor: pre-fill with the
+    // channel bias and accumulate (beta = 1). No intermediate matrix, no
+    // regroup pass. The sample's col block is the column slice at b·cols
+    // (row stride stays `total`).
+    for (std::size_t b = 0; b < bn; ++b) {
+      Scalar* oplane = out.raw() + (b0 + b) * out_ch_ * cols;
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        std::fill(oplane + oc * cols, oplane + (oc + 1) * cols, bias_[oc]);
       }
+      ops::gemm(false, false, out_ch_, cols, kk, weight_.raw(), kk,
+                tl_col.data() + b * cols, total, 1.0, oplane, cols);
     }
   }
   return out;
@@ -106,58 +195,49 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
             "conv2d backward shape mismatch");
   const std::size_t cols = OH * OW;
   const std::size_t kk = in_ch_ * k_ * k_;
+  const std::size_t chunk = samples_per_chunk(cols);
 
   Tensor grad_in(input_.shape());
-  const Scalar* pw = weight_.raw();
-  Scalar* pgw = grad_weight_.raw();
+  for (std::size_t b0 = 0; b0 < B; b0 += chunk) {
+    const std::size_t bn = std::min(chunk, B - b0);
+    const std::size_t total = bn * cols;
 
-  for (std::size_t b = 0; b < B; ++b) {
-    // Rebuild the im2col buffer for this sample (cheaper than caching one
-    // buffer per batch element).
-    im2col(input_.raw() + b * in_ch_ * H * W, H, W, OH, OW);
-    const Scalar* gplane = grad_out.raw() + b * out_ch_ * cols;
+    // Rebuild the im2col chunk from the cached input (cheaper than keeping
+    // the expansion live across the whole forward pass of a deep model).
+    im2col(input_, b0, bn, OH, OW, tl_col);
 
-    // Bias: row sums. Weights: dW(oc, r) += Σ_c G(oc, c) col(r, c).
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      const Scalar* grow = gplane + oc * cols;
-      Scalar gb = 0;
-      for (std::size_t c = 0; c < cols; ++c) gb += grow[c];
-      grad_bias_[oc] += gb;
-      Scalar* gwrow = pgw + oc * kk;
-      for (std::size_t r = 0; r < kk; ++r) {
-        const Scalar* crow = col_.data() + r * cols;
-        Scalar acc = 0;
-        for (std::size_t c = 0; c < cols; ++c) acc += grow[c] * crow[c];
-        gwrow[r] += acc;
+    for (std::size_t b = 0; b < bn; ++b) {
+      // Each sample's grad_out plane is already the out_ch × OH·OW matrix the
+      // GEMMs below need — no regroup copy. Its col block is the column
+      // slice at b·cols (row stride `total`).
+      const Scalar* g = grad_out.raw() + (b0 + b) * out_ch_ * cols;
+      const Scalar* col = tl_col.data() + b * cols;
+
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        Scalar gb = 0;
+        const Scalar* src = g + oc * cols;
+        for (std::size_t c = 0; c < cols; ++c) gb += src[c];
+        grad_bias_[oc] += gb;
       }
-    }
 
-    // dCol(r, :) = Σ_oc W(oc, r) G(oc, :), then scatter (col2im).
-    dcol_.assign(kk * cols, 0.0);
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      const Scalar* grow = gplane + oc * cols;
-      const Scalar* wrow = pw + oc * kk;
-      for (std::size_t r = 0; r < kk; ++r) {
-        const Scalar wv = wrow[r];
-        if (wv == 0.0) continue;
-        Scalar* drow = dcol_.data() + r * cols;
-        for (std::size_t c = 0; c < cols; ++c) drow[c] += wv * grow[c];
-      }
-    }
+      // dW(oc, r) += Σ_c G(oc, c) col(r, c) — G · colᵀ, accumulated (beta=1)
+      // across samples and across backward calls.
+      ops::gemm(false, true, out_ch_, kk, cols, g, cols, col, total, 1.0,
+                grad_weight_.raw(), kk);
 
-    Scalar* giplane_base = grad_in.raw() + b * in_ch_ * H * W;
-    std::size_t r = 0;
-    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
-      Scalar* giplane = giplane_base + ic * H * W;
-      for (std::size_t kh = 0; kh < k_; ++kh) {
-        for (std::size_t kw = 0; kw < k_; ++kw, ++r) {
-          const Scalar* drow = dcol_.data() + r * cols;
-          for (std::size_t oh = 0; oh < OH; ++oh) {
-            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
-                                      static_cast<std::ptrdiff_t>(pad_);
-            if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
-            Scalar* xrow = giplane + ih * static_cast<std::ptrdiff_t>(W);
-            const Scalar* dsrc = drow + oh * OW;
+      // dCol(r, c) = Σ_oc W(oc, r) G(oc, c) — Wᵀ · G.
+      tl_dcol.resize(kk * cols);
+      ops::gemm(true, false, kk, cols, out_ch_, weight_.raw(), kk, g, cols,
+                0.0, tl_dcol.data(), cols);
+
+      // col2im: scatter-add dCol back onto the padded input geometry.
+      Scalar* gisample = grad_in.raw() + (b0 + b) * in_ch_ * H * W;
+      std::size_t r = 0;
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        Scalar* giplane = gisample + ic * H * W;
+        for (std::size_t kh = 0; kh < k_; ++kh) {
+          for (std::size_t kw = 0; kw < k_; ++kw, ++r) {
+            const Scalar* drow = tl_dcol.data() + r * cols;
             const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kw) -
                                          static_cast<std::ptrdiff_t>(pad_);
             const std::size_t ow_lo =
@@ -165,8 +245,15 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
             const std::size_t ow_hi = std::min(
                 OW, static_cast<std::size_t>(
                         static_cast<std::ptrdiff_t>(W) - shift));
-            for (std::size_t ow = ow_lo; ow < ow_hi; ++ow) {
-              xrow[static_cast<std::ptrdiff_t>(ow) + shift] += dsrc[ow];
+            for (std::size_t oh = 0; oh < OH; ++oh) {
+              const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
+              Scalar* xrow = giplane + ih * static_cast<std::ptrdiff_t>(W);
+              const Scalar* dsrc = drow + oh * OW;
+              for (std::size_t ow = ow_lo; ow < ow_hi; ++ow) {
+                xrow[static_cast<std::ptrdiff_t>(ow) + shift] += dsrc[ow];
+              }
             }
           }
         }

@@ -1,9 +1,17 @@
 // 2-D convolution over NCHW tensors.
 //
-// Direct (non-im2col) convolution with stride 1 and symmetric zero padding;
-// the simulated models are small enough that a cache-friendly direct loop is
-// fast and keeps the backward pass transparent. Weight layout is
+// Stride-1 convolution with symmetric zero padding, lowered to GEMM: the
+// minibatch is expanded into an im2col matrix col(r, c) with r = (ic, kh, kw)
+// and c = (b, oh, ow), and forward/backward become wide matrix products
+// against the (out_ch × in_ch·k²) weight matrix instead of B skinny
+// per-sample ones. The expansion is processed in cache-sized multi-sample
+// chunks so the col block is consumed by the GEMM while still resident —
+// a whole-minibatch buffer would be re-read from DRAM. Weight layout is
 // (out_ch, in_ch, kh, kw), one bias per output channel.
+//
+// The im2col/dcol scratch is thread-local and shared by every Conv2d
+// instance on a thread, so peak scratch memory scales with the thread count
+// and the chunk size, not with the simulated fleet size.
 #pragma once
 
 #include "src/nn/layer.h"
@@ -23,15 +31,18 @@ class Conv2d final : public Layer {
   void init_params(Rng& rng) override;
 
  private:
-  // Fills col_ with the im2col expansion of one input sample.
-  void im2col(const Scalar* xplane_base, std::size_t h, std::size_t w,
-              std::size_t oh_count, std::size_t ow_count);
+  // Fills `col` (shape in_ch·k² × bn·OH·OW) with the im2col expansion of
+  // samples [b0, b0+bn) of `x`.
+  void im2col(const Tensor& x, std::size_t b0, std::size_t bn,
+              std::size_t oh_count, std::size_t ow_count, Vec& col) const;
+
+  // How many samples fit the cache-resident im2col chunk budget.
+  std::size_t samples_per_chunk(std::size_t cols) const;
 
   std::size_t in_ch_, out_ch_, k_, pad_;
   Tensor weight_, bias_;
   Tensor grad_weight_, grad_bias_;
   Tensor input_;
-  Vec col_, dcol_;  // per-sample im2col scratch
 };
 
 }  // namespace hfl::nn

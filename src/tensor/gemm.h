@@ -1,0 +1,32 @@
+// Cache-tiled, register-blocked double-precision GEMM.
+//
+// Single entry point for every dense matrix product in the library:
+// C(m×n) = beta·C + op(A)·op(B), row-major, with explicit leading dimensions
+// so callers can multiply sub-blocks of larger buffers. op(X) is X or Xᵀ.
+//
+// The implementation follows the classic Goto/BLIS decomposition: the k and m
+// dimensions are partitioned into KC×MC panels that are packed into
+// contiguous buffers sized for the L1/L2 caches, and an MR×NR register-tile
+// micro-kernel runs over the packed panels. Packing also absorbs the
+// transpose cases, so op(A)/op(B) cost nothing in the inner loop. The packed
+// buffers are thread-local and reused across calls — a GEMM issued from a
+// simulation worker thread allocates only on its first call.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/types.h"
+
+namespace hfl::ops {
+
+// C = beta*C + op(A)*op(B).
+//
+//   op(A) is m×k: A stored m×k with leading dimension lda >= k, or, when
+//   trans_a, stored k×m with lda >= m. op(B) is k×n, analogously with
+//   trans_b. C is m×n with ldc >= n. beta == 0 overwrites C (it is never
+//   read, so it may be uninitialized); beta == 1 accumulates.
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, const Scalar* a, std::size_t lda, const Scalar* b,
+          std::size_t ldb, Scalar beta, Scalar* c, std::size_t ldc);
+
+}  // namespace hfl::ops

@@ -1,5 +1,7 @@
 #include "src/tensor/tensor_ops.h"
 
+#include "src/tensor/gemm.h"
+
 namespace hfl::ops {
 
 namespace {
@@ -14,26 +16,17 @@ void ensure_shape(Tensor& t, std::size_t rows, std::size_t cols) {
 }
 }  // namespace
 
+// All three variants lower onto the blocked GEMM in gemm.cpp; the transpose
+// cases are absorbed by its panel packing, so none of them materializes a
+// transposed copy of the input.
+
 void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
   check_rank2(a, "matmul a");
   check_rank2(b, "matmul b");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   HFL_CHECK(b.dim(0) == k, "matmul inner dimensions mismatch");
   ensure_shape(c, m, n);
-  c.fill(0.0);
-  const Scalar* pa = a.raw();
-  const Scalar* pb = b.raw();
-  Scalar* pc = c.raw();
-  // ikj loop order: streams through b and c rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const Scalar av = pa[i * k + p];
-      if (av == 0.0) continue;
-      const Scalar* brow = pb + p * n;
-      Scalar* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm(false, false, m, n, k, a.raw(), k, b.raw(), n, 0.0, c.raw(), n);
 }
 
 void matmul_transpose_b(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -42,18 +35,7 @@ void matmul_transpose_b(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   HFL_CHECK(b.dim(1) == k, "matmul_transpose_b inner dimensions mismatch");
   ensure_shape(c, m, n);
-  const Scalar* pa = a.raw();
-  const Scalar* pb = b.raw();
-  Scalar* pc = c.raw();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      Scalar acc = 0;
-      const Scalar* arow = pa + i * k;
-      const Scalar* brow = pb + j * k;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      pc[i * n + j] = acc;
-    }
-  }
+  gemm(false, true, m, n, k, a.raw(), k, b.raw(), k, 0.0, c.raw(), n);
 }
 
 void matmul_transpose_a(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -62,20 +44,7 @@ void matmul_transpose_a(const Tensor& a, const Tensor& b, Tensor& c) {
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   HFL_CHECK(b.dim(0) == k, "matmul_transpose_a inner dimensions mismatch");
   ensure_shape(c, m, n);
-  c.fill(0.0);
-  const Scalar* pa = a.raw();
-  const Scalar* pb = b.raw();
-  Scalar* pc = c.raw();
-  for (std::size_t p = 0; p < k; ++p) {
-    const Scalar* arow = pa + p * m;
-    const Scalar* brow = pb + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const Scalar av = arow[i];
-      if (av == 0.0) continue;
-      Scalar* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm(true, false, m, n, k, a.raw(), m, b.raw(), n, 0.0, c.raw(), n);
 }
 
 void add_row_bias(Tensor& x, const Tensor& bias) {

@@ -68,6 +68,50 @@ TEST(ThreadPoolTest, PropagatesExceptions) {
   EXPECT_EQ(count.load(), 8);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside one of the pool's own tasks must not
+  // enqueue onto the shared queue (the workers could all be blocked waiting
+  // on each other's nested calls — deadlock). It runs inline on the calling
+  // worker instead; this test deadlocks on regression, so keep iteration
+  // counts larger than the thread count to force the contended case.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(8 * 16);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    pool.parallel_for(16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(4, [](std::size_t i) {
+                                     if (i == 2) {
+                                       throw std::runtime_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedCallIntoDifferentPoolStillParallel) {
+  // Inline execution only applies to re-entry into the *same* pool; a task
+  // may freely fan out onto a different pool.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    inner.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
 TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
