@@ -91,14 +91,16 @@ void run() {
           name, alg->three_tier(), model_params, topo.num_workers());
       net::TimeSimulator timer(topo, cfg, sim);
       const std::size_t iters = result.iterations_to_accuracy(target);
+      const bool reached = iters != fl::RunResult::npos;
       const Scalar seconds = timer.time_to_accuracy(result, target);
       print_row({name,
-                 iters == 0 ? "never" : std::to_string(iters),
-                 iters == 0 ? "-" : CsvWriter::format_scalar(seconds) + "s",
+                 reached ? std::to_string(iters) : "never",
+                 reached ? CsvWriter::format_scalar(seconds) + "s" : "-",
                  pct(result.final_accuracy)},
                 {14, 16, 16, 12});
       csv.write_row({s.label, name, CsvWriter::format_scalar(target),
-                     std::to_string(iters), CsvWriter::format_scalar(seconds),
+                     reached ? std::to_string(iters) : "never",
+                     CsvWriter::format_scalar(seconds),
                      CsvWriter::format_scalar(result.final_accuracy)});
     }
   }

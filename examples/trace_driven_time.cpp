@@ -62,9 +62,11 @@ int main() {
         run.name, run.three_tier, model_params, topo.num_workers());
     net::TimeSimulator timer(topo, *run.cfg, sim);
     const std::size_t iters = run.result.iterations_to_accuracy(0.8);
-    std::printf("%-10s%-12.3f%-14.1f%-16zu%-16.1f\n", run.name,
-                run.result.final_accuracy, timer.total_time(), iters,
-                iters == 0 ? 0.0 : timer.time_to_accuracy(run.result, 0.8));
+    const bool reached = iters != fl::RunResult::npos;
+    std::printf("%-10s%-12.3f%-14.1f%-16s%-16.1f\n", run.name,
+                run.result.final_accuracy, timer.total_time(),
+                reached ? std::to_string(iters).c_str() : "never",
+                reached ? timer.time_to_accuracy(run.result, 0.8) : 0.0);
   }
   std::printf("\n(model: %zu parameters; delays: see src/net/profiles.h)\n",
               model_params);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Configure a dedicated ASan+UBSan build tree and run the full test suite
+# under it. Any sanitizer report is fatal (-fno-sanitize-recover=all), so a
+# green run means the suite is clean.
+#
+# Usage: scripts/run_sanitized_tests.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHFL_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: make ASan findings fail the test rather than just print.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure

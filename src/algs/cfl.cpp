@@ -18,7 +18,9 @@ void Cfl::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void Cfl::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
-  const auto& ids = ctx.topo->workers_of_edge(e.id);
+  // CFL's own client sampling composes with the fault schedule: it draws
+  // from the workers that survived the interval.
+  const auto& ids = fl::active_workers(ctx.part, *ctx.topo, e.id);
 
   // Bernoulli participation, forcing at least one participant per round.
   std::vector<std::size_t> participants;
@@ -52,10 +54,15 @@ void Cfl::cloud_sync(fl::Context& ctx, std::size_t) {
   Vec& x = ctx.cloud->x;
   x.assign(x.size(), 0.0);
   for (const fl::EdgeState& e : *ctx.edges) {
-    vec::axpy(e.weight_global, e.x_plus, x);
+    if (!fl::is_edge_active(ctx.part, e.id)) continue;
+    vec::axpy(fl::active_edge_weight(ctx.part, e), e.x_plus, x);
   }
-  for (fl::EdgeState& e : *ctx.edges) e.x_plus = x;
-  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+  for (fl::EdgeState& e : *ctx.edges) {
+    if (fl::is_edge_active(ctx.part, e.id)) e.x_plus = x;
+  }
+  for (fl::WorkerState& w : *ctx.workers) {
+    if (fl::is_active(ctx.part, w.id)) w.x = x;
+  }
 }
 
 }  // namespace hfl::algs

@@ -13,8 +13,8 @@ void FastSlowMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FastSlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
-  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_, ctx.part);
   Vec& m = ctx.cloud->extra.at("slow_m");
   Vec& x = ctx.cloud->x;
   const Scalar beta = ctx.cfg->gamma_edge;
@@ -24,6 +24,7 @@ void FastSlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
   }
   ctx.cloud->y = y_scratch_;
   for (fl::WorkerState& w : *ctx.workers) {
+    if (!fl::is_active(ctx.part, w.id)) continue;
     w.x = x;
     w.y = y_scratch_;
   }

@@ -17,7 +17,7 @@ void FedAdc::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedAdc::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
   Vec& u = ctx.cloud->extra.at("drift_u");
   Vec& x = ctx.cloud->x;
   const Scalar beta = ctx.cfg->gamma_edge;
@@ -28,7 +28,9 @@ void FedAdc::cloud_sync(fl::Context& ctx, std::size_t) {
     u[i] = beta * u[i] + (1.0 - beta) * pseudo_grad;
     x[i] = x_scratch_[i];
   }
-  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+  for (fl::WorkerState& w : *ctx.workers) {
+    if (fl::is_active(ctx.part, w.id)) w.x = x;
+  }
 }
 
 }  // namespace hfl::algs

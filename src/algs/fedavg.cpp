@@ -9,9 +9,11 @@ void FedAvg::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedAvg::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, scratch_, ctx.part);
   ctx.cloud->x = scratch_;
-  for (fl::WorkerState& w : *ctx.workers) w.x = scratch_;
+  for (fl::WorkerState& w : *ctx.workers) {
+    if (fl::is_active(ctx.part, w.id)) w.x = scratch_;
+  }
 }
 
 }  // namespace hfl::algs

@@ -13,7 +13,7 @@ void FedMom::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedMom::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
   Vec& y_prev = ctx.cloud->extra.at("server_y");
   const Scalar gs = ctx.cfg->gamma_edge;
 
@@ -23,7 +23,9 @@ void FedMom::cloud_sync(fl::Context& ctx, std::size_t) {
     x[i] = y_new + gs * (y_new - y_prev[i]);
     y_prev[i] = y_new;
   }
-  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+  for (fl::WorkerState& w : *ctx.workers) {
+    if (fl::is_active(ctx.part, w.id)) w.x = x;
+  }
 }
 
 }  // namespace hfl::algs

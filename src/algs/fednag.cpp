@@ -9,11 +9,12 @@ void FedNag::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedNag::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
-  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_, ctx.part);
   ctx.cloud->x = x_scratch_;
   ctx.cloud->y = y_scratch_;
   for (fl::WorkerState& w : *ctx.workers) {
+    if (!fl::is_active(ctx.part, w.id)) continue;
     w.x = x_scratch_;
     w.y = y_scratch_;
   }

@@ -9,9 +9,10 @@ void HierFavg::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void HierFavg::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
-  fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, scratch_);
+  fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, scratch_,
+                     ctx.part);
   e.x_plus = scratch_;
-  for (const std::size_t id : ctx.topo->workers_of_edge(e.id)) {
+  for (const std::size_t id : fl::active_workers(ctx.part, *ctx.topo, e.id)) {
     (*ctx.workers)[id].x = e.x_plus;
   }
 }
@@ -20,10 +21,15 @@ void HierFavg::cloud_sync(fl::Context& ctx, std::size_t) {
   Vec& x = ctx.cloud->x;
   x.assign(x.size(), 0.0);
   for (const fl::EdgeState& e : *ctx.edges) {
-    vec::axpy(e.weight_global, e.x_plus, x);
+    if (!fl::is_edge_active(ctx.part, e.id)) continue;
+    vec::axpy(fl::active_edge_weight(ctx.part, e), e.x_plus, x);
   }
-  for (fl::EdgeState& e : *ctx.edges) e.x_plus = x;
-  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+  for (fl::EdgeState& e : *ctx.edges) {
+    if (fl::is_edge_active(ctx.part, e.id)) e.x_plus = x;
+  }
+  for (fl::WorkerState& w : *ctx.workers) {
+    if (fl::is_active(ctx.part, w.id)) w.x = x;
+  }
 }
 
 }  // namespace hfl::algs

@@ -14,15 +14,17 @@ void Mime::init(fl::Context& ctx) {
 
 void Mime::refresh_server_stats(fl::Context& ctx) {
   // ĝ — the server gradient estimate at the (new) server point, from a few
-  // probe batches per worker.
+  // probe batches per reachable worker (absent workers cannot serve probes).
   constexpr std::size_t kProbeBatches = 4;
   Vec& g_hat = ctx.cloud->extra.at("mime_g");
   g_hat.assign(g_hat.size(), 0.0);
   Vec probe;
   for (fl::WorkerState& w : *ctx.workers) {
+    if (!fl::is_active(ctx.part, w.id)) continue;
+    const Scalar weight = fl::active_weight_global(ctx.part, w);
     for (std::size_t b = 0; b < kProbeBatches; ++b) {
       w.probe_gradient(ctx.cloud->x, probe);
-      vec::axpy(w.weight_global / kProbeBatches, probe, g_hat);
+      vec::axpy(weight / kProbeBatches, probe, g_hat);
     }
   }
   // m ← (1−β) ĝ + β m.
@@ -58,9 +60,11 @@ void Mime::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void Mime::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
   ctx.cloud->x = x_scratch_;
-  for (fl::WorkerState& w : *ctx.workers) w.x = x_scratch_;
+  for (fl::WorkerState& w : *ctx.workers) {
+    if (fl::is_active(ctx.part, w.id)) w.x = x_scratch_;
+  }
   refresh_server_stats(ctx);
 }
 

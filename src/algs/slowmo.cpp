@@ -13,7 +13,7 @@ void SlowMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void SlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
   Vec& m = ctx.cloud->extra.at("slow_m");
   Vec& x = ctx.cloud->x;
   const Scalar beta = ctx.cfg->gamma_edge;
@@ -22,7 +22,9 @@ void SlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
     m[i] = beta * m[i] + delta;
     x[i] -= slow_lr_ * m[i];
   }
-  for (fl::WorkerState& w : *ctx.workers) w.x = x;
+  for (fl::WorkerState& w : *ctx.workers) {
+    if (fl::is_active(ctx.part, w.id)) w.x = x;
+  }
 }
 
 }  // namespace hfl::algs

@@ -1,13 +1,23 @@
 #include "src/common/csv.h"
 
+#include <filesystem>
 #include <iomanip>
+#include <system_error>
 
 #include "src/common/errors.h"
 
 namespace hfl {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {
-  HFL_CHECK(out_.good(), "cannot open CSV file: " + path);
+CsvWriter::CsvWriter(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    HFL_CHECK(!ec, "cannot create directory '" + parent.string() +
+                       "' for CSV file '" + path + "': " + ec.message());
+  }
+  out_.open(path);
+  HFL_CHECK(out_.good(), "cannot open CSV file for writing: " + path);
 }
 
 void CsvWriter::write_header(const std::vector<std::string>& columns) {

@@ -16,7 +16,8 @@ namespace hfl {
 
 class CsvWriter {
  public:
-  // Opens (truncates) `path`. Throws hfl::Error if the file cannot be opened.
+  // Opens (truncates) `path`, creating missing parent directories. Throws
+  // hfl::Error if a directory or the file itself cannot be created.
   explicit CsvWriter(const std::string& path);
 
   void write_header(const std::vector<std::string>& columns);

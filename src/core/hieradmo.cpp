@@ -26,7 +26,9 @@ void HierAdMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
 
 Scalar HierAdMo::compute_cos_theta(const fl::Context& ctx,
                                    const fl::EdgeState& e) const {
-  const auto& ids = ctx.topo->workers_of_edge(e.id);
+  // Under partial participation the γℓ signal comes from the workers that
+  // actually uploaded, with their weights renormalized over the survivors.
+  const auto& ids = fl::active_workers(ctx.part, *ctx.topo, e.id);
   Scalar cos_theta = 0;
 
   if (options_.signal == HierAdMoOptions::Signal::kCrossWorker) {
@@ -44,11 +46,13 @@ Scalar HierAdMo::compute_cos_theta(const fl::Context& ctx,
         aggregated.assign(w.sum_grad.size(), 0.0);
         first = false;
       }
-      vec::axpy(w.weight_in_edge, w.sum_grad, aggregated);
+      vec::axpy(fl::active_weight_in_edge(ctx.part, w), w.sum_grad,
+                aggregated);
     }
     for (const std::size_t id : ids) {
       const fl::WorkerState& w = (*ctx.workers)[id];
-      cos_theta += w.weight_in_edge * vec::cosine(w.sum_grad, aggregated);
+      cos_theta += fl::active_weight_in_edge(ctx.part, w) *
+                   vec::cosine(w.sum_grad, aggregated);
     }
     return cos_theta;
   }
@@ -61,7 +65,8 @@ Scalar HierAdMo::compute_cos_theta(const fl::Context& ctx,
     const Vec& momentum_signal =
         options_.signal == HierAdMoOptions::Signal::kVelocity ? w.sum_v
                                                               : w.sum_y;
-    cos_theta += w.weight_in_edge * vec::cosine(neg_grad, momentum_signal);
+    cos_theta += fl::active_weight_in_edge(ctx.part, w) *
+                 vec::cosine(neg_grad, momentum_signal);
   }
   return cos_theta;
 }
@@ -80,7 +85,7 @@ void HierAdMo::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
   // upload is the compressed state. Worker state is overwritten by the
   // redistribution below, so compressing in place models the channel.
   if (options_.upload_compressor) {
-    for (const std::size_t id : ctx.topo->workers_of_edge(e.id)) {
+    for (const std::size_t id : fl::active_workers(ctx.part, *ctx.topo, e.id)) {
       fl::WorkerState& w = workers[id];
       options_.upload_compressor->compress(w.x);
       options_.upload_compressor->compress(w.y);
@@ -98,12 +103,14 @@ void HierAdMo::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
   }
 
   // Line 11: worker momentum edge aggregation y_{ℓ−} = Σ w_i y_i.
-  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_y, y_minus_scratch_);
+  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_y, y_minus_scratch_,
+                     ctx.part);
   e.y_minus = y_minus_scratch_;
 
   // Line 12: y_{ℓ+} = x_{ℓ+}^{(k−1)τ} − Σ w_i (x_{ℓ+}^{(k−1)τ} − x_i^{kτ}),
   // which simplifies to the data-weighted worker model average Σ w_i x_i.
-  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_x, y_plus_scratch_);
+  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_x, y_plus_scratch_,
+                     ctx.part);
 
   // Line 13: x_{ℓ+} = y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
   Vec& x_plus = e.x_plus;
@@ -114,9 +121,10 @@ void HierAdMo::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
   }
   e.y_plus = y_plus_scratch_;
 
-  // Lines 14–15: re-distribute y_{ℓ−} and x_{ℓ+} to the edge's workers, and
-  // reset the interval accumulators for the next edge interval.
-  for (const std::size_t id : ctx.topo->workers_of_edge(e.id)) {
+  // Lines 14–15: re-distribute y_{ℓ−} and x_{ℓ+} to the edge's workers (only
+  // the survivors receive; absent workers keep local state per the absent
+  // policy), and reset the interval accumulators for the next edge interval.
+  for (const std::size_t id : fl::active_workers(ctx.part, *ctx.topo, e.id)) {
     fl::WorkerState& w = workers[id];
     w.y = e.y_minus;
     w.x = e.x_plus;
@@ -128,20 +136,25 @@ void HierAdMo::cloud_sync(fl::Context& ctx, std::size_t) {
   auto& edges = *ctx.edges;
   fl::CloudState& cloud = *ctx.cloud;
 
-  // Lines 18–19: cloud aggregation of worker momenta and edge models.
+  // Lines 18–19: cloud aggregation of worker momenta and edge models (over
+  // the reachable edges, with weights renormalized over the survivors).
   cloud.y.assign(cloud.y.size(), 0.0);
   cloud.x.assign(cloud.x.size(), 0.0);
   for (const fl::EdgeState& e : edges) {
-    vec::axpy(e.weight_global, e.y_minus, cloud.y);
-    vec::axpy(e.weight_global, e.x_plus, cloud.x);
+    if (!fl::is_edge_active(ctx.part, e.id)) continue;
+    const Scalar weight = fl::active_edge_weight(ctx.part, e);
+    vec::axpy(weight, e.y_minus, cloud.y);
+    vec::axpy(weight, e.x_plus, cloud.x);
   }
 
   // Lines 20–23: re-distribute to edges, then from edges to workers.
   for (fl::EdgeState& e : edges) {
+    if (!fl::is_edge_active(ctx.part, e.id)) continue;
     e.y_minus = cloud.y;
     e.x_plus = cloud.x;
   }
   for (fl::WorkerState& w : *ctx.workers) {
+    if (!fl::is_active(ctx.part, w.id)) continue;
     w.y = cloud.y;
     w.x = cloud.x;
   }

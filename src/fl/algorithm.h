@@ -4,13 +4,19 @@
 //   * local_step  — once per worker per iteration (run in parallel; the hook
 //                   must only touch its worker's state),
 //   * edge_sync   — at t = kτ, once per edge, only for three-tier algorithms,
-//   * cloud_sync  — at t = pτπ.
+//   * cloud_sync  — at t = pτπ,
+//   * absent_sync — once per non-participating worker per synchronization,
+//                   only when a fault schedule drives the run.
 // `Context` bundles the read-only run configuration and the mutable tier
-// states.
+// states. `Context::part` is null for fault-free runs; under a fault
+// schedule it exposes the surviving roster and renormalized weights
+// (src/fl/availability.h) — the engine never calls edge_sync/cloud_sync for
+// a tier with no survivors.
 #pragma once
 
 #include <string>
 
+#include "src/fl/availability.h"
 #include "src/fl/config.h"
 #include "src/fl/state.h"
 
@@ -23,6 +29,7 @@ struct Context {
   std::vector<EdgeState>* edges = nullptr;
   CloudState* cloud = nullptr;
   std::size_t t = 0;  // current iteration (1-based while stepping)
+  const Participation* part = nullptr;  // null = full participation
 };
 
 class Algorithm {
@@ -50,6 +57,18 @@ class Algorithm {
 
   // Cloud synchronization at t = pτπ.
   virtual void cloud_sync(Context& ctx, std::size_t p) = 0;
+
+  // Called after the synchronization at t = kτ for every worker that did not
+  // participate (its own outage or its edge's). The default applies the
+  // schedule's absent-momentum policy; override for algorithm-specific
+  // bookkeeping (e.g. extra server-state copies).
+  virtual void absent_sync(Context& ctx, WorkerState& w, std::size_t k) {
+    (void)k;
+    if (ctx.part != nullptr) {
+      apply_absent_policy(w, ctx.part->absent_policy(),
+                          ctx.part->absent_decay());
+    }
+  }
 };
 
 }  // namespace hfl::fl

@@ -1,0 +1,171 @@
+#include "src/fl/availability.h"
+
+#include <string>
+
+#include "src/common/errors.h"
+
+namespace hfl::fl {
+
+bool ParticipationSchedule::is_noop() const {
+  for (const std::uint8_t up : worker_up) {
+    if (!up) return false;
+  }
+  for (const std::uint8_t up : edge_up) {
+    if (!up) return false;
+  }
+  for (const Scalar s : slowdown) {
+    if (s != 1.0) return false;
+  }
+  return true;
+}
+
+void ParticipationSchedule::validate(const Topology& topo,
+                                     const RunConfig& cfg) const {
+  HFL_CHECK(num_workers == topo.num_workers(),
+            "participation schedule built for " + std::to_string(num_workers) +
+                " workers but the topology has " +
+                std::to_string(topo.num_workers()));
+  HFL_CHECK(num_edges == topo.num_edges(),
+            "participation schedule built for " + std::to_string(num_edges) +
+                " edges but the topology has " +
+                std::to_string(topo.num_edges()));
+  const std::size_t intervals = cfg.total_iterations / cfg.tau;
+  HFL_CHECK(num_intervals >= intervals,
+            "participation schedule covers " + std::to_string(num_intervals) +
+                " edge intervals but the run needs " +
+                std::to_string(intervals) + " (T/tau)");
+  HFL_CHECK(worker_up.size() == num_intervals * num_workers &&
+                slowdown.size() == num_intervals * num_workers &&
+                edge_up.size() == num_intervals * num_edges,
+            "participation schedule arrays do not match the declared shape");
+  for (const Scalar s : slowdown) {
+    HFL_CHECK(s >= 1.0, "slowdown factors must be >= 1");
+  }
+  HFL_CHECK(absent_decay >= 0.0 && absent_decay <= 1.0,
+            "absent_decay must be in [0, 1]");
+}
+
+Participation::Participation(const Topology& topo,
+                             const ParticipationSchedule& schedule,
+                             const std::vector<WorkerState>& workers,
+                             bool edge_faults)
+    : topo_(&topo), schedule_(&schedule), edge_faults_(edge_faults) {
+  const std::size_t n = topo.num_workers();
+  const std::size_t l = topo.num_edges();
+  HFL_CHECK(workers.size() == n, "worker states do not match the topology");
+  base_weight_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_weight_[i] = static_cast<Scalar>(workers[i].num_samples);
+  }
+  active_.assign(n, 1);
+  edge_active_.assign(l, 1);
+  active_of_edge_.resize(l);
+  weight_in_edge_.assign(n, 0.0);
+  weight_global_.assign(n, 0.0);
+  edge_weight_.assign(l, 0.0);
+}
+
+void Participation::begin_interval(std::size_t k) {
+  HFL_CHECK(k >= 1 && k <= schedule_->num_intervals,
+            "interval index out of the schedule's range");
+  k_ = k;
+  const std::size_t n = active_.size();
+  const std::size_t l = edge_active_.size();
+
+  num_active_ = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    const bool edge_ok =
+        !edge_faults_ || schedule_->edge_available(k, topo_->edge_of_worker(w));
+    active_[w] = (schedule_->worker_available(k, w) && edge_ok) ? 1 : 0;
+    num_active_ += active_[w];
+  }
+
+  // Per-edge surviving rosters and in-edge weight renormalization.
+  Scalar global_mass = 0;
+  for (std::size_t e = 0; e < l; ++e) {
+    auto& roster = active_of_edge_[e];
+    roster.clear();
+    Scalar edge_mass = 0;
+    for (const std::size_t w : topo_->workers_of_edge(e)) {
+      if (!active_[w]) continue;
+      roster.push_back(w);
+      edge_mass += base_weight_[w];
+    }
+    edge_active_[e] =
+        (!edge_faults_ || schedule_->edge_available(k, e)) && !roster.empty()
+            ? 1
+            : 0;
+    for (const std::size_t w : roster) {
+      weight_in_edge_[w] = base_weight_[w] / edge_mass;
+    }
+    if (edge_active_[e]) global_mass += edge_mass;
+  }
+
+  // Global renormalizations (worker-level for two-tier aggregation and the
+  // virtual global model; edge-level for three-tier cloud rounds).
+  Scalar active_mass = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    if (active_[w]) active_mass += base_weight_[w];
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    weight_global_[w] =
+        active_[w] && active_mass > 0 ? base_weight_[w] / active_mass : 0.0;
+  }
+  for (std::size_t e = 0; e < l; ++e) {
+    Scalar edge_mass = 0;
+    for (const std::size_t w : active_of_edge_[e]) edge_mass += base_weight_[w];
+    edge_weight_[e] = edge_active_[e] && global_mass > 0
+                          ? edge_mass / global_mass
+                          : 0.0;
+  }
+}
+
+bool is_active(const Participation* part, std::size_t worker) {
+  return part == nullptr || part->worker_active(worker);
+}
+
+bool is_edge_active(const Participation* part, std::size_t edge) {
+  return part == nullptr || part->edge_active(edge);
+}
+
+const std::vector<std::size_t>& active_workers(const Participation* part,
+                                               const Topology& topo,
+                                               std::size_t edge) {
+  if (part == nullptr) return topo.workers_of_edge(edge);
+  return part->active_workers_of_edge(edge);
+}
+
+Scalar active_weight_in_edge(const Participation* part, const WorkerState& w) {
+  return part == nullptr ? w.weight_in_edge : part->weight_in_edge(w.id);
+}
+
+Scalar active_weight_global(const Participation* part, const WorkerState& w) {
+  return part == nullptr ? w.weight_global : part->weight_global(w.id);
+}
+
+Scalar active_edge_weight(const Participation* part, const EdgeState& e) {
+  return part == nullptr ? e.weight_global : part->edge_weight_global(e.id);
+}
+
+void apply_absent_policy(WorkerState& w, AbsentPolicy policy, Scalar decay) {
+  switch (policy) {
+    case AbsentPolicy::kHold:
+      break;
+    case AbsentPolicy::kReset:
+      w.y = w.x;
+      vec::fill(w.v, 0.0);
+      w.reset_interval_accumulators();
+      break;
+    case AbsentPolicy::kDecay:
+      for (std::size_t i = 0; i < w.y.size(); ++i) {
+        w.y[i] = w.x[i] + decay * (w.y[i] - w.x[i]);
+      }
+      vec::scale(w.v, decay);
+      vec::scale(w.sum_grad, decay);
+      vec::scale(w.sum_y, decay);
+      vec::scale(w.sum_v, decay);
+      break;
+  }
+}
+
+}  // namespace hfl::fl

@@ -1,0 +1,164 @@
+// Partial participation: who survives each synchronization interval.
+//
+// The engine's default contract is that every worker survives every edge
+// interval and every barrier completes. Real multi-tier deployments violate
+// that constantly — workers drop out, edge nodes go dark, uplinks flake.
+// This module is the fl-side half of the fault subsystem:
+//
+//   * `ParticipationSchedule` is plain data: one availability bit and one
+//     slowdown factor per (edge interval, worker), plus one availability bit
+//     per (edge interval, edge). It says nothing about *why* a worker is
+//     absent — `sim::FaultPlan` (src/sim/fault_plan.h) generates schedules
+//     from seeded fault models, so every algorithm replays the identical
+//     fault trace, the same discipline as the engine's batch streams.
+//
+//   * `Participation` is the engine's runtime view of a schedule: per
+//     interval it materializes the surviving roster and the renormalized
+//     data-size weights (absent workers' mass is redistributed over the
+//     survivors, per edge and globally; absent edges' mass over the
+//     surviving edges).
+//
+// A null `Participation*` everywhere means full participation and reduces
+// every helper to the exact pre-fault code path — the engine guarantees
+// bit-identical results for fault-free runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fl/config.h"
+#include "src/fl/state.h"
+
+namespace hfl::fl {
+
+// What happens to a worker's momentum state (y, v) and interval accumulators
+// while it misses a synchronization.
+enum class AbsentPolicy {
+  kHold,   // keep momentum and accumulators as-is (resume where it left off)
+  kReset,  // collapse momentum onto the model (y = x, v = 0) and zero the
+           // interval accumulators
+  kDecay,  // shrink momentum and accumulators toward the reset point by a
+           // configurable factor per missed synchronization
+};
+
+// Deterministic availability trace over the whole run, indexed by edge
+// interval k = 1..num_intervals (interval k covers iterations
+// ((k-1)τ, kτ]). Row-major [k-1][worker] / [k-1][edge].
+struct ParticipationSchedule {
+  std::size_t num_intervals = 0;
+  std::size_t num_workers = 0;
+  std::size_t num_edges = 0;
+
+  std::vector<std::uint8_t> worker_up;  // 1 = worker online for interval k
+  std::vector<Scalar> slowdown;         // per-(k, worker) compute stretch ≥ 1
+  std::vector<std::uint8_t> edge_up;    // 1 = edge node online for interval k
+
+  AbsentPolicy absent_policy = AbsentPolicy::kHold;
+  Scalar absent_decay = 0.5;  // used by kDecay
+
+  bool worker_available(std::size_t k, std::size_t worker) const {
+    return worker_up[(k - 1) * num_workers + worker] != 0;
+  }
+  Scalar worker_slowdown(std::size_t k, std::size_t worker) const {
+    return slowdown[(k - 1) * num_workers + worker];
+  }
+  bool edge_available(std::size_t k, std::size_t edge) const {
+    return edge_up[(k - 1) * num_edges + edge] != 0;
+  }
+
+  // True when the schedule models no fault at all (everyone up, no
+  // slowdown): the engine then takes the exact fault-free code path.
+  bool is_noop() const;
+
+  // Shape checks against the run this schedule is about to drive. Throws
+  // hfl::Error with an actionable message on mismatch.
+  void validate(const Topology& topo, const RunConfig& cfg) const;
+};
+
+// Runtime view of one interval of a schedule: surviving rosters and
+// renormalized aggregation weights. Owned by the engine; algorithms access
+// it through `Context::part` and the null-tolerant helpers below.
+class Participation {
+ public:
+  // `workers` supplies the data-size weights to renormalize. When
+  // `edge_faults` is false (two-tier runs, where workers talk straight to
+  // the cloud), edge outages in the schedule are ignored.
+  Participation(const Topology& topo, const ParticipationSchedule& schedule,
+                const std::vector<WorkerState>& workers, bool edge_faults);
+
+  // Materialize interval k (1-based). Must be called before the first local
+  // step of the interval; stays valid through the interval's syncs.
+  void begin_interval(std::size_t k);
+
+  std::size_t interval() const { return k_; }
+
+  // Worker i survives this interval AND (three-tier) its edge is reachable.
+  bool worker_active(std::size_t worker) const { return active_[worker] != 0; }
+  // Edge is online and has at least one surviving worker.
+  bool edge_active(std::size_t edge) const { return edge_active_[edge] != 0; }
+
+  // Surviving workers of `edge`, ascending ids (empty if the edge is down).
+  const std::vector<std::size_t>& active_workers_of_edge(
+      std::size_t edge) const {
+    return active_of_edge_[edge];
+  }
+
+  // Renormalized weights (zero for absent workers/edges).
+  Scalar weight_in_edge(std::size_t worker) const {
+    return weight_in_edge_[worker];
+  }
+  Scalar weight_global(std::size_t worker) const {
+    return weight_global_[worker];
+  }
+  Scalar edge_weight_global(std::size_t edge) const {
+    return edge_weight_[edge];
+  }
+
+  std::size_t num_active() const { return num_active_; }
+  std::size_t num_workers() const { return active_.size(); }
+  Scalar slowdown(std::size_t worker) const {
+    return schedule_->worker_slowdown(k_, worker);
+  }
+
+  AbsentPolicy absent_policy() const { return schedule_->absent_policy; }
+  Scalar absent_decay() const { return schedule_->absent_decay; }
+  const ParticipationSchedule& schedule() const { return *schedule_; }
+
+ private:
+  const Topology* topo_;
+  const ParticipationSchedule* schedule_;
+  bool edge_faults_;
+  std::size_t k_ = 0;
+
+  std::vector<Scalar> base_weight_;  // per-worker sample mass D_i
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint8_t> edge_active_;
+  std::vector<std::vector<std::size_t>> active_of_edge_;
+  std::vector<Scalar> weight_in_edge_;
+  std::vector<Scalar> weight_global_;
+  std::vector<Scalar> edge_weight_;
+  std::size_t num_active_ = 0;
+};
+
+// ---- Null-tolerant helpers (part == nullptr ⇒ full participation). ----
+//
+// Algorithms use these instead of the raw topology/state weights so that one
+// code path serves both the fault-free contract (bit-identical to the
+// pre-fault engine) and partial participation.
+
+bool is_active(const Participation* part, std::size_t worker);
+bool is_edge_active(const Participation* part, std::size_t edge);
+
+// Surviving workers of `edge`; the full roster when part is null.
+const std::vector<std::size_t>& active_workers(const Participation* part,
+                                               const Topology& topo,
+                                               std::size_t edge);
+
+Scalar active_weight_in_edge(const Participation* part, const WorkerState& w);
+Scalar active_weight_global(const Participation* part, const WorkerState& w);
+Scalar active_edge_weight(const Participation* part, const EdgeState& e);
+
+// Apply an absent-worker momentum policy to a worker that missed a sync.
+void apply_absent_policy(WorkerState& w, AbsentPolicy policy, Scalar decay);
+
+}  // namespace hfl::fl

@@ -1,0 +1,24 @@
+#include "src/fl/config.h"
+
+#include <string>
+
+#include "src/common/errors.h"
+
+namespace hfl::fl {
+
+void RunConfig::validate() const {
+  HFL_CHECK(total_iterations > 0, "total_iterations must be positive");
+  HFL_CHECK(tau > 0, "tau (worker-edge period) must be positive");
+  HFL_CHECK(pi > 0, "pi (edge-cloud period) must be positive");
+  HFL_CHECK(total_iterations % (tau * pi) == 0,
+            "total_iterations (" + std::to_string(total_iterations) +
+                ") must be a multiple of tau * pi (" +
+                std::to_string(tau * pi) + ")");
+  HFL_CHECK(eta > 0, "learning rate eta must be positive");
+  HFL_CHECK(gamma >= 0 && gamma < 1, "momentum gamma must be in [0, 1)");
+  HFL_CHECK(gamma_edge >= 0 && gamma_edge < 1,
+            "edge momentum gamma_edge must be in [0, 1)");
+  HFL_CHECK(batch_size > 0, "batch_size must be positive");
+}
+
+}  // namespace hfl::fl

@@ -32,6 +32,12 @@ struct RunConfig {
 
   std::uint64_t seed = 1;
   std::size_t num_threads = 0;  // 0 = hardware concurrency
+
+  // Throws hfl::Error with an actionable message on any inconsistency
+  // (non-positive periods, T not a multiple of τ·π, bad hyper-parameters).
+  // The engine calls this at construction; call it directly to fail fast
+  // when assembling configs programmatically.
+  void validate() const;
 };
 
 }  // namespace hfl::fl

@@ -13,11 +13,9 @@ Engine::Engine(nn::ModelFactory factory, const data::TrainTest& data,
       partition_(std::move(partition)),
       topo_(std::move(topo)),
       cfg_(cfg) {
+  cfg_.validate();
   HFL_CHECK(partition_.size() == topo_.num_workers(),
             "partition size must equal worker count");
-  HFL_CHECK(cfg_.tau > 0 && cfg_.pi > 0, "tau and pi must be positive");
-  HFL_CHECK(cfg_.total_iterations % (cfg_.tau * cfg_.pi) == 0,
-            "T must be a multiple of tau * pi");
   for (const auto& p : partition_) {
     HFL_CHECK(!p.empty(), "every worker needs at least one sample");
   }
@@ -90,7 +88,7 @@ void Engine::build_states(Algorithm& alg, std::vector<WorkerState>& workers,
   cloud.y = x0;
   cloud.extra.clear();
 
-  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0};
+  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, nullptr};
   alg.init(ctx);
 }
 
@@ -142,7 +140,7 @@ nn::EvalResult Engine::evaluate(const Vec& params) {
   return total;
 }
 
-RunResult Engine::run(Algorithm& alg) {
+RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
   if (!alg.three_tier()) {
     HFL_CHECK(cfg_.pi == 1,
               "two-tier algorithms require pi == 1 (use tau as the global "
@@ -156,10 +154,20 @@ RunResult Engine::run(Algorithm& alg) {
   CloudState cloud;
   build_states(alg, workers, edges, cloud);
 
-  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0};
+  // A null or no-op schedule takes the pre-fault code path below, byte for
+  // byte: `part` stays null and every helper reduces to the full roster.
+  std::unique_ptr<Participation> part;
+  if (schedule != nullptr && !schedule->is_noop()) {
+    schedule->validate(topo_, cfg_);
+    part = std::make_unique<Participation>(topo_, *schedule, workers,
+                                           /*edge_faults=*/alg.three_tier());
+  }
+
+  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, part.get()};
 
   RunResult result;
   result.algorithm = alg.name();
+  if (part) result.worker_miss_counts.assign(workers.size(), 0);
 
   const auto record = [&](std::size_t t, const Vec& params) {
     const nn::EvalResult r = evaluate(params);
@@ -172,18 +180,40 @@ RunResult Engine::run(Algorithm& alg) {
   const std::size_t global_period = cfg_.tau * cfg_.pi;
   for (std::size_t t = 1; t <= cfg_.total_iterations; ++t) {
     ctx.t = t;
+    if (part && (t - 1) % cfg_.tau == 0) {
+      part->begin_interval((t - 1) / cfg_.tau + 1);
+    }
     pool_->parallel_for(workers.size(), [&](std::size_t i) {
+      // A worker that will miss this interval's synchronization is offline:
+      // it computes nothing and its batch stream does not advance.
+      if (part && !part->worker_active(i)) return;
       alg.local_step(ctx, workers[i]);
     });
 
-    if (alg.three_tier() && t % cfg_.tau == 0) {
-      const std::size_t k = t / cfg_.tau;
-      for (EdgeState& e : edges) alg.edge_sync(ctx, e, k);
+    const bool sync_point = t % cfg_.tau == 0;
+    const std::size_t k = t / cfg_.tau;
+
+    if (alg.three_tier() && sync_point) {
+      for (EdgeState& e : edges) {
+        // An edge with no survivors (node outage or all workers absent)
+        // holds its state; its workers are handled by absent_sync below.
+        if (part && !part->edge_active(e.id)) continue;
+        alg.edge_sync(ctx, e, k);
+      }
     }
 
     if (t % global_period == 0) {
       const std::size_t p = t / global_period;
-      alg.cloud_sync(ctx, p);
+      const bool any_survivor =
+          !part || (alg.three_tier()
+                        ? [&] {
+                            for (const EdgeState& e : edges) {
+                              if (part->edge_active(e.id)) return true;
+                            }
+                            return false;
+                          }()
+                        : part->num_active() > 0);
+      if (any_survivor) alg.cloud_sync(ctx, p);
       record(t, cloud.x);
     } else if (cfg_.eval_every != 0 && t % cfg_.eval_every == 0) {
       // Between synchronizations, evaluate the data-weighted average of the
@@ -191,6 +221,30 @@ RunResult Engine::run(Algorithm& alg) {
       aggregate_global(workers, worker_x, avg_scratch);
       record(t, avg_scratch);
     }
+
+    if (part && sync_point) {
+      // Absent-worker policy + participation bookkeeping, once per interval.
+      std::size_t active_edges = 0;
+      for (const EdgeState& e : edges) {
+        if (part->edge_active(e.id)) ++active_edges;
+      }
+      for (WorkerState& w : workers) {
+        if (part->worker_active(w.id)) continue;
+        alg.absent_sync(ctx, w, k);
+        ++result.worker_miss_counts[w.id];
+      }
+      result.participation.push_back(
+          {k, part->num_active(), workers.size(), active_edges, edges.size(),
+           static_cast<Scalar>(part->num_active()) /
+               static_cast<Scalar>(workers.size())});
+    }
+  }
+
+  if (!result.participation.empty()) {
+    Scalar sum = 0;
+    for (const ParticipationPoint& p : result.participation) sum += p.rate;
+    result.mean_participation_rate =
+        sum / static_cast<Scalar>(result.participation.size());
   }
 
   result.final_accuracy = result.curve.back().test_accuracy;

@@ -8,9 +8,9 @@ namespace hfl::fl {
 
 std::size_t RunResult::iterations_to_accuracy(Scalar target) const {
   for (const MetricPoint& p : curve) {
-    if (p.test_accuracy >= target) return std::max<std::size_t>(p.iteration, 1);
+    if (p.test_accuracy >= target) return p.iteration;
   }
-  return 0;
+  return npos;
 }
 
 Scalar RunResult::best_accuracy() const {
@@ -28,6 +28,23 @@ void write_curves_csv(const std::vector<RunResult>& results,
       csv.write_row({r.algorithm, std::to_string(p.iteration),
                      CsvWriter::format_scalar(p.test_loss),
                      CsvWriter::format_scalar(p.test_accuracy)});
+    }
+  }
+}
+
+void write_participation_csv(const std::vector<RunResult>& results,
+                             const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_header({"algorithm", "interval", "active_workers", "total_workers",
+                    "active_edges", "total_edges", "rate"});
+  for (const RunResult& r : results) {
+    for (const ParticipationPoint& p : r.participation) {
+      csv.write_row({r.algorithm, std::to_string(p.interval),
+                     std::to_string(p.active_workers),
+                     std::to_string(p.total_workers),
+                     std::to_string(p.active_edges),
+                     std::to_string(p.total_edges),
+                     CsvWriter::format_scalar(p.rate)});
     }
   }
 }

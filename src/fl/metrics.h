@@ -1,6 +1,8 @@
-// Run results: the accuracy/loss curve and summary statistics.
+// Run results: the accuracy/loss curve, participation trace and summary
+// statistics.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -14,15 +16,37 @@ struct MetricPoint {
   Scalar test_accuracy = 0;
 };
 
+// One edge interval of a fault-driven run: how many workers made the
+// synchronization at t = kτ.
+struct ParticipationPoint {
+  std::size_t interval = 0;        // k (1-based)
+  std::size_t active_workers = 0;  // survivors that synced
+  std::size_t total_workers = 0;
+  std::size_t active_edges = 0;    // edges that aggregated this interval
+  std::size_t total_edges = 0;
+  Scalar rate = 1.0;               // active_workers / total_workers
+};
+
 struct RunResult {
+  // Sentinel for "never reached" (mirrors std::string::npos; iteration 0 is
+  // a legitimate answer — the initial model can already satisfy a target).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   std::string algorithm;
   std::vector<MetricPoint> curve;  // includes t = 0 and every cloud sync
   Scalar final_accuracy = 0;
   Scalar final_loss = 0;
   double wall_seconds = 0;  // host time spent simulating (not modeled time)
 
-  // First iteration at which test accuracy reached `target`, or 0 if never.
-  // Linear search over the recorded curve.
+  // Fault-driven runs only (empty / 1.0 for fault-free runs): one entry per
+  // edge interval, per-worker missed-sync counts, and the mean worker
+  // participation rate over the whole run.
+  std::vector<ParticipationPoint> participation;
+  std::vector<std::size_t> worker_miss_counts;
+  Scalar mean_participation_rate = 1.0;
+
+  // First recorded iteration at which test accuracy reached `target`, or
+  // `npos` if the curve never gets there. Linear search over the curve.
   std::size_t iterations_to_accuracy(Scalar target) const;
 
   // Best accuracy seen anywhere on the curve.
@@ -31,7 +55,14 @@ struct RunResult {
 
 // Writes one curve per result to a CSV with columns
 // (algorithm, iteration, test_loss, test_accuracy).
+// Missing parent directories are created (see CsvWriter).
 void write_curves_csv(const std::vector<RunResult>& results,
                       const std::string& path);
+
+// Writes the per-interval participation traces to a CSV with columns
+// (algorithm, interval, active_workers, total_workers, active_edges,
+// total_edges, rate). Results without a participation trace are skipped.
+void write_participation_csv(const std::vector<RunResult>& results,
+                             const std::string& path);
 
 }  // namespace hfl::fl

@@ -1,5 +1,7 @@
 #include "src/fl/state.h"
 
+#include "src/fl/availability.h"
+
 namespace hfl::fl {
 
 Scalar WorkerState::compute_gradient(const Vec& at) {
@@ -65,6 +67,45 @@ void aggregate_global(const std::vector<WorkerState>& workers,
   for (const WorkerState& w : workers) {
     tl_agg_vecs.push_back(&acc(w));
     tl_agg_weights.push_back(w.weight_global);
+  }
+  vec::weighted_sum(std::span<const Vec* const>(tl_agg_vecs), tl_agg_weights,
+                    out);
+}
+
+void aggregate_edge(const Topology& topo, std::size_t edge,
+                    const std::vector<WorkerState>& workers,
+                    WorkerVecAccessor acc, Vec& out,
+                    const Participation* part) {
+  if (part == nullptr) {
+    aggregate_edge(topo, edge, workers, acc, out);
+    return;
+  }
+  const auto& ids = part->active_workers_of_edge(edge);
+  HFL_CHECK(!ids.empty(), "edge has no participating workers this interval");
+  tl_agg_vecs.clear();
+  tl_agg_weights.clear();
+  for (const std::size_t id : ids) {
+    tl_agg_vecs.push_back(&acc(workers[id]));
+    tl_agg_weights.push_back(part->weight_in_edge(id));
+  }
+  vec::weighted_sum(std::span<const Vec* const>(tl_agg_vecs), tl_agg_weights,
+                    out);
+}
+
+void aggregate_global(const std::vector<WorkerState>& workers,
+                      WorkerVecAccessor acc, Vec& out,
+                      const Participation* part) {
+  if (part == nullptr) {
+    aggregate_global(workers, acc, out);
+    return;
+  }
+  HFL_CHECK(part->num_active() > 0, "no participating workers this round");
+  tl_agg_vecs.clear();
+  tl_agg_weights.clear();
+  for (const WorkerState& w : workers) {
+    if (!part->worker_active(w.id)) continue;
+    tl_agg_vecs.push_back(&acc(w));
+    tl_agg_weights.push_back(part->weight_global(w.id));
   }
   vec::weighted_sum(std::span<const Vec* const>(tl_agg_vecs), tl_agg_weights,
                     out);

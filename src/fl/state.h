@@ -95,6 +95,8 @@ struct CloudState {
 // returns the vector to aggregate; weights are the paper's D-ratios.
 using WorkerVecAccessor = const Vec& (*)(const WorkerState&);
 
+class Participation;  // src/fl/availability.h
+
 // out = Σ_{i ∈ edge ℓ} (D_{i,ℓ}/D_ℓ) · acc(worker_i)
 void aggregate_edge(const Topology& topo, std::size_t edge,
                     const std::vector<WorkerState>& workers,
@@ -103,6 +105,18 @@ void aggregate_edge(const Topology& topo, std::size_t edge,
 // out = Σ_i (D_{i,ℓ}/D) · acc(worker_i) over all workers.
 void aggregate_global(const std::vector<WorkerState>& workers,
                       WorkerVecAccessor acc, Vec& out);
+
+// Partial-participation overloads: only surviving workers contribute, with
+// their data weights renormalized over the survivors. A null `part` takes
+// the exact full-participation path above (bit-identical results). The
+// participating set must be non-empty (the engine skips syncs for tiers
+// with no survivors).
+void aggregate_edge(const Topology& topo, std::size_t edge,
+                    const std::vector<WorkerState>& workers,
+                    WorkerVecAccessor acc, Vec& out, const Participation* part);
+void aggregate_global(const std::vector<WorkerState>& workers,
+                      WorkerVecAccessor acc, Vec& out,
+                      const Participation* part);
 
 // Common accessors.
 const Vec& worker_x(const WorkerState& w);

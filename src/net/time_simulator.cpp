@@ -1,8 +1,10 @@
 #include "src/net/time_simulator.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/errors.h"
+#include "src/sim/fault_plan.h"
 
 namespace hfl::net {
 
@@ -37,17 +39,60 @@ TimeSimConfig make_time_sim_config(const std::string& algorithm,
   return sim;
 }
 
+void TimeSimConfig::validate() const {
+  HFL_CHECK(model_params > 0, "time simulation needs the model size");
+  HFL_CHECK(bytes_per_param > 0, "bytes_per_param must be positive");
+  HFL_CHECK(worker_upload_vectors >= 0 && worker_download_vectors >= 0 &&
+                edge_upload_vectors >= 0 && edge_download_vectors >= 0,
+            "message vector multiplicities must be non-negative");
+  HFL_CHECK(retry_backoff_s >= 0, "retry_backoff_s must be non-negative");
+  HFL_CHECK(retry_backoff_mult >= 1.0, "retry_backoff_mult must be >= 1");
+  HFL_CHECK(barrier_deadline_s >= 0,
+            "barrier_deadline_s must be non-negative (0 disables)");
+}
+
 TimeSimulator::TimeSimulator(const fl::Topology& topo,
                              const fl::RunConfig& cfg, TimeSimConfig sim)
     : topo_(topo), cfg_(cfg), sim_(std::move(sim)) {
-  HFL_CHECK(sim_.model_params > 0, "time simulation needs the model size");
+  cfg_.validate();
+  sim_.validate();
   HFL_CHECK(sim_.worker_devices.size() == topo_.num_workers(),
-            "one device profile per worker required");
+            "one device profile per worker required (" +
+                std::to_string(sim_.worker_devices.size()) + " profiles for " +
+                std::to_string(topo_.num_workers()) + " workers)");
+  if (sim_.fault_plan != nullptr) {
+    const fl::ParticipationSchedule& s = sim_.fault_plan->schedule();
+    HFL_CHECK(s.num_workers == topo_.num_workers() &&
+                  s.num_edges == topo_.num_edges(),
+              "fault plan was built for a different topology");
+    HFL_CHECK(s.num_intervals >= cfg_.total_iterations / cfg_.tau,
+              "fault plan covers fewer edge intervals than the run");
+  }
   build_timeline();
+}
+
+// Cost of `attempts` tries of one upload whose clean duration is sampled per
+// try: failed attempts burn a full (timed-out) transfer plus exponential
+// backoff before the retry.
+Scalar TimeSimulator::upload_with_retries(Rng& rng, const LinkProfile& link,
+                                          Scalar payload,
+                                          std::size_t concurrent,
+                                          std::size_t attempts) const {
+  Scalar total = 0;
+  Scalar backoff = sim_.retry_backoff_s;
+  for (std::size_t a = 1; a <= attempts; ++a) {
+    total += link.sample(rng, payload, concurrent);
+    if (a < attempts) {
+      total += backoff;
+      backoff *= sim_.retry_backoff_mult;
+    }
+  }
+  return total;
 }
 
 void TimeSimulator::build_timeline() {
   Rng rng(sim_.seed);
+  const sim::FaultPlan* plan = sim_.fault_plan;
   const std::size_t T = cfg_.total_iterations;
   cumulative_.assign(T + 1, 0.0);
 
@@ -61,19 +106,31 @@ void TimeSimulator::build_timeline() {
     const std::size_t K = T / cfg_.tau;
     for (std::size_t k = 1; k <= K; ++k) {
       for (std::size_t e = 0; e < topo_.num_edges(); ++e) {
+        // A dark edge node runs no barrier this interval: its subtree's
+        // clock simply does not advance.
+        if (plan != nullptr && !plan->edge_available(k, e)) continue;
         // Workers compute τ iterations in parallel; the edge waits for the
         // slowest (compute + upload over WiFi).
         Scalar slowest = 0;
+        bool any_upload = plan == nullptr;
         for (const std::size_t w : topo_.workers_of_edge(e)) {
+          if (plan != nullptr && !plan->worker_available(k, w)) continue;
           Scalar compute = 0;
           for (std::size_t i = 0; i < cfg_.tau; ++i) {
             compute += sim_.worker_devices[w].sample(rng);
           }
+          if (plan != nullptr) compute *= plan->worker_slowdown(k, w);
           // All workers of this edge share the WiFi uplink.
-          const Scalar up = sim_.worker_edge_link.sample(
-              rng, payload * sim_.worker_upload_vectors,
-              topo_.workers_in_edge(e));
+          const Scalar up = upload_with_retries(
+              rng, sim_.worker_edge_link,
+              payload * sim_.worker_upload_vectors, topo_.workers_in_edge(e),
+              plan == nullptr ? 1 : plan->upload_attempts(k, w));
           slowest = std::max(slowest, compute + up);
+          any_upload = true;
+        }
+        if (!any_upload) continue;  // whole membership absent: no barrier
+        if (sim_.barrier_deadline_s > 0) {
+          slowest = std::min(slowest, sim_.barrier_deadline_s);
         }
         const Scalar agg = sim_.edge_device.sample(rng);
         const Scalar down = sim_.worker_edge_link.sample(
@@ -85,21 +142,42 @@ void TimeSimulator::build_timeline() {
       const bool cloud_round = (k % cfg_.pi) == 0;
       Scalar now;
       if (cloud_round) {
-        // Cloud barrier: every edge uploads over the public Internet; the
-        // cloud waits for the slowest, aggregates, and pushes back.
+        // Cloud barrier: every reachable edge uploads over the public
+        // Internet; the cloud waits for the slowest, aggregates, and pushes
+        // back.
         Scalar slowest_edge = 0;
+        bool any_edge = false;
         // L edge nodes share the cloud's access link (Fig. 1: only L
         // connections traverse the public Internet).
         for (std::size_t e = 0; e < topo_.num_edges(); ++e) {
+          if (plan != nullptr) {
+            // Same rule as the engine: an edge joins the cloud barrier only
+            // if it is reachable and has at least one surviving worker.
+            if (!plan->edge_available(k, e)) continue;
+            bool survivor = false;
+            for (const std::size_t w : topo_.workers_of_edge(e)) {
+              if (plan->worker_available(k, w)) {
+                survivor = true;
+                break;
+              }
+            }
+            if (!survivor) continue;
+          }
           const Scalar up = sim_.edge_cloud_link.sample(
               rng, payload * sim_.edge_upload_vectors, topo_.num_edges());
           slowest_edge = std::max(slowest_edge, edge_clock[e] + up);
+          any_edge = true;
         }
-        const Scalar agg = sim_.cloud_device.sample(rng);
-        const Scalar down = sim_.edge_cloud_link.sample(
-            rng, payload * sim_.edge_download_vectors, topo_.num_edges());
-        now = slowest_edge + agg + down;
-        std::fill(edge_clock.begin(), edge_clock.end(), now);
+        if (any_edge) {
+          const Scalar agg = sim_.cloud_device.sample(rng);
+          const Scalar down = sim_.edge_cloud_link.sample(
+              rng, payload * sim_.edge_download_vectors, topo_.num_edges());
+          now = slowest_edge + agg + down;
+          // Every edge re-aligns at the barrier (dark edges rejoin here).
+          std::fill(edge_clock.begin(), edge_clock.end(), now);
+        } else {
+          now = *std::max_element(edge_clock.begin(), edge_clock.end());
+        }
       } else {
         now = *std::max_element(edge_clock.begin(), edge_clock.end());
       }
@@ -120,22 +198,34 @@ void TimeSimulator::build_timeline() {
     Scalar clock = 0;
     for (std::size_t r = 1; r <= rounds; ++r) {
       Scalar slowest = 0;
+      bool any_upload = plan == nullptr;
       for (std::size_t w = 0; w < topo_.num_workers(); ++w) {
+        if (plan != nullptr && !plan->worker_available(r, w)) continue;
         Scalar compute = 0;
         for (std::size_t i = 0; i < cfg_.tau; ++i) {
           compute += sim_.worker_devices[w].sample(rng);
         }
+        if (plan != nullptr) compute *= plan->worker_slowdown(r, w);
         // Every worker's end-to-end connection traverses the public
         // Internet and contends for the cloud's access bandwidth (Fig. 1:
         // N connections instead of L).
-        const Scalar up = sim_.worker_cloud_link.sample(
-            rng, payload * sim_.worker_upload_vectors, topo_.num_workers());
+        const Scalar up = upload_with_retries(
+            rng, sim_.worker_cloud_link, payload * sim_.worker_upload_vectors,
+            topo_.num_workers(),
+            plan == nullptr ? 1 : plan->upload_attempts(r, w));
         slowest = std::max(slowest, compute + up);
+        any_upload = true;
       }
-      const Scalar agg = sim_.cloud_device.sample(rng);
-      const Scalar down = sim_.worker_cloud_link.sample(
-          rng, payload * sim_.worker_download_vectors, topo_.num_workers());
-      const Scalar now = clock + slowest + agg + down;
+      Scalar now = clock;
+      if (any_upload) {
+        if (sim_.barrier_deadline_s > 0) {
+          slowest = std::min(slowest, sim_.barrier_deadline_s);
+        }
+        const Scalar agg = sim_.cloud_device.sample(rng);
+        const Scalar down = sim_.worker_cloud_link.sample(
+            rng, payload * sim_.worker_download_vectors, topo_.num_workers());
+        now = clock + slowest + agg + down;
+      }
 
       const std::size_t lo = (r - 1) * cfg_.tau;
       for (std::size_t i = 1; i <= cfg_.tau; ++i) {
@@ -156,7 +246,7 @@ Scalar TimeSimulator::time_at_iteration(std::size_t t) const {
 Scalar TimeSimulator::time_to_accuracy(const fl::RunResult& result,
                                        Scalar target) const {
   const std::size_t t = result.iterations_to_accuracy(target);
-  if (t == 0) return 0;
+  if (t == fl::RunResult::npos) return kNeverReached;
   return time_at_iteration(std::min(t, cumulative_.size() - 1));
 }
 

@@ -24,6 +24,10 @@
 #include "src/fl/topology.h"
 #include "src/net/profiles.h"
 
+namespace hfl::sim {
+class FaultPlan;  // src/sim/fault_plan.h
+}
+
 namespace hfl::net {
 
 struct TimeSimConfig {
@@ -46,6 +50,29 @@ struct TimeSimConfig {
   LinkProfile worker_cloud_link = public_internet();  // two-tier
 
   std::uint64_t seed = 7;
+
+  // ---- Fault-aware replay (optional) ----
+  //
+  // When `fault_plan` is set (it must outlive the simulator and match the
+  // same topology/run), the timeline reflects the plan: absent workers
+  // contribute nothing to their barrier, stragglers' compute is stretched
+  // by their slowdown factor, and each failed upload attempt costs one
+  // timed-out transfer plus an exponential backoff before the retry
+  // (backoff_base_s · backoff_mult^(attempt−1)). A null plan reproduces the
+  // fault-free timeline bit for bit.
+  const sim::FaultPlan* fault_plan = nullptr;
+  Scalar retry_backoff_s = 0.5;    // backoff after the first failed attempt
+  Scalar retry_backoff_mult = 2.0; // growth per further failure
+  // Deadline-based barriers: > 0 caps how long an aggregator waits for its
+  // slowest uploader (stragglers past the budget are dropped at the
+  // barrier, which the fault plan's deadline policy mirrors). 0 = wait for
+  // the slowest, the paper's pure barrier.
+  Scalar barrier_deadline_s = 0.0;
+
+  // Throws hfl::Error on inconsistent settings (called by TimeSimulator,
+  // which additionally checks the per-worker roster size and, when a fault
+  // plan is attached, its shape against the run).
+  void validate() const;
 };
 
 // Per-algorithm message multiplicities for the algorithms in the registry.
@@ -66,12 +93,19 @@ class TimeSimulator {
   // Total simulated time for the full run.
   Scalar total_time() const { return time_at_iteration(cfg_.total_iterations); }
 
+  // Sentinel returned by time_to_accuracy when the curve never reaches the
+  // target (0 is a legitimate answer: the initial model may already qualify).
+  static constexpr Scalar kNeverReached = -1.0;
+
   // Wall-clock seconds at which the run (whose accuracy curve is `result`)
-  // first reaches `target` accuracy; 0 if it never does.
+  // first reaches `target` accuracy; kNeverReached if it never does.
   Scalar time_to_accuracy(const fl::RunResult& result, Scalar target) const;
 
  private:
   void build_timeline();
+  Scalar upload_with_retries(Rng& rng, const LinkProfile& link, Scalar payload,
+                             std::size_t concurrent,
+                             std::size_t attempts) const;
 
   fl::Topology topo_;
   fl::RunConfig cfg_;

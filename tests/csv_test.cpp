@@ -60,8 +60,24 @@ TEST_F(CsvTest, FormatScalarPrecision) {
   EXPECT_NE(pi.find("3.14159265"), std::string::npos);
 }
 
+TEST(CsvWriterTest, CreatesMissingParentDirectories) {
+  const std::string dir = ::testing::TempDir() + "csv_nested_a/b";
+  const std::string path = dir + "/out.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"x"});
+  }
+  EXPECT_EQ(read_file(path), "x\n");
+  std::remove(path.c_str());
+}
+
 TEST(CsvWriterTest, BadPathThrows) {
-  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), Error);
+  // Parent "directory" is actually a regular file: create_directories fails
+  // and the writer must surface that as an hfl::Error.
+  const std::string blocker = ::testing::TempDir() + "csv_blocker_file";
+  { std::ofstream(blocker) << "not a directory"; }
+  EXPECT_THROW(CsvWriter(blocker + "/sub/file.csv"), Error);
+  std::remove(blocker.c_str());
 }
 
 TEST(LoggingTest, LevelFiltering) {

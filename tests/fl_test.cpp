@@ -208,7 +208,9 @@ TEST(EngineTest, IterationsToAccuracyMonotoneLookup) {
   r.curve = {{0, 1.0, 0.1}, {10, 0.5, 0.6}, {20, 0.3, 0.9}};
   EXPECT_EQ(r.iterations_to_accuracy(0.55), 10u);
   EXPECT_EQ(r.iterations_to_accuracy(0.85), 20u);
-  EXPECT_EQ(r.iterations_to_accuracy(0.95), 0u);
+  // Reached at t = 0 and never reached are distinct answers now.
+  EXPECT_EQ(r.iterations_to_accuracy(0.05), 0u);
+  EXPECT_EQ(r.iterations_to_accuracy(0.95), RunResult::npos);
   EXPECT_DOUBLE_EQ(r.best_accuracy(), 0.9);
 }
 

@@ -1,0 +1,370 @@
+// Fault & availability subsystem tests: FaultPlan determinism, the no-op
+// bit-identity guarantee, identical traces across algorithms, absent-worker
+// momentum policies and config validation.
+#include <gtest/gtest.h>
+
+#include "src/common/errors.h"
+
+#include "src/algs/registry.h"
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+#include "src/fl/engine.h"
+#include "src/nn/models.h"
+#include "src/sim/fault_plan.h"
+
+namespace hfl::sim {
+namespace {
+
+struct SimFixture {
+  data::TrainTest dataset;
+  fl::Topology topo{fl::Topology::uniform(2, 2)};
+  data::Partition partition;
+  nn::ModelFactory factory;
+  fl::RunConfig cfg;
+
+  SimFixture() {
+    Rng rng(3);
+    data::SyntheticSpec spec;
+    spec.sample_shape = {1, 2, 2};
+    spec.num_classes = 2;
+    spec.train_size = 40;
+    spec.test_size = 20;
+    dataset = data::make_synthetic(rng, spec);
+    partition = data::partition_iid(dataset.train, 4, rng);
+    factory = nn::logistic_regression({1, 2, 2}, 2);
+
+    cfg.tau = 2;
+    cfg.pi = 2;
+    cfg.total_iterations = 12;  // 6 edge intervals, 3 cloud rounds
+    cfg.batch_size = 4;
+    cfg.seed = 5;
+  }
+
+  fl::Engine make_engine() {
+    return fl::Engine(factory, dataset, partition, topo, cfg);
+  }
+};
+
+FaultConfig dropout_config(Scalar prob, std::uint64_t seed = 42) {
+  FaultConfig fc;
+  fc.seed = seed;
+  fc.dropout.prob = prob;
+  return fc;
+}
+
+// ---- FaultPlan determinism contract ----
+
+TEST(FaultPlanTest, IdenticalInputsGiveBitIdenticalPlans) {
+  const fl::Topology topo = fl::Topology::uniform(3, 4);
+  fl::RunConfig run;
+  run.tau = 5;
+  run.pi = 2;
+  run.total_iterations = 100;
+
+  FaultConfig fc;
+  fc.seed = 9;
+  fc.dropout.prob = 0.2;
+  fc.churn.p_fail = 0.1;
+  fc.churn.p_recover = 0.5;
+  fc.straggler.fraction = 0.3;
+  fc.straggler.slowdown = 3.0;
+  fc.straggler.jitter = 0.2;
+  fc.link.loss_prob = 0.2;
+  fc.edge_outage.prob = 0.05;
+
+  const FaultPlan a(topo, run, fc);
+  const FaultPlan b(topo, run, fc);
+  EXPECT_EQ(a.schedule().worker_up, b.schedule().worker_up);
+  EXPECT_EQ(a.schedule().slowdown, b.schedule().slowdown);
+  EXPECT_EQ(a.schedule().edge_up, b.schedule().edge_up);
+  for (std::size_t k = 1; k <= a.num_intervals(); ++k) {
+    for (std::size_t w = 0; w < topo.num_workers(); ++w) {
+      EXPECT_EQ(a.upload_attempts(k, w), b.upload_attempts(k, w));
+    }
+  }
+}
+
+TEST(FaultPlanTest, SeedChangesTheTrace) {
+  const fl::Topology topo = fl::Topology::uniform(2, 4);
+  fl::RunConfig run;
+  run.tau = 5;
+  run.pi = 2;
+  run.total_iterations = 100;
+  const FaultPlan a(topo, run, dropout_config(0.5, 1));
+  const FaultPlan b(topo, run, dropout_config(0.5, 2));
+  EXPECT_NE(a.schedule().worker_up, b.schedule().worker_up);
+}
+
+TEST(FaultPlanTest, DropoutRateMatchesProbability) {
+  const fl::Topology topo = fl::Topology::uniform(4, 10);
+  fl::RunConfig run;
+  run.tau = 1;
+  run.pi = 1;
+  run.total_iterations = 200;  // 200 intervals × 40 workers = 8000 slots
+  const FaultPlan plan(topo, run, dropout_config(0.3));
+  EXPECT_NEAR(plan.planned_participation(), 0.7, 0.03);
+}
+
+TEST(FaultPlanTest, NoopConfigProducesNoopSchedule) {
+  SimFixture f;
+  FaultConfig fc;  // all models off
+  EXPECT_TRUE(fc.is_noop());
+  const FaultPlan plan(f.topo, f.cfg, fc);
+  EXPECT_TRUE(plan.schedule().is_noop());
+  EXPECT_DOUBLE_EQ(plan.planned_participation(), 1.0);
+}
+
+TEST(FaultPlanTest, DeadlinePolicyDropsSlowStragglers) {
+  const fl::Topology topo = fl::Topology::uniform(2, 10);
+  fl::RunConfig run;
+  run.tau = 1;
+  run.pi = 1;
+  run.total_iterations = 100;
+  FaultConfig fc;
+  fc.straggler.fraction = 1.0;
+  fc.straggler.slowdown = 2.0;
+  fc.straggler.jitter = 0.5;
+  fc.straggler.deadline_slowdown = 2.0;
+  const FaultPlan plan(topo, run, fc);
+  // Jitter pushes some interval factors above the budget; those slots must
+  // be marked absent, all others present.
+  std::size_t dropped = 0;
+  for (std::size_t k = 1; k <= plan.num_intervals(); ++k) {
+    for (std::size_t w = 0; w < topo.num_workers(); ++w) {
+      const bool over = plan.worker_slowdown(k, w) > 2.0;
+      EXPECT_EQ(plan.worker_available(k, w), !over);
+      dropped += over ? 1 : 0;
+    }
+  }
+  EXPECT_GT(dropped, 0u);
+}
+
+TEST(FaultPlanTest, LinkFaultsBoundRetriesAndDropExhaustedWorkers) {
+  const fl::Topology topo = fl::Topology::uniform(2, 10);
+  fl::RunConfig run;
+  run.tau = 1;
+  run.pi = 1;
+  run.total_iterations = 200;
+  FaultConfig fc;
+  fc.link.loss_prob = 0.5;
+  fc.link.max_retries = 3;
+  const FaultPlan plan(topo, run, fc);
+  bool saw_retry = false, saw_drop = false;
+  for (std::size_t k = 1; k <= plan.num_intervals(); ++k) {
+    for (std::size_t w = 0; w < topo.num_workers(); ++w) {
+      const std::size_t a = plan.upload_attempts(k, w);
+      EXPECT_GE(a, 1u);
+      EXPECT_LE(a, 3u);
+      saw_retry |= a > 1;
+      saw_drop |= !plan.worker_available(k, w);
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_drop);
+}
+
+// ---- Config validation (satellite: misconfigurations throw) ----
+
+TEST(FaultConfigTest, ValidationRejectsBadModels) {
+  FaultConfig fc;
+  fc.dropout.prob = 1.5;
+  EXPECT_THROW(fc.validate(), Error);
+  fc = FaultConfig{};
+  fc.churn.p_fail = 0.2;
+  fc.churn.p_recover = 0.0;  // permanent failure: rejected
+  EXPECT_THROW(fc.validate(), Error);
+  fc = FaultConfig{};
+  fc.straggler.slowdown = 0.5;  // a speedup is not a straggler
+  EXPECT_THROW(fc.validate(), Error);
+  fc = FaultConfig{};
+  fc.link.loss_prob = 1.0;  // every attempt fails: nothing ever uploads
+  EXPECT_THROW(fc.validate(), Error);
+  fc = FaultConfig{};
+  fc.link.max_retries = 0;
+  EXPECT_THROW(fc.validate(), Error);
+  fc = FaultConfig{};
+  fc.absent_decay = 2.0;
+  EXPECT_THROW(fc.validate(), Error);
+}
+
+TEST(RunConfigTest, ValidationRejectsBadConfigs) {
+  fl::RunConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  fl::RunConfig cfg = ok;
+  cfg.tau = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = ok;
+  cfg.total_iterations = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = ok;
+  cfg.total_iterations = 25;  // not a multiple of τ·π = 20
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = ok;
+  cfg.eta = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = ok;
+  cfg.gamma = 1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = ok;
+  cfg.batch_size = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(ScheduleValidationTest, EngineRejectsMismatchedSchedules) {
+  SimFixture f;
+  fl::Engine engine = f.make_engine();
+  auto alg = algs::make_algorithm("HierAdMo");
+
+  // Built for a different topology (wrong worker count).
+  const fl::Topology other = fl::Topology::uniform(2, 3);
+  const FaultPlan plan(other, f.cfg, dropout_config(0.3));
+  EXPECT_THROW(engine.run(*alg, &plan.schedule()), Error);
+}
+
+// ---- Engine integration ----
+
+TEST(EnginePartialParticipationTest, NoopScheduleIsBitIdentical) {
+  SimFixture f;
+  fl::Engine engine = f.make_engine();
+  const FaultPlan noop(f.topo, f.cfg, FaultConfig{});
+
+  auto a1 = algs::make_algorithm("HierAdMo");
+  auto a2 = algs::make_algorithm("HierAdMo");
+  const fl::RunResult plain = engine.run(*a1);
+  const fl::RunResult faulted = engine.run(*a2, &noop.schedule());
+
+  ASSERT_EQ(plain.curve.size(), faulted.curve.size());
+  for (std::size_t i = 0; i < plain.curve.size(); ++i) {
+    EXPECT_EQ(plain.curve[i].iteration, faulted.curve[i].iteration);
+    // Bit-identity, not approximate equality: the no-op path must not even
+    // renormalize weights.
+    EXPECT_EQ(plain.curve[i].test_loss, faulted.curve[i].test_loss);
+    EXPECT_EQ(plain.curve[i].test_accuracy, faulted.curve[i].test_accuracy);
+  }
+  EXPECT_EQ(plain.final_accuracy, faulted.final_accuracy);
+  EXPECT_TRUE(faulted.participation.empty());
+  EXPECT_DOUBLE_EQ(faulted.mean_participation_rate, 1.0);
+}
+
+TEST(EnginePartialParticipationTest, FaultedRunsAreReproducible) {
+  SimFixture f;
+  fl::Engine engine = f.make_engine();
+  const FaultPlan plan(f.topo, f.cfg, dropout_config(0.3));
+
+  auto a1 = algs::make_algorithm("HierAdMo");
+  auto a2 = algs::make_algorithm("HierAdMo");
+  const fl::RunResult r1 = engine.run(*a1, &plan.schedule());
+  const fl::RunResult r2 = engine.run(*a2, &plan.schedule());
+
+  ASSERT_EQ(r1.curve.size(), r2.curve.size());
+  for (std::size_t i = 0; i < r1.curve.size(); ++i) {
+    EXPECT_EQ(r1.curve[i].test_loss, r2.curve[i].test_loss);
+    EXPECT_EQ(r1.curve[i].test_accuracy, r2.curve[i].test_accuracy);
+  }
+  ASSERT_EQ(r1.participation.size(), r2.participation.size());
+  for (std::size_t i = 0; i < r1.participation.size(); ++i) {
+    EXPECT_EQ(r1.participation[i].active_workers,
+              r2.participation[i].active_workers);
+  }
+  EXPECT_EQ(r1.worker_miss_counts, r2.worker_miss_counts);
+}
+
+TEST(EnginePartialParticipationTest, SameTraceAcrossAlgorithms) {
+  // The whole point of the plan: every algorithm in a sweep sees the
+  // identical participation schedule.
+  SimFixture f;
+  fl::Engine engine = f.make_engine();
+  const FaultPlan plan(f.topo, f.cfg, dropout_config(0.3));
+
+  auto admo = algs::make_algorithm("HierAdMo");
+  auto favg = algs::make_algorithm("HierFAVG");
+  const fl::RunResult ra = engine.run(*admo, &plan.schedule());
+  const fl::RunResult rf = engine.run(*favg, &plan.schedule());
+
+  ASSERT_EQ(ra.participation.size(), rf.participation.size());
+  ASSERT_GT(ra.participation.size(), 0u);
+  for (std::size_t i = 0; i < ra.participation.size(); ++i) {
+    EXPECT_EQ(ra.participation[i].interval, rf.participation[i].interval);
+    EXPECT_EQ(ra.participation[i].active_workers,
+              rf.participation[i].active_workers);
+    EXPECT_EQ(ra.participation[i].active_edges,
+              rf.participation[i].active_edges);
+  }
+  EXPECT_EQ(ra.worker_miss_counts, rf.worker_miss_counts);
+  EXPECT_DOUBLE_EQ(ra.mean_participation_rate, rf.mean_participation_rate);
+}
+
+TEST(EnginePartialParticipationTest, ParticipationTraceIsConsistent) {
+  SimFixture f;
+  fl::Engine engine = f.make_engine();
+  const FaultPlan plan(f.topo, f.cfg, dropout_config(0.4, 11));
+  auto alg = algs::make_algorithm("HierAdMo");
+  const fl::RunResult r = engine.run(*alg, &plan.schedule());
+
+  ASSERT_EQ(r.participation.size(), f.cfg.total_iterations / f.cfg.tau);
+  std::size_t misses = 0;
+  for (const fl::ParticipationPoint& p : r.participation) {
+    EXPECT_EQ(p.total_workers, 4u);
+    EXPECT_EQ(p.total_edges, 2u);
+    EXPECT_LE(p.active_workers, p.total_workers);
+    EXPECT_DOUBLE_EQ(
+        p.rate, static_cast<Scalar>(p.active_workers) / p.total_workers);
+    misses += p.total_workers - p.active_workers;
+  }
+  std::size_t miss_sum = 0;
+  ASSERT_EQ(r.worker_miss_counts.size(), 4u);
+  for (const std::size_t m : r.worker_miss_counts) miss_sum += m;
+  EXPECT_EQ(miss_sum, misses);
+  EXPECT_GT(miss_sum, 0u);  // dropout 0.4 over 24 slots: misses happen
+  EXPECT_GT(r.mean_participation_rate, 0.0);
+  EXPECT_LT(r.mean_participation_rate, 1.0);
+}
+
+TEST(EnginePartialParticipationTest, AbsentPoliciesDiverge) {
+  SimFixture f;
+  fl::Engine engine = f.make_engine();
+
+  auto run_with_policy = [&](fl::AbsentPolicy policy) {
+    FaultConfig fc = dropout_config(0.4, 11);
+    fc.absent_policy = policy;
+    fc.absent_decay = 0.5;
+    const FaultPlan plan(f.topo, f.cfg, fc);
+    auto alg = algs::make_algorithm("HierAdMo");
+    return engine.run(*alg, &plan.schedule());
+  };
+
+  const fl::RunResult hold = run_with_policy(fl::AbsentPolicy::kHold);
+  const fl::RunResult reset = run_with_policy(fl::AbsentPolicy::kReset);
+  const fl::RunResult decay = run_with_policy(fl::AbsentPolicy::kDecay);
+
+  // All policies train to something sane on the same fault trace...
+  EXPECT_GT(hold.final_accuracy, 0.0);
+  EXPECT_GT(reset.final_accuracy, 0.0);
+  EXPECT_GT(decay.final_accuracy, 0.0);
+  // ...but handle absent momentum differently, so the trajectories differ.
+  EXPECT_NE(hold.curve.back().test_loss, reset.curve.back().test_loss);
+}
+
+TEST(EnginePartialParticipationTest, TwoTierAlgorithmsReplayTheSamePlan) {
+  SimFixture f;
+  f.cfg.pi = 1;
+  f.cfg.total_iterations = 12;
+  fl::Engine engine(f.factory, f.dataset, f.partition, f.topo, f.cfg);
+  const FaultPlan plan(f.topo, f.cfg, dropout_config(0.3));
+
+  auto nag = algs::make_algorithm("FedNAG");
+  auto slowmo = algs::make_algorithm("SlowMo");
+  const fl::RunResult rn = engine.run(*nag, &plan.schedule());
+  const fl::RunResult rs = engine.run(*slowmo, &plan.schedule());
+  ASSERT_EQ(rn.participation.size(), rs.participation.size());
+  for (std::size_t i = 0; i < rn.participation.size(); ++i) {
+    EXPECT_EQ(rn.participation[i].active_workers,
+              rs.participation[i].active_workers);
+  }
+  EXPECT_GT(rn.final_accuracy, 0.0);
+  EXPECT_GT(rs.final_accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace hfl::sim

@@ -1,0 +1,221 @@
+// TimeSimulator barrier math under zero-variance profiles (hand-computed
+// expected times for two- and three-tier), identical-seed trace regression,
+// and the fault-aware timeline extensions (stragglers, retries, deadlines).
+#include <gtest/gtest.h>
+
+#include "src/common/errors.h"
+
+#include "src/net/time_simulator.h"
+#include "src/sim/fault_plan.h"
+
+namespace hfl::net {
+namespace {
+
+// All randomness off: device delay = mean, link delay = latency + payload ×
+// concurrent / bandwidth. Barrier times are then exact closed forms.
+DeviceProfile fixed_device(Scalar mean) {
+  DeviceProfile d;
+  d.name = "fixed";
+  d.mean_s = mean;
+  d.std_s = 0.0;
+  return d;
+}
+
+LinkProfile fixed_link() {
+  LinkProfile l;
+  l.name = "fixed";
+  l.latency_s = 0.1;
+  l.bandwidth_bytes_per_s = 4e4;
+  l.jitter = 0.0;
+  return l;
+}
+
+fl::RunConfig run_config(std::size_t T, std::size_t tau, std::size_t pi) {
+  fl::RunConfig cfg;
+  cfg.total_iterations = T;
+  cfg.tau = tau;
+  cfg.pi = pi;
+  return cfg;
+}
+
+// 1000 params × 4 B = 4000 B payload ⇒ 0.1 s per concurrent sender on the
+// 4e4 B/s links below.
+TimeSimConfig fixed_sim(const fl::Topology& topo, bool three_tier) {
+  TimeSimConfig sim;
+  sim.three_tier = three_tier;
+  sim.model_params = 1000;
+  sim.worker_devices.assign(topo.num_workers(), fixed_device(1.0));
+  sim.edge_device = fixed_device(0.5);
+  sim.cloud_device = fixed_device(0.5);
+  sim.worker_edge_link = fixed_link();
+  sim.edge_cloud_link = fixed_link();
+  sim.worker_cloud_link = fixed_link();
+  return sim;
+}
+
+// Default (noisy) profiles, as a real experiment would use them.
+TimeSimConfig sim_config_with_noise(const fl::Topology& topo) {
+  TimeSimConfig sim;
+  sim.three_tier = true;
+  sim.model_params = 10000;
+  sim.worker_devices = default_worker_roster(topo.num_workers());
+  return sim;
+}
+
+constexpr Scalar kTol = 1e-9;
+
+TEST(BarrierMathTest, ThreeTierHandComputed) {
+  // 2 edges × 2 workers, τ = 2, π = 2, T = 4 (one cloud round at k = 2).
+  //   worker: compute 2 × 1.0, upload 0.1 + 4000·2/4e4 = 0.3 (2 on the WiFi)
+  //   edge interval: 2.3 (slowest) + 0.5 (agg) + 0.3 (down) = 3.1
+  //   cloud round: 6.2 + 0.3 (upload, 2 edges share) + 0.5 + 0.3 = 7.3
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  TimeSimulator sim(topo, run_config(4, 2, 2), fixed_sim(topo, true));
+  EXPECT_NEAR(sim.time_at_iteration(1), 1.55, kTol);  // interpolated
+  EXPECT_NEAR(sim.time_at_iteration(2), 3.1, kTol);
+  EXPECT_NEAR(sim.time_at_iteration(3), 5.2, kTol);   // interpolated
+  EXPECT_NEAR(sim.total_time(), 7.3, kTol);
+}
+
+TEST(BarrierMathTest, TwoTierHandComputed) {
+  // 4 workers straight to the cloud, τ = 2, T = 4.
+  //   upload: 0.1 + 4000·4/4e4 = 0.5 (4 workers share the WAN)
+  //   round: 2.0 (compute) + 0.5 (up) + 0.5 (agg) + 0.5 (down) = 3.5
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  TimeSimulator sim(topo, run_config(4, 2, 1), fixed_sim(topo, false));
+  EXPECT_NEAR(sim.time_at_iteration(2), 3.5, kTol);
+  EXPECT_NEAR(sim.total_time(), 7.0, kTol);
+}
+
+TEST(BarrierMathTest, SlowestWorkerSetsTheBarrier) {
+  // Make worker 0 three times slower: the edge interval waits for it.
+  //   slowest = 2 × 3.0 + 0.3 = 6.3; interval = 6.3 + 0.5 + 0.3 = 7.1
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  TimeSimConfig sim = fixed_sim(topo, true);
+  sim.worker_devices[0] = fixed_device(3.0);
+  TimeSimulator t(topo, run_config(2, 2, 1), sim);
+  // Cloud round (π = 1) adds 0.3 + 0.5 + 0.3 on top of the slower edge; the
+  // fast edge (3.1) is absorbed by the barrier.
+  EXPECT_NEAR(t.total_time(), 7.1 + 1.1, kTol);
+}
+
+TEST(TimeSimulatorRegressionTest, IdenticalSeedIdenticalTrace) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = run_config(40, 5, 2);
+  TimeSimConfig sim = sim_config_with_noise(topo);
+  TimeSimulator a(topo, cfg, sim);
+  TimeSimulator b(topo, cfg, sim);
+  for (std::size_t t = 0; t <= 40; ++t) {
+    EXPECT_DOUBLE_EQ(a.time_at_iteration(t), b.time_at_iteration(t));
+  }
+}
+
+// ---- Fault-aware timeline ----
+
+TEST(FaultTimelineTest, NoopPlanReproducesFaultFreeTimelineBitForBit) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = run_config(40, 5, 2);
+  const sim::FaultPlan noop(topo, cfg, sim::FaultConfig{});
+
+  TimeSimConfig plain = sim_config_with_noise(topo);
+  TimeSimConfig faulted = plain;
+  faulted.fault_plan = &noop;
+
+  TimeSimulator a(topo, cfg, plain);
+  TimeSimulator b(topo, cfg, faulted);
+  for (std::size_t t = 0; t <= 40; ++t) {
+    EXPECT_DOUBLE_EQ(a.time_at_iteration(t), b.time_at_iteration(t));
+  }
+}
+
+TEST(FaultTimelineTest, StragglersStretchTheTimelineExactly) {
+  // Every worker a deterministic 3× straggler (jitter 0): compute triples.
+  //   edge interval: 2 × 3.0 + 0.3 + 0.5 + 0.3 = 7.1; cloud adds 1.1 at k=2
+  //   on top of 14.2 ⇒ total 15.3 (vs 7.3 fault-free).
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = run_config(4, 2, 2);
+  sim::FaultConfig fc;
+  fc.straggler.fraction = 1.0;
+  fc.straggler.slowdown = 3.0;
+  const sim::FaultPlan plan(topo, cfg, fc);
+
+  TimeSimConfig sim = fixed_sim(topo, true);
+  sim.fault_plan = &plan;
+  TimeSimulator t(topo, cfg, sim);
+  EXPECT_NEAR(t.total_time(), 15.3, kTol);
+}
+
+TEST(FaultTimelineTest, DeadlineCapsTheBarrierWait) {
+  // Same 3× stragglers, but the aggregator only waits 3 s:
+  //   edge interval: min(6.3, 3.0) + 0.5 + 0.3 = 3.8; cloud: 7.6 + 1.1 = 8.7
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = run_config(4, 2, 2);
+  sim::FaultConfig fc;
+  fc.straggler.fraction = 1.0;
+  fc.straggler.slowdown = 3.0;
+  const sim::FaultPlan plan(topo, cfg, fc);
+
+  TimeSimConfig sim = fixed_sim(topo, true);
+  sim.fault_plan = &plan;
+  sim.barrier_deadline_s = 3.0;
+  TimeSimulator t(topo, cfg, sim);
+  EXPECT_NEAR(t.total_time(), 8.7, kTol);
+}
+
+TEST(FaultTimelineTest, LinkRetriesCostTransfersAndBackoff) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = run_config(20, 2, 1);
+  sim::FaultConfig fc;
+  fc.link.loss_prob = 0.4;
+  fc.link.max_retries = 5;
+  const sim::FaultPlan plan(topo, cfg, fc);
+
+  TimeSimConfig plain = fixed_sim(topo, true);
+  TimeSimConfig faulted = plain;
+  faulted.fault_plan = &plan;
+  TimeSimulator a(topo, cfg, plain);
+  TimeSimulator b(topo, cfg, faulted);
+  // Retries only ever add time (extra transfers + exponential backoff).
+  EXPECT_GT(b.total_time(), a.total_time());
+}
+
+TEST(FaultTimelineTest, FullyAbsentFleetAddsNoTime) {
+  // dropout = 1: nobody ever uploads, no barrier ever completes.
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = run_config(4, 2, 2);
+  sim::FaultConfig fc;
+  fc.dropout.prob = 1.0;
+  const sim::FaultPlan plan(topo, cfg, fc);
+
+  TimeSimConfig sim = fixed_sim(topo, true);
+  sim.fault_plan = &plan;
+  TimeSimulator t(topo, cfg, sim);
+  EXPECT_DOUBLE_EQ(t.total_time(), 0.0);
+}
+
+TEST(FaultTimelineTest, ConfigValidation) {
+  const fl::Topology topo = fl::Topology::uniform(2, 2);
+  const fl::RunConfig cfg = run_config(4, 2, 2);
+
+  TimeSimConfig sim = fixed_sim(topo, true);
+  sim.retry_backoff_mult = 0.5;  // shrinking backoff
+  EXPECT_THROW(TimeSimulator(topo, cfg, sim), Error);
+
+  sim = fixed_sim(topo, true);
+  sim.retry_backoff_s = -1.0;
+  EXPECT_THROW(TimeSimulator(topo, cfg, sim), Error);
+
+  sim = fixed_sim(topo, true);
+  sim.barrier_deadline_s = -0.1;
+  EXPECT_THROW(TimeSimulator(topo, cfg, sim), Error);
+
+  // Plan built for a different topology.
+  const fl::Topology other = fl::Topology::uniform(2, 3);
+  const sim::FaultPlan plan(other, cfg, sim::FaultConfig{});
+  sim = fixed_sim(topo, true);
+  sim.fault_plan = &plan;
+  EXPECT_THROW(TimeSimulator(topo, cfg, sim), Error);
+}
+
+}  // namespace
+}  // namespace hfl::net
