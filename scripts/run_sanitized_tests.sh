@@ -11,10 +11,17 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHFL_SANITIZE=ON
+  -DHFL_SANITIZE=ON \
+  -DHFL_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # halt_on_error: make ASan findings fail the test rather than just print.
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# Telemetry-enabled end-to-end pass: the obs subsystem records from pool
+# threads, algorithm hooks and kernels concurrently, so run one full
+# instrumented example under the sanitizers too (it enables obs itself and
+# writes its artifacts into the build tree).
+(cd "$BUILD_DIR" && ./examples/telemetry_report)

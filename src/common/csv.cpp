@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <iomanip>
+#include <limits>
 #include <system_error>
 
 #include "src/common/errors.h"
@@ -40,8 +41,11 @@ void CsvWriter::write_row_scalars(const std::vector<Scalar>& values) {
 }
 
 std::string CsvWriter::format_scalar(Scalar v) {
+  // max_digits10 guarantees the shortest-read round trip: a value parsed
+  // back from the CSV is bit-identical to what was written, so exported
+  // curves and telemetry can be diffed exactly across runs.
   std::ostringstream os;
-  os << std::setprecision(12) << v;
+  os << std::setprecision(std::numeric_limits<Scalar>::max_digits10) << v;
   return os.str();
 }
 

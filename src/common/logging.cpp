@@ -22,11 +22,20 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+bool log_enabled(LogLevel level) {
+  return level >= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level.load()) return;
+  if (!log_enabled(level)) return;
+  // One lock per emitted line: concurrent pool-thread logs come out whole,
+  // never interleaved mid-line.
   std::lock_guard<std::mutex> lock(g_mutex);
   std::cerr << "[" << level_name(level) << "] " << msg << '\n';
 }

@@ -2,7 +2,10 @@
 //
 // Simulation runs are long; progress lines (accuracy at each cloud round,
 // bench sweep positions) go through here so they can be silenced globally in
-// tests. Not thread-safe beyond line-atomicity (a mutex serializes writes).
+// tests. Thread-safe: pool threads log concurrently with the main thread, so
+// a mutex serializes the actual stderr writes (whole lines never interleave)
+// while the level check is a lock-free relaxed atomic load — a suppressed
+// message costs no lock and, via LogLine, no formatting either.
 #pragma once
 
 #include <sstream>
@@ -16,21 +19,28 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+// Lock-free: one relaxed atomic load.
+bool log_enabled(LogLevel level);
+
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, os_.str()); }
+  explicit LogLine(LogLevel level)
+      : level_(level), enabled_(log_enabled(level)) {}
+  ~LogLine() {
+    if (enabled_) log_message(level_, os_.str());
+  }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    os_ << v;
+    if (enabled_) os_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream os_;
 };
 }  // namespace detail

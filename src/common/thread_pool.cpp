@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <string>
+
+#include "src/obs/registry.h"
 
 namespace hfl {
 namespace {
@@ -18,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -32,15 +36,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
+    depth = tasks_.size();
   }
   cv_.notify_one();
+  if (obs::enabled()) {
+    static obs::Histogram& queue_depth = obs::Registry::global().histogram(
+        "pool.queue_depth", "", {1, 2, 4, 8, 16, 32, 64, 128});
+    queue_depth.observe(static_cast<double>(depth));
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   tl_worker_pool = this;
+  // Fetched once per worker; the registry keeps handles stable across
+  // reset(), so the reference stays valid for the pool's lifetime.
+  obs::Counter& busy_ns = obs::Registry::global().counter(
+      "pool.busy_ns", "worker=" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -50,7 +65,16 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (obs::enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      busy_ns.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      task();
+    }
   }
 }
 

@@ -7,6 +7,11 @@
 //
 // `parallel_for` blocks until all indices are processed and rethrows the first
 // exception raised by any task.
+//
+// Telemetry (src/obs, off by default): the pool records the task-queue depth
+// at each submit (histogram "pool.queue_depth") and per-worker busy time
+// (counter "pool.busy_ns" with label "worker=<i>") so a trace can show how
+// evenly the simulated workers load the host threads.
 #pragma once
 
 #include <condition_variable>
@@ -40,7 +45,7 @@ class ThreadPool {
 
  private:
   void submit(std::function<void()> task);
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

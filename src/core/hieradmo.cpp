@@ -1,6 +1,7 @@
 #include "src/core/hieradmo.h"
 
 #include "src/core/nag.h"
+#include "src/obs/comm.h"
 
 namespace hfl::core {
 
@@ -87,10 +88,20 @@ void HierAdMo::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
   if (options_.upload_compressor) {
     for (const std::size_t id : fl::active_workers(ctx.part, *ctx.topo, e.id)) {
       fl::WorkerState& w = workers[id];
-      options_.upload_compressor->compress(w.x);
-      options_.upload_compressor->compress(w.y);
-      options_.upload_compressor->compress(w.sum_grad);
-      options_.upload_compressor->compress(w.sum_y);
+      std::size_t sent = 0;
+      sent += options_.upload_compressor->compress(w.x);
+      sent += options_.upload_compressor->compress(w.y);
+      sent += options_.upload_compressor->compress(w.sum_grad);
+      sent += options_.upload_compressor->compress(w.sum_y);
+      if (obs::enabled()) {
+        // The engine has already counted this worker's 4-vector logical
+        // upload; report what the lossy uplink removed so the accountant's
+        // wire bytes reflect the compressed payload.
+        const std::size_t raw = 4 * w.x.size();
+        obs::CommAccountant::global().record_savings(
+            obs::Link::kWorkerToEdge, e.id,
+            static_cast<std::uint64_t>(raw - sent) * sizeof(Scalar));
+      }
     }
   }
 

@@ -1,0 +1,23 @@
+#include "src/fl/comm_model.h"
+
+namespace hfl::fl {
+
+CommProfile comm_profile_for(const std::string& algorithm) {
+  CommProfile p;
+  if (algorithm == "HierAdMo" || algorithm == "HierAdMo-R") {
+    p.worker_upload_vectors = 4.0;
+    p.worker_download_vectors = 2.0;
+    p.edge_upload_vectors = 2.0;
+    p.edge_download_vectors = 2.0;
+  } else if (algorithm == "FedNAG" || algorithm == "FastSlowMo") {
+    p.worker_upload_vectors = 2.0;
+    p.worker_download_vectors = 2.0;
+  } else if (algorithm == "FedADC" || algorithm == "Mime" ||
+             algorithm == "MimeLite") {
+    p.worker_upload_vectors = 1.0;
+    p.worker_download_vectors = 2.0;
+  }
+  return p;
+}
+
+}  // namespace hfl::fl

@@ -1,0 +1,35 @@
+// Per-algorithm synchronization payload model.
+//
+// Every algorithm ships some multiple of the model-sized parameter vector at
+// each synchronization (momentum terms, interval accumulators, server state).
+// This table is the single source of truth for those multiplicities; it is
+// shared by net::TimeSimulator (to price transfers in modeled seconds) and by
+// the engine's communication accounting (obs::CommAccountant, to count
+// logical bytes). Multiplicities per message, in vectors of model size:
+//
+//   HierAdMo / HierAdMo-R — workers upload y, x, Σ∇F, Σy (Algorithm 1
+//     line 9) and download y_{ℓ−}, x_{ℓ+}; edges exchange y_{ℓ−}, x_{ℓ+}
+//     with the cloud both ways.
+//   FedNAG / FastSlowMo — model + momentum both ways.
+//   FedADC / Mime / MimeLite — model up; model + server state down.
+//   Everything else — model only.
+#pragma once
+
+#include <string>
+
+#include "src/common/types.h"
+
+namespace hfl::fl {
+
+struct CommProfile {
+  Scalar worker_upload_vectors = 1.0;
+  Scalar worker_download_vectors = 1.0;
+  Scalar edge_upload_vectors = 1.0;    // three-tier only
+  Scalar edge_download_vectors = 1.0;  // three-tier only
+};
+
+// Multiplicities for the algorithms in algs::registry; unknown names get the
+// conservative default (1 vector each way).
+CommProfile comm_profile_for(const std::string& algorithm);
+
+}  // namespace hfl::fl

@@ -3,6 +3,10 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/fl/comm_model.h"
+#include "src/obs/comm.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace hfl::fl {
 
@@ -148,11 +152,28 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
   }
 
   const auto start = std::chrono::steady_clock::now();
+  const obs::Span run_span("run:" + alg.name(), "engine");
 
   std::vector<WorkerState> workers;
   std::vector<EdgeState> edges;
   CloudState cloud;
   build_states(alg, workers, edges, cloud);
+
+  // Logical synchronization payloads (obs/comm.h). Everything recorded below
+  // is derived from state the simulation already computed; telemetry being
+  // on or off cannot change the run (no RNG draws, no reordering).
+  const CommProfile comm_profile = comm_profile_for(alg.name());
+  const std::uint64_t param_bytes =
+      static_cast<std::uint64_t>(cloud.x.size()) * sizeof(Scalar);
+  const auto payload = [param_bytes](Scalar vectors) {
+    return static_cast<std::uint64_t>(vectors *
+                                      static_cast<Scalar>(param_bytes));
+  };
+  const std::uint64_t worker_up = payload(comm_profile.worker_upload_vectors);
+  const std::uint64_t worker_down =
+      payload(comm_profile.worker_download_vectors);
+  const std::uint64_t edge_up = payload(comm_profile.edge_upload_vectors);
+  const std::uint64_t edge_down = payload(comm_profile.edge_download_vectors);
 
   // A null or no-op schedule takes the pre-fault code path below, byte for
   // byte: `part` stays null and every helper reduces to the full roster.
@@ -170,6 +191,7 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
   if (part) result.worker_miss_counts.assign(workers.size(), 0);
 
   const auto record = [&](std::size_t t, const Vec& params) {
+    const obs::Span span("evaluate", "eval");
     const nn::EvalResult r = evaluate(params);
     result.curve.push_back({t, r.loss, r.accuracy});
   };
@@ -183,21 +205,38 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
     if (part && (t - 1) % cfg_.tau == 0) {
       part->begin_interval((t - 1) / cfg_.tau + 1);
     }
-    pool_->parallel_for(workers.size(), [&](std::size_t i) {
-      // A worker that will miss this interval's synchronization is offline:
-      // it computes nothing and its batch stream does not advance.
-      if (part && !part->worker_active(i)) return;
-      alg.local_step(ctx, workers[i]);
-    });
+    {
+      const obs::Span span("local_steps", "worker");
+      pool_->parallel_for(workers.size(), [&](std::size_t i) {
+        // A worker that will miss this interval's synchronization is offline:
+        // it computes nothing and its batch stream does not advance.
+        if (part && !part->worker_active(i)) return;
+        alg.local_step(ctx, workers[i]);
+      });
+    }
 
     const bool sync_point = t % cfg_.tau == 0;
     const std::size_t k = t / cfg_.tau;
 
     if (alg.three_tier() && sync_point) {
+      const obs::Span span("edge_sync", "edge");
       for (EdgeState& e : edges) {
         // An edge with no survivors (node outage or all workers absent)
         // holds its state; its workers are handled by absent_sync below.
         if (part && !part->edge_active(e.id)) continue;
+        if (obs::enabled()) {
+          // Every surviving worker of this edge uploads its sync payload and
+          // receives the redistribution. Recorded before edge_sync so that
+          // compression savings reported from inside the algorithm always
+          // land on an already-counted message.
+          obs::CommAccountant& comm = obs::CommAccountant::global();
+          for (const std::size_t w : topo_.workers_of_edge(e.id)) {
+            if (part && !part->worker_active(w)) continue;
+            comm.record(obs::Link::kWorkerToEdge, e.id, worker_up);
+            comm.record(obs::Link::kEdgeToWorker, e.id, worker_down);
+          }
+          obs::Registry::global().counter("engine.edge_syncs").add();
+        }
         alg.edge_sync(ctx, e, k);
       }
     }
@@ -213,13 +252,42 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
                             return false;
                           }()
                         : part->num_active() > 0);
-      if (any_survivor) alg.cloud_sync(ctx, p);
+      if (any_survivor) {
+        const obs::Span span("cloud_sync", "cloud");
+        if (obs::enabled()) {
+          obs::CommAccountant& comm = obs::CommAccountant::global();
+          if (alg.three_tier()) {
+            for (const EdgeState& e : edges) {
+              if (part && !part->edge_active(e.id)) continue;
+              comm.record(obs::Link::kEdgeToCloud, e.id, edge_up);
+              comm.record(obs::Link::kCloudToEdge, e.id, edge_down);
+            }
+          } else {
+            for (const WorkerState& w : workers) {
+              if (part && !part->worker_active(w.id)) continue;
+              comm.record(obs::Link::kWorkerToCloud, w.id, worker_up);
+              comm.record(obs::Link::kCloudToWorker, w.id, worker_down);
+            }
+          }
+          obs::Registry::global().counter("engine.cloud_syncs").add();
+        }
+        alg.cloud_sync(ctx, p);
+      }
       record(t, cloud.x);
     } else if (cfg_.eval_every != 0 && t % cfg_.eval_every == 0) {
       // Between synchronizations, evaluate the data-weighted average of the
       // worker models (the paper's virtual global model).
       aggregate_global(workers, worker_x, avg_scratch);
       record(t, avg_scratch);
+    }
+
+    if (sync_point && obs::enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      const std::size_t active = part ? part->num_active() : workers.size();
+      reg.counter("engine.sync.intervals").add();
+      reg.counter("engine.sync.active_workers").add(active);
+      reg.counter("engine.sync.worker_slots").add(workers.size());
+      reg.counter("engine.sync.absent_workers").add(workers.size() - active);
     }
 
     if (part && sync_point) {
@@ -245,6 +313,12 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
     for (const ParticipationPoint& p : result.participation) sum += p.rate;
     result.mean_participation_rate =
         sum / static_cast<Scalar>(result.participation.size());
+  }
+
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter("engine.iterations", "algorithm=" + alg.name())
+        .add(cfg_.total_iterations);
   }
 
   result.final_accuracy = result.curve.back().test_accuracy;

@@ -1,9 +1,13 @@
 #include "src/net/time_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "src/common/errors.h"
+#include "src/fl/comm_model.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault_plan.h"
 
 namespace hfl::net {
@@ -16,26 +20,13 @@ TimeSimConfig make_time_sim_config(const std::string& algorithm,
   sim.model_params = model_params;
   sim.worker_devices = default_worker_roster(num_workers);
 
-  // Message contents per synchronization (vectors of model size):
-  //   HierAdMo/HierAdMo-R — workers upload y, x, Σ∇F, Σy (Algorithm 1 line 9)
-  //     and download y_{ℓ−}, x_{ℓ+}; edges exchange y_{ℓ−}, x_{ℓ+} with the
-  //     cloud both ways.
-  //   FedNAG / FastSlowMo — model + momentum both ways.
-  //   FedADC / Mime — model up; model + server state down.
-  //   Everything else — model only.
-  if (algorithm == "HierAdMo" || algorithm == "HierAdMo-R") {
-    sim.worker_upload_vectors = 4.0;
-    sim.worker_download_vectors = 2.0;
-    sim.edge_upload_vectors = 2.0;
-    sim.edge_download_vectors = 2.0;
-  } else if (algorithm == "FedNAG" || algorithm == "FastSlowMo") {
-    sim.worker_upload_vectors = 2.0;
-    sim.worker_download_vectors = 2.0;
-  } else if (algorithm == "FedADC" || algorithm == "Mime" ||
-             algorithm == "MimeLite") {
-    sim.worker_upload_vectors = 1.0;
-    sim.worker_download_vectors = 2.0;
-  }
+  // Message contents per synchronization: the shared per-algorithm payload
+  // table (fl/comm_model.h), also used by the engine's byte accounting.
+  const fl::CommProfile profile = fl::comm_profile_for(algorithm);
+  sim.worker_upload_vectors = profile.worker_upload_vectors;
+  sim.worker_download_vectors = profile.worker_download_vectors;
+  sim.edge_upload_vectors = profile.edge_upload_vectors;
+  sim.edge_download_vectors = profile.edge_download_vectors;
   return sim;
 }
 
@@ -80,17 +71,33 @@ Scalar TimeSimulator::upload_with_retries(Rng& rng, const LinkProfile& link,
                                           std::size_t attempts) const {
   Scalar total = 0;
   Scalar backoff = sim_.retry_backoff_s;
+  Scalar backoff_total = 0;
   for (std::size_t a = 1; a <= attempts; ++a) {
     total += link.sample(rng, payload, concurrent);
     if (a < attempts) {
       total += backoff;
+      backoff_total += backoff;
       backoff *= sim_.retry_backoff_mult;
     }
+  }
+  if (attempts > 1 && obs::enabled()) {
+    static obs::Counter& retries =
+        obs::Registry::global().counter("timesim.upload_retries");
+    static obs::Counter& backoff_ms =
+        obs::Registry::global().counter("timesim.backoff_modeled_ms");
+    retries.add(attempts - 1);
+    backoff_ms.add(static_cast<std::uint64_t>(backoff_total * 1e3));
   }
   return total;
 }
 
 void TimeSimulator::build_timeline() {
+  // Host cost of constructing the timeline vs. the modeled seconds it
+  // spans — the gap the simulator buys over wall-clock replay. Recorded
+  // from the host clock only; the modeled timeline itself is untouched.
+  const obs::Span span("build_timeline", "timesim");
+  const auto host_start = std::chrono::steady_clock::now();
+
   Rng rng(sim_.seed);
   const sim::FaultPlan* plan = sim_.fault_plan;
   const std::size_t T = cfg_.total_iterations;
@@ -129,8 +136,11 @@ void TimeSimulator::build_timeline() {
           any_upload = true;
         }
         if (!any_upload) continue;  // whole membership absent: no barrier
-        if (sim_.barrier_deadline_s > 0) {
-          slowest = std::min(slowest, sim_.barrier_deadline_s);
+        if (sim_.barrier_deadline_s > 0 && slowest > sim_.barrier_deadline_s) {
+          slowest = sim_.barrier_deadline_s;
+          if (obs::enabled()) {
+            obs::Registry::global().counter("timesim.deadline_caps").add();
+          }
         }
         const Scalar agg = sim_.edge_device.sample(rng);
         const Scalar down = sim_.worker_edge_link.sample(
@@ -218,8 +228,11 @@ void TimeSimulator::build_timeline() {
       }
       Scalar now = clock;
       if (any_upload) {
-        if (sim_.barrier_deadline_s > 0) {
-          slowest = std::min(slowest, sim_.barrier_deadline_s);
+        if (sim_.barrier_deadline_s > 0 && slowest > sim_.barrier_deadline_s) {
+          slowest = sim_.barrier_deadline_s;
+          if (obs::enabled()) {
+            obs::Registry::global().counter("timesim.deadline_caps").add();
+          }
         }
         const Scalar agg = sim_.cloud_device.sample(rng);
         const Scalar down = sim_.worker_cloud_link.sample(
@@ -235,6 +248,15 @@ void TimeSimulator::build_timeline() {
       }
       clock = now;
     }
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.gauge("timesim.modeled_total_s").set(cumulative_[T]);
+    reg.gauge("timesim.build_host_s")
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           host_start)
+                 .count());
   }
 }
 

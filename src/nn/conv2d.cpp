@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/obs/registry.h"
 #include "src/tensor/gemm.h"
 
 namespace hfl::nn {
@@ -162,6 +163,16 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   const std::size_t kk = in_ch_ * k_ * k_;
   const std::size_t chunk = samples_per_chunk(cols);
 
+  if (obs::enabled()) {
+    static obs::Counter& calls =
+        obs::Registry::global().counter("conv.fwd_calls");
+    static obs::Counter& bytes =
+        obs::Registry::global().counter("conv.im2col_bytes");
+    calls.add();
+    // One im2col expansion per forward: kk rows × B·cols columns written.
+    bytes.add(static_cast<std::uint64_t>(kk * B * cols) * sizeof(Scalar));
+  }
+
   Tensor out({B, out_ch_, OH, OW});
   for (std::size_t b0 = 0; b0 < B; b0 += chunk) {
     const std::size_t bn = std::min(chunk, B - b0);
@@ -196,6 +207,17 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t cols = OH * OW;
   const std::size_t kk = in_ch_ * k_ * k_;
   const std::size_t chunk = samples_per_chunk(cols);
+
+  if (obs::enabled()) {
+    static obs::Counter& calls =
+        obs::Registry::global().counter("conv.bwd_calls");
+    static obs::Counter& bytes =
+        obs::Registry::global().counter("conv.im2col_bytes");
+    calls.add();
+    // The backward pass rebuilds the im2col chunk and writes dCol of the
+    // same volume: 2 × kk × B·cols scalars.
+    bytes.add(static_cast<std::uint64_t>(2 * kk * B * cols) * sizeof(Scalar));
+  }
 
   Tensor grad_in(input_.shape());
   for (std::size_t b0 = 0; b0 < B; b0 += chunk) {

@@ -1,0 +1,121 @@
+#include "src/obs/comm.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/registry.h"
+
+namespace hfl::obs {
+
+const char* link_name(Link link) {
+  switch (link) {
+    case Link::kWorkerToEdge: return "worker_to_edge";
+    case Link::kEdgeToWorker: return "edge_to_worker";
+    case Link::kEdgeToCloud: return "edge_to_cloud";
+    case Link::kCloudToEdge: return "cloud_to_edge";
+    case Link::kWorkerToCloud: return "worker_to_cloud";
+    case Link::kCloudToWorker: return "cloud_to_worker";
+  }
+  return "?";
+}
+
+CommAccountant& CommAccountant::global() {
+  static CommAccountant a;
+  return a;
+}
+
+void CommAccountant::record(Link link, std::size_t entity,
+                            std::uint64_t logical_bytes) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  LinkTotals& t = totals_[{static_cast<int>(link), entity}];
+  ++t.messages;
+  t.logical_bytes += logical_bytes;
+}
+
+void CommAccountant::record_savings(Link link, std::size_t entity,
+                                    std::uint64_t saved_bytes) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_[{static_cast<int>(link), entity}].saved_bytes += saved_bytes;
+}
+
+LinkTotals CommAccountant::totals(Link link) const {
+  LinkTotals out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, t] : totals_) {
+    if (key.first != static_cast<int>(link)) continue;
+    out.messages += t.messages;
+    out.logical_bytes += t.logical_bytes;
+    out.saved_bytes += t.saved_bytes;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, LinkTotals>> CommAccountant::by_entity(
+    Link link) const {
+  std::vector<std::pair<std::size_t, LinkTotals>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, t] : totals_) {
+    if (key.first == static_cast<int>(link)) out.emplace_back(key.second, t);
+  }
+  return out;
+}
+
+std::string CommAccountant::table() const {
+  constexpr Link kAll[] = {Link::kWorkerToEdge,  Link::kEdgeToWorker,
+                           Link::kEdgeToCloud,   Link::kCloudToEdge,
+                           Link::kWorkerToCloud, Link::kCloudToWorker};
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-16s %10s %14s %14s %8s\n", "link",
+                "messages", "logical_MB", "wire_MB", "saved%");
+  os << line;
+  for (const Link link : kAll) {
+    const LinkTotals t = totals(link);
+    if (t.messages == 0) continue;
+    const double logical_mb = static_cast<double>(t.logical_bytes) / 1e6;
+    const double wire_mb = static_cast<double>(t.wire_bytes()) / 1e6;
+    const double saved_pct =
+        t.logical_bytes == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(t.saved_bytes) /
+                  static_cast<double>(t.logical_bytes);
+    std::snprintf(line, sizeof(line), "%-16s %10llu %14.3f %14.3f %7.1f%%\n",
+                  link_name(link), static_cast<unsigned long long>(t.messages),
+                  logical_mb, wire_mb, saved_pct);
+    os << line;
+  }
+  return os.str();
+}
+
+void CommAccountant::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    throw std::runtime_error("obs: cannot open comm CSV for writing: " + path);
+  }
+  out << "link,entity,messages,logical_bytes,wire_bytes\n";
+  constexpr Link kAll[] = {Link::kWorkerToEdge,  Link::kEdgeToWorker,
+                           Link::kEdgeToCloud,   Link::kCloudToEdge,
+                           Link::kWorkerToCloud, Link::kCloudToWorker};
+  for (const Link link : kAll) {
+    for (const auto& [entity, t] : by_entity(link)) {
+      out << link_name(link) << ',' << entity << ',' << t.messages << ','
+          << t.logical_bytes << ',' << t.wire_bytes() << '\n';
+    }
+    const LinkTotals t = totals(link);
+    if (t.messages != 0) {
+      out << link_name(link) << ",all," << t.messages << ','
+          << t.logical_bytes << ',' << t.wire_bytes() << '\n';
+    }
+  }
+}
+
+void CommAccountant::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_.clear();
+}
+
+}  // namespace hfl::obs

@@ -1,0 +1,88 @@
+// Communication accounting: logical bytes crossing each tier boundary.
+//
+// The engine records one entry per synchronization message: worker↔edge
+// traffic at every edge synchronization (t = kτ), edge↔cloud traffic at
+// every cloud synchronization (t = pτπ), and worker↔cloud traffic for
+// two-tier algorithms. Bytes are *logical* payload sizes — parameter-vector
+// multiplicity × model dimension × sizeof(Scalar), the same convention as
+// net::TimeSimulator — not host-memory traffic.
+//
+// Lossy compression (fl/compression) is accounted as savings: the
+// compression site reports how many payload bytes the compressor removed,
+// and `wire_bytes() = logical_bytes − saved_bytes`. Recording savings
+// separately keeps the engine (which knows the schedule) and the algorithm
+// (which knows the compressor) independent — neither double-counts.
+//
+// `entity` identifies the aggregating endpoint for per-tier breakdowns: the
+// edge id for worker↔edge and edge↔cloud links, the worker id for the
+// two-tier worker↔cloud links.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/registry.h"  // obs::enabled(), shared by every call site
+
+namespace hfl::obs {
+
+enum class Link {
+  kWorkerToEdge = 0,
+  kEdgeToWorker,
+  kEdgeToCloud,
+  kCloudToEdge,
+  kWorkerToCloud,
+  kCloudToWorker,
+};
+
+const char* link_name(Link link);
+
+struct LinkTotals {
+  std::uint64_t messages = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t saved_bytes = 0;  // removed by lossy compression
+  std::uint64_t wire_bytes() const { return logical_bytes - saved_bytes; }
+};
+
+class CommAccountant {
+ public:
+  static CommAccountant& global();
+
+  CommAccountant() = default;
+  CommAccountant(const CommAccountant&) = delete;
+  CommAccountant& operator=(const CommAccountant&) = delete;
+
+  // One message of `logical_bytes` over `link`, attributed to `entity`.
+  // No-ops (after one relaxed atomic load) while telemetry is disabled.
+  void record(Link link, std::size_t entity, std::uint64_t logical_bytes);
+
+  // Lossy compression removed `saved_bytes` from messages already recorded
+  // (or about to be recorded) on `link`/`entity`.
+  void record_savings(Link link, std::size_t entity,
+                      std::uint64_t saved_bytes);
+
+  // Aggregate over all entities of a link direction.
+  LinkTotals totals(Link link) const;
+  // Per-entity breakdown, ascending entity id. Empty if nothing recorded.
+  std::vector<std::pair<std::size_t, LinkTotals>> by_entity(Link link) const;
+
+  // Human-readable per-link table (one row per link direction with traffic).
+  std::string table() const;
+
+  // CSV with columns link,entity,messages,logical_bytes,wire_bytes
+  // (entity rows plus one "all" summary row per link). Throws
+  // std::runtime_error if the file cannot be created.
+  void write_csv(const std::string& path) const;
+
+  void reset();
+
+ private:
+  using Key = std::pair<int, std::size_t>;  // (link, entity)
+  mutable std::mutex mutex_;
+  std::map<Key, LinkTotals> totals_;
+};
+
+}  // namespace hfl::obs

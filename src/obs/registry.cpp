@@ -1,0 +1,235 @@
+#include "src/obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace hfl::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    throw std::runtime_error("obs: cannot open file for writing: " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gauge::set(double v) {
+  if (enabled()) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::reset() { bits_.store(0, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::runtime_error("obs: histogram needs at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::runtime_error("obs: histogram bounds must be sorted");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[{name, labels}];
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[{name, labels}];
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& labels,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[{name, labels}];
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(bounds);
+  } else if (e.histogram->bounds() != bounds) {
+    throw std::runtime_error("obs: histogram '" + name + "' / '" + labels +
+                             "' re-registered with different bounds");
+  }
+  return *e.histogram;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+void Registry::write_csv(const std::string& path) const {
+  std::ofstream out = open_or_throw(path);
+  out << "kind,name,labels,field,value\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, e] : entries_) {
+    const std::string prefix =
+        csv_escape(key.first) + "," + csv_escape(key.second) + ",";
+    if (e.counter) {
+      out << "counter," << prefix << "count," << e.counter->value() << '\n';
+    }
+    if (e.gauge) {
+      out << "gauge," << prefix << "value," << format_double(e.gauge->value())
+          << '\n';
+    }
+    if (e.histogram) {
+      const auto counts = e.histogram->counts();
+      const auto& bounds = e.histogram->bounds();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        const std::string le =
+            i < bounds.size() ? "le_" + format_double(bounds[i]) : "le_inf";
+        out << "histogram," << prefix << csv_escape(le) << "," << counts[i]
+            << '\n';
+      }
+      out << "histogram," << prefix << "sum,"
+          << format_double(e.histogram->sum()) << '\n';
+      out << "histogram," << prefix << "count," << e.histogram->count()
+          << '\n';
+    }
+  }
+}
+
+void Registry::write_jsonl(const std::string& path) const {
+  std::ofstream out = open_or_throw(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, e] : entries_) {
+    const std::string id = "\"name\":\"" + json_escape(key.first) +
+                           "\",\"labels\":\"" + json_escape(key.second) + "\"";
+    if (e.counter) {
+      out << "{\"kind\":\"counter\"," << id << ",\"value\":"
+          << e.counter->value() << "}\n";
+    }
+    if (e.gauge) {
+      out << "{\"kind\":\"gauge\"," << id << ",\"value\":"
+          << format_double(e.gauge->value()) << "}\n";
+    }
+    if (e.histogram) {
+      out << "{\"kind\":\"histogram\"," << id << ",\"bounds\":[";
+      const auto& bounds = e.histogram->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (i > 0) out << ',';
+        out << format_double(bounds[i]);
+      }
+      out << "],\"counts\":[";
+      const auto counts = e.histogram->counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i > 0) out << ',';
+        out << counts[i];
+      }
+      out << "],\"sum\":" << format_double(e.histogram->sum())
+          << ",\"count\":" << e.histogram->count() << "}\n";
+    }
+  }
+}
+
+}  // namespace hfl::obs

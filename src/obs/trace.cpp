@@ -1,0 +1,196 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace hfl::obs {
+
+namespace {
+
+std::uint64_t host_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  // One registration per (thread, tracer); the shared_ptr in bufs_ keeps the
+  // buffer alive after the thread exits.
+  thread_local std::shared_ptr<ThreadBuf> buf;
+  thread_local Tracer* owner = nullptr;
+  if (!buf || owner != this) {
+    buf = std::make_shared<ThreadBuf>();
+    owner = this;
+    std::lock_guard<std::mutex> lock(mutex_);
+    buf->tid = next_tid_++;
+    bufs_.push_back(buf);
+  }
+  return *buf;
+}
+
+std::uint64_t Tracer::now_rel_ns() {
+  const std::uint64_t now = host_now_ns();
+  std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  if (epoch == 0) {
+    // First event establishes the epoch; ties resolved by CAS.
+    epoch_ns_.compare_exchange_strong(epoch, now, std::memory_order_relaxed);
+    epoch = epoch_ns_.load(std::memory_order_relaxed);
+  }
+  return now >= epoch ? now - epoch : 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bufs = bufs_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mutex);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    throw std::runtime_error("obs: cannot open trace file for writing: " +
+                             path);
+  }
+  const std::vector<TraceEvent> events = snapshot();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ',';
+    first = false;
+    // Chrome expects microsecond timestamps; keep ns resolution as a
+    // fractional part.
+    out << "\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+        << json_escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << e.start_ns / 1000
+        << '.' << e.start_ns % 1000 << ",\"dur\":" << e.dur_ns / 1000 << '.'
+        << e.dur_ns % 1000 << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string Tracer::flame_summary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Agg> by_name;
+  for (const TraceEvent& e : snapshot()) {
+    Agg& a = by_name[{e.cat, e.name}];
+    ++a.count;
+    a.total_ns += e.dur_ns;
+  }
+  std::vector<std::pair<std::pair<std::string, std::string>, Agg>> rows(
+      by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+
+  std::uint64_t max_ns = 1;
+  for (const auto& [key, a] : rows) max_ns = std::max(max_ns, a.total_ns);
+
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-12s %-24s %8s %12s %10s  %s\n", "cat",
+                "span", "calls", "total_ms", "mean_ms", "share");
+  os << line;
+  for (const auto& [key, a] : rows) {
+    const double total_ms = static_cast<double>(a.total_ns) / 1e6;
+    const double mean_ms =
+        a.count == 0 ? 0.0 : total_ms / static_cast<double>(a.count);
+    const int bar =
+        static_cast<int>(30.0 * static_cast<double>(a.total_ns) /
+                         static_cast<double>(max_ns));
+    std::snprintf(line, sizeof(line), "%-12s %-24s %8llu %12.3f %10.4f  ",
+                  key.first.c_str(), key.second.c_str(),
+                  static_cast<unsigned long long>(a.count), total_ms, mean_ms);
+    os << line << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  return os.str();
+}
+
+void Tracer::reset() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bufs = bufs_;
+    epoch_ns_.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mutex);
+    b->events.clear();
+  }
+}
+
+Span::Span(std::string name, std::string cat)
+    : name_(std::move(name)), cat_(std::move(cat)) {
+  if (enabled()) {
+    active_ = true;
+    start_ns_ = Tracer::global().now_rel_ns();
+  }
+}
+
+Span::Span(Span&& other) noexcept
+    : name_(std::move(other.name_)),
+      cat_(std::move(other.cat_)),
+      start_ns_(other.start_ns_),
+      active_(other.active_) {
+  other.active_ = false;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  const std::uint64_t end = tracer.now_rel_ns();
+  Tracer::ThreadBuf& buf = tracer.local_buf();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back({std::move(name_), std::move(cat_), start_ns_,
+                        end >= start_ns_ ? end - start_ns_ : 0, buf.tid});
+}
+
+}  // namespace hfl::obs

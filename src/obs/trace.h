@@ -1,0 +1,101 @@
+// Scoped-span tracer with per-thread buffers.
+//
+// `Span` is an RAII scope marker: construction stamps a steady-clock start,
+// destruction appends a completed event to the calling thread's buffer. Each
+// thread owns its buffer (guarded by a per-thread mutex that is uncontended
+// on the hot path), so recording from the thread pool never serializes
+// threads against each other. Buffers outlive their threads: they are held
+// by shared_ptr in the global tracer, so events recorded by a thread that
+// has since exited still appear in exports.
+//
+// Spans measure *host* time. The simulation clock (net::TimeSimulator) is a
+// modeled quantity and is recorded through the metrics registry instead;
+// nothing here feeds back into simulation state, so traced and untraced runs
+// produce bit-identical results.
+//
+// Exports:
+//   * write_chrome_json — complete-event ("ph":"X") trace loadable in
+//     chrome://tracing / Perfetto; `cat` carries the tier (worker / edge /
+//     cloud / ...).
+//   * flame_summary — flame-style text table aggregated by (cat, name):
+//     call count, total and mean milliseconds, and a proportional bar.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/registry.h"
+
+namespace hfl::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;           // tier or subsystem tag
+  std::uint64_t start_ns = 0;  // relative to the tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;     // dense per-thread id assigned on first use
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // All recorded events (any thread). Safe to call while other threads
+  // record; events completed before the call are included.
+  std::vector<TraceEvent> snapshot() const;
+
+  // Chrome trace-event JSON ({"traceEvents":[...]}); timestamps in µs.
+  // Throws std::runtime_error if the file cannot be created.
+  void write_chrome_json(const std::string& path) const;
+
+  // Aggregated by (cat, name), sorted by total time descending.
+  std::string flame_summary() const;
+
+  // Drop all recorded events (buffers of live threads are kept registered).
+  void reset();
+
+ private:
+  friend class Span;
+  struct ThreadBuf {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuf& local_buf();
+  std::uint64_t now_rel_ns();
+
+  mutable std::mutex mutex_;  // guards bufs_ registration + epoch init
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::uint32_t next_tid_ = 0;
+  std::atomic<std::uint64_t> epoch_ns_{0};  // 0 = not yet established
+};
+
+// RAII span; records into Tracer::global() when telemetry is enabled at
+// construction time (a disabled span is two relaxed loads and no clock
+// reads). Move-only so helpers can return spans.
+class Span {
+ public:
+  Span(std::string name, std::string cat);
+  ~Span();
+
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&&) = delete;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  std::string cat_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace hfl::obs

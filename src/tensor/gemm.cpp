@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/obs/registry.h"
+
 #if defined(__AVX2__) && defined(__FMA__)
 #include <immintrin.h>
 #define HFL_GEMM_AVX2 1
@@ -315,6 +317,18 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t k, const Scalar* a, std::size_t lda, const Scalar* b,
           std::size_t ldb, Scalar beta, Scalar* c, std::size_t ldc) {
   if (m == 0 || n == 0) return;
+
+  if (obs::enabled()) {
+    // Logical op accounting (hot path: gated behind the single enabled()
+    // load; the handles are resolved once per process).
+    static obs::Counter& calls = obs::Registry::global().counter("gemm.calls");
+    static obs::Counter& flops = obs::Registry::global().counter("gemm.flops");
+    static obs::Counter& bytes = obs::Registry::global().counter("gemm.bytes");
+    calls.add();
+    flops.add(static_cast<std::uint64_t>(2) * m * n * k);
+    bytes.add(static_cast<std::uint64_t>(m * k + k * n + 2 * m * n) *
+              sizeof(Scalar));
+  }
 
   // Fold beta in up front; every panel pass below accumulates into C.
   if (beta == 0.0) {

@@ -60,6 +60,34 @@ TEST_F(CsvTest, FormatScalarPrecision) {
   EXPECT_NE(pi.find("3.14159265"), std::string::npos);
 }
 
+TEST_F(CsvTest, ScalarsRoundTripBitExactly) {
+  // max_digits10 precision: a value read back from the file must be the
+  // identical double, so exported curves/telemetry diff bit-exactly.
+  const std::vector<Scalar> values = {0.1,
+                                      1.0 / 3.0,
+                                      3.141592653589793,
+                                      -2.2250738585072014e-308,
+                                      6.02214076e23,
+                                      0.1 + 0.2};
+  for (const Scalar v : values) {
+    EXPECT_EQ(std::stod(CsvWriter::format_scalar(v)), v)
+        << CsvWriter::format_scalar(v);
+  }
+  {
+    CsvWriter w(path_);
+    w.write_row_scalars(values);
+  }
+  std::istringstream row(read_file(path_));
+  std::string field;
+  std::size_t i = 0;
+  while (std::getline(row, field, ',')) {
+    ASSERT_LT(i, values.size());
+    EXPECT_EQ(std::stod(field), values[i]) << field;
+    ++i;
+  }
+  EXPECT_EQ(i, values.size());
+}
+
 TEST(CsvWriterTest, CreatesMissingParentDirectories) {
   const std::string dir = ::testing::TempDir() + "csv_nested_a/b";
   const std::string path = dir + "/out.csv";

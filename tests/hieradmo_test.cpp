@@ -32,8 +32,9 @@ TEST(ClampGammaTest, CustomClampMax) {
   opt.clamp_max = 0.5;
   HierAdMo alg(opt);
   EXPECT_DOUBLE_EQ(alg.clamp_gamma(0.7), 0.5);
-  EXPECT_THROW(HierAdMo({true, HierAdMoOptions::Signal::kMomentumValue, 1.5}),
-               Error);
+  HierAdMoOptions bad;
+  bad.clamp_max = 1.5;
+  EXPECT_THROW(HierAdMo{bad}, Error);
 }
 
 // Builds a minimal hand-crafted context around given worker accumulators.

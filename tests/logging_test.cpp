@@ -1,0 +1,132 @@
+// Thread-safety tests for common/logging: concurrent LogLine flushes from
+// pool threads must come out as whole lines (the mutex serializes writes),
+// and the level check must filter without locking.
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace hfl {
+namespace {
+
+// Redirects std::cerr into a buffer for the test's lifetime.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { old_level_ = log_level(); }
+  void TearDown() override { set_log_level(old_level_); }
+  LogLevel old_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, ConcurrentLogLinesNeverInterleave) {
+  set_log_level(LogLevel::kInfo);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kLines = 200;
+
+  CerrCapture capture;
+  {
+    ThreadPool pool(kThreads);
+    pool.parallel_for(kThreads, [&](std::size_t thread) {
+      for (std::size_t line = 0; line < kLines; ++line) {
+        HFL_INFO() << "thread " << thread << " line " << line << " payload "
+                   << thread * 1000 + line;
+      }
+    });
+  }
+
+  // Every emitted line must be complete and well-formed; fragments from two
+  // threads sharing a line would break the per-thread line counts.
+  std::map<std::size_t, std::size_t> per_thread;
+  std::istringstream lines(capture.str());
+  std::string line;
+  std::size_t total = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::size_t thread = 0, num = 0, payload = 0;
+    ASSERT_EQ(std::sscanf(line.c_str(), "[INFO] thread %zu line %zu payload %zu",
+                          &thread, &num, &payload),
+              3)
+        << "malformed (interleaved?) line: '" << line << "'";
+    EXPECT_EQ(payload, thread * 1000 + num) << line;
+    ++per_thread[thread];
+    ++total;
+  }
+  EXPECT_EQ(total, kThreads * kLines);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], kLines) << "thread " << t;
+  }
+}
+
+// Streaming this into a LogLine records whether formatting actually ran.
+struct FormatProbe {
+  bool* flag;
+};
+std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+  *p.flag = true;
+  return os << "probe";
+}
+
+TEST_F(LoggingTest, SuppressedLevelsProduceNoOutputAndNoFormatting) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+
+  bool formatted = false;
+  HFL_INFO() << "dropped " << FormatProbe{&formatted};
+  EXPECT_FALSE(formatted);  // suppressed line skips formatting entirely
+  HFL_WARN() << "kept " << FormatProbe{&formatted};
+  EXPECT_TRUE(formatted);
+
+  const std::string out = capture.str();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] kept probe"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ConcurrentLevelChangesAreSafe) {
+  set_log_level(LogLevel::kInfo);
+  CerrCapture capture;
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(4, [&](std::size_t i) {
+      for (std::size_t j = 0; j < 500; ++j) {
+        if (i == 0) {
+          set_log_level(j % 2 == 0 ? LogLevel::kWarn : LogLevel::kInfo);
+        } else {
+          HFL_INFO() << "tick " << i << ":" << j;
+        }
+      }
+    });
+  }
+  // No assertion on content (the filter races with the writers by design);
+  // the test passes if nothing crashes or deadlocks and all output is
+  // line-atomic.
+  std::istringstream lines(capture.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.rfind("[INFO] tick ", 0), 0u) << line;
+  }
+}
+
+}  // namespace
+}  // namespace hfl

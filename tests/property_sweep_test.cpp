@@ -131,7 +131,9 @@ TEST_P(TopKContractTest, PayloadAndErrorContracts) {
       max_dropped = std::max(max_dropped, std::abs(original[i]));
     }
   }
-  if (sent < 200) EXPECT_LE(max_dropped, min_kept);
+  if (sent < 200) {
+    EXPECT_LE(max_dropped, min_kept);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(KeepFractions, TopKContractTest,
