@@ -23,7 +23,7 @@ void run() {
       dataset.train, topo.num_workers(), 5, rng);
   const nn::ModelFactory factory = nn::cnn({3, 32, 32}, 10);
 
-  CsvWriter csv("fig2_adaptive_results.csv");
+  CsvWriter csv("results/fig2_adaptive_results.csv");
   csv.write_header({"gamma", "variant", "gamma_edge", "accuracy"});
 
   for (const Scalar gamma : {0.3, 0.6, 0.9}) {
@@ -80,7 +80,7 @@ void run() {
                 best_fixed_gamma, 100 * best_fixed,
                 100 * adaptive.final_accuracy);
   }
-  std::printf("\n(results written to fig2_adaptive_results.csv)\n");
+  std::printf("\n(results written to results/fig2_adaptive_results.csv)\n");
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ void run() {
   fl::Engine engine3(factory, dataset, partition, topo, cfg3);
   fl::Engine engine2(factory, dataset, partition, topo, cfg2);
 
-  CsvWriter csv("fig2_largeN_results.csv");
+  CsvWriter csv("results/fig2_largeN_results.csv");
   csv.write_header({"algorithm", "iteration", "accuracy"});
 
   print_heading("Fig. 2(d) — CNN on MNIST, N = 100 workers, 10 edges");
@@ -56,7 +56,7 @@ void run() {
     print_row({name, pct(result.final_accuracy), pct(result.best_accuracy())},
               {14, 12, 12});
   }
-  std::printf("\n(curves written to fig2_largeN_results.csv)\n");
+  std::printf("\n(curves written to results/fig2_largeN_results.csv)\n");
 }
 
 }  // namespace

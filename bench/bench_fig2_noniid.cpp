@@ -18,7 +18,7 @@ void run() {
   const fl::Topology topo = fl::Topology::uniform(2, 2);
   const nn::ModelFactory factory = nn::cnn({1, 28, 28}, 10);
 
-  CsvWriter csv("fig2_noniid_results.csv");
+  CsvWriter csv("results/fig2_noniid_results.csv");
   csv.write_header({"classes_per_worker", "algorithm", "iteration",
                     "accuracy"});
 
@@ -63,7 +63,7 @@ void run() {
           {14, 12, 12});
     }
   }
-  std::printf("\n(curves written to fig2_noniid_results.csv)\n");
+  std::printf("\n(curves written to results/fig2_noniid_results.csv)\n");
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ void run() {
       {"Fig2(c) tau*pi=40 fixed", {{5, 8}, {10, 4}, {20, 2}}},
   };
 
-  CsvWriter csv("fig2_tau_pi_results.csv");
+  CsvWriter csv("results/fig2_tau_pi_results.csv");
   csv.write_header({"sweep", "tau", "pi", "iteration", "accuracy"});
 
   for (const Sweep& sweep : sweeps) {
@@ -65,7 +65,7 @@ void run() {
                 {8, 8, 12, 12});
     }
   }
-  std::printf("\n(curves written to fig2_tau_pi_results.csv)\n");
+  std::printf("\n(curves written to results/fig2_tau_pi_results.csv)\n");
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ void run() {
       {"setting 2 (tau=20, pi=2 | tau=40)", 20, 2, 40},
   };
 
-  CsvWriter csv("fig2_time_results.csv");
+  CsvWriter csv("results/fig2_time_results.csv");
   csv.write_header({"setting", "algorithm", "target_accuracy",
                     "iterations_to_target", "seconds_to_target",
                     "final_accuracy"});
@@ -104,7 +104,7 @@ void run() {
                      CsvWriter::format_scalar(result.final_accuracy)});
     }
   }
-  std::printf("\n(results written to fig2_time_results.csv)\n");
+  std::printf("\n(results written to results/fig2_time_results.csv)\n");
 }
 
 }  // namespace

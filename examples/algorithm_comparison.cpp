@@ -5,14 +5,20 @@
 // workers / 2 edges, 5-class non-i.i.d. data. Two-tier algorithms run with a
 // matched aggregation period (τ2 = τ·π) for fairness, exactly as the paper
 // prescribes.
+//
+// The eleven runs are independent, so they dispatch concurrently through
+// fl::run_sweep — one engine per job, results bit-identical to running the
+// same loop serially (each engine rebuilds from the seed and its sync tier
+// is deterministic for any thread count).
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "src/algs/registry.h"
 #include "src/data/partitioner.h"
 #include "src/data/synthetic.h"
-#include "src/fl/engine.h"
+#include "src/fl/sweep.h"
 #include "src/nn/models.h"
 
 int main() {
@@ -39,21 +45,28 @@ int main() {
   cfg2.tau = 20;  // matched to τ·π
   cfg2.pi = 1;
 
+  std::vector<fl::SweepJob> jobs;
+  for (const std::string& name : algs::table2_algorithms()) {
+    fl::SweepJob job;
+    job.make_algorithm = [name] { return algs::make_algorithm(name); };
+    job.cfg = algs::make_algorithm(name)->three_tier() ? cfg3 : cfg2;
+    job.label = name;
+    jobs.push_back(std::move(job));
+  }
+
   const nn::ModelFactory factory = nn::logistic_regression({1, 28, 28}, 10);
-  fl::Engine engine3(factory, dataset, partition, topo, cfg3);
-  fl::Engine engine2(factory, dataset, partition, topo, cfg2);
+  const std::vector<fl::SweepResult> results =
+      fl::run_sweep(factory, dataset, partition, topo, jobs);
 
   struct Row {
     std::string name;
     Scalar accuracy;
   };
   std::vector<Row> rows;
-  for (const std::string& name : algs::table2_algorithms()) {
-    auto alg = algs::make_algorithm(name);
-    fl::Engine& engine = alg->three_tier() ? engine3 : engine2;
-    const fl::RunResult r = engine.run(*alg);
-    rows.push_back({name, r.final_accuracy});
-    std::printf("ran %-12s -> %.2f%%\n", name.c_str(), 100 * r.final_accuracy);
+  for (const fl::SweepResult& sr : results) {
+    rows.push_back({sr.label, sr.result.final_accuracy});
+    std::printf("ran %-12s -> %.2f%%\n", sr.label.c_str(),
+                100 * sr.result.final_accuracy);
   }
 
   std::stable_sort(rows.begin(), rows.end(),

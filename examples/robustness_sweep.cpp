@@ -8,10 +8,16 @@
 // (HierAdMo, HierFAVG) and two-tier ones (FedNAG, SlowMo) run with matched
 // aggregation periods (τ2 = τ·π), the paper's fairness convention.
 //
-// Emits fig_robustness_results.csv (one row per algorithm × dropout level)
-// and fig_robustness_participation.csv (per-interval participation traces at
-// the harshest level).
+// All 20 (algorithm × dropout) runs are independent, so they dispatch
+// concurrently through fl::run_sweep; results come back in job order and are
+// bit-identical to the serial loop this example used to be.
+//
+// Emits results/fig_robustness_results.csv (one row per algorithm × dropout
+// level) and results/fig_robustness_participation.csv (per-interval
+// participation traces at the harshest level).
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,7 +25,7 @@
 #include "src/common/csv.h"
 #include "src/data/partitioner.h"
 #include "src/data/synthetic.h"
-#include "src/fl/engine.h"
+#include "src/fl/sweep.h"
 #include "src/nn/models.h"
 #include "src/sim/fault_plan.h"
 
@@ -47,59 +53,80 @@ int main() {
   cfg2.tau = 20;  // matched to τ·π
   cfg2.pi = 1;
 
-  const nn::ModelFactory factory = nn::logistic_regression({1, 28, 28}, 10);
-  fl::Engine engine3(factory, dataset, partition, topo, cfg3);
-  fl::Engine engine2(factory, dataset, partition, topo, cfg2);
-
   const std::vector<std::string> algorithms = {"HierAdMo", "HierFAVG",
                                                "FedNAG", "SlowMo"};
   const std::vector<Scalar> dropout_levels = {0.0, 0.1, 0.2, 0.3, 0.4};
   const Scalar target_accuracy = 0.6;
 
-  CsvWriter out("fig_robustness_results.csv");
+  // One fault trace per dropout level, shared by every algorithm. Interval
+  // counts differ per tier (τ vs τ·π), so each tier gets its own
+  // materialization of the same fault models. The plans must outlive the
+  // sweep, hence the owning vector.
+  struct JobMeta {
+    std::string name;
+    bool three_tier;
+    Scalar dropout;
+    const sim::FaultPlan* plan;
+  };
+  std::vector<std::unique_ptr<sim::FaultPlan>> plans;
+  std::vector<JobMeta> meta;
+  std::vector<fl::SweepJob> jobs;
+  for (const Scalar dropout : dropout_levels) {
+    sim::FaultConfig fc;
+    fc.seed = 42;
+    fc.dropout.prob = dropout;
+    plans.push_back(std::make_unique<sim::FaultPlan>(topo, cfg3, fc));
+    const sim::FaultPlan* plan3 = plans.back().get();
+    plans.push_back(std::make_unique<sim::FaultPlan>(topo, cfg2, fc));
+    const sim::FaultPlan* plan2 = plans.back().get();
+
+    for (const std::string& name : algorithms) {
+      const bool three = algs::make_algorithm(name)->three_tier();
+      fl::SweepJob job;
+      job.make_algorithm = [name] { return algs::make_algorithm(name); };
+      job.cfg = three ? cfg3 : cfg2;
+      job.schedule = &(three ? plan3 : plan2)->schedule();
+      job.label = name;
+      jobs.push_back(std::move(job));
+      meta.push_back({name, three, dropout, three ? plan3 : plan2});
+    }
+  }
+
+  const nn::ModelFactory factory = nn::logistic_regression({1, 28, 28}, 10);
+  std::vector<fl::SweepResult> results =
+      fl::run_sweep(factory, dataset, partition, topo, jobs);
+
+  std::filesystem::create_directories("results");
+  CsvWriter out("results/fig_robustness_results.csv");
   out.write_header({"algorithm", "three_tier", "dropout",
                     "planned_participation", "mean_participation_rate",
                     "final_accuracy", "best_accuracy", "iters_to_60"});
 
   std::vector<fl::RunResult> harshest;  // participation traces at 40%
-  for (const Scalar dropout : dropout_levels) {
-    sim::FaultConfig fc;
-    fc.seed = 42;  // one fault trace per level, shared by every algorithm
-    fc.dropout.prob = dropout;
-
-    // Interval counts differ per tier (τ vs τ·π), so each tier gets its own
-    // materialization of the same fault models.
-    const sim::FaultPlan plan3(topo, cfg3, fc);
-    const sim::FaultPlan plan2(topo, cfg2, fc);
-
-    for (const std::string& name : algorithms) {
-      auto alg = algs::make_algorithm(name);
-      const bool three = alg->three_tier();
-      fl::Engine& engine = three ? engine3 : engine2;
-      const sim::FaultPlan& plan = three ? plan3 : plan2;
-
-      fl::RunResult r = engine.run(*alg, &plan.schedule());
-      const std::size_t iters = r.iterations_to_accuracy(target_accuracy);
-      out.write_row(
-          {name, three ? "1" : "0", CsvWriter::format_scalar(dropout),
-           CsvWriter::format_scalar(plan.planned_participation()),
-           CsvWriter::format_scalar(r.mean_participation_rate),
-           CsvWriter::format_scalar(r.final_accuracy),
-           CsvWriter::format_scalar(r.best_accuracy()),
-           iters == fl::RunResult::npos ? "never" : std::to_string(iters)});
-      std::printf("dropout %.0f%%  %-10s -> %.2f%% (participation %.2f)\n",
-                  100 * dropout, name.c_str(), 100 * r.final_accuracy,
-                  r.mean_participation_rate);
-      if (dropout == dropout_levels.back()) {
-        r.algorithm = name;
-        harshest.push_back(std::move(r));
-      }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobMeta& m = meta[i];
+    fl::RunResult& r = results[i].result;
+    const std::size_t iters = r.iterations_to_accuracy(target_accuracy);
+    out.write_row(
+        {m.name, m.three_tier ? "1" : "0", CsvWriter::format_scalar(m.dropout),
+         CsvWriter::format_scalar(m.plan->planned_participation()),
+         CsvWriter::format_scalar(r.mean_participation_rate),
+         CsvWriter::format_scalar(r.final_accuracy),
+         CsvWriter::format_scalar(r.best_accuracy()),
+         iters == fl::RunResult::npos ? "never" : std::to_string(iters)});
+    std::printf("dropout %.0f%%  %-10s -> %.2f%% (participation %.2f)\n",
+                100 * m.dropout, m.name.c_str(), 100 * r.final_accuracy,
+                r.mean_participation_rate);
+    if (m.dropout == dropout_levels.back()) {
+      r.algorithm = m.name;
+      harshest.push_back(std::move(r));
     }
   }
 
-  fl::write_participation_csv(harshest, "fig_robustness_participation.csv");
+  fl::write_participation_csv(harshest,
+                              "results/fig_robustness_participation.csv");
   std::printf(
-      "\nwrote fig_robustness_results.csv and "
-      "fig_robustness_participation.csv\n");
+      "\nwrote results/fig_robustness_results.csv and "
+      "results/fig_robustness_participation.csv\n");
   return 0;
 }

@@ -8,7 +8,7 @@
 //     different payload multiplicities and the compressed uplink's savings,
 //   * where host wall-time went (flame-style span summary).
 //
-// Artifacts written:
+// Artifacts written (under results/, which is gitignored):
 //   telemetry_comm_<run>.csv     per-link byte accounting per run
 //   telemetry_metrics.csv/.jsonl final registry contents (counters, gauges,
 //                                histograms: pool queue depth, busy time,
@@ -16,6 +16,7 @@
 //   telemetry_trace.json         chrome://tracing / Perfetto timeline of the
 //                                last run
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,7 @@ int main() {
   runs.push_back({"HierAdMo_topk25",
                   std::make_unique<core::HierAdMo>(compressed), &engine3});
 
+  std::filesystem::create_directories("results");
   for (const Run& run : runs) {
     // Fresh accounting per run so each table covers exactly one run; the
     // trace accumulates across runs and is exported once at the end.
@@ -82,18 +84,19 @@ int main() {
     std::printf("== %s: final accuracy %.2f%%, %.2fs host\n\n",
                 run.label.c_str(), 100 * r.final_accuracy, r.wall_seconds);
     std::printf("%s\n", obs::CommAccountant::global().table().c_str());
-    const std::string comm_csv = "telemetry_comm_" + run.label + ".csv";
+    const std::string comm_csv =
+        "results/telemetry_comm_" + run.label + ".csv";
     obs::CommAccountant::global().write_csv(comm_csv);
   }
 
   std::printf("== host time by span\n\n%s\n",
               obs::Tracer::global().flame_summary().c_str());
 
-  obs::Tracer::global().write_chrome_json("telemetry_trace.json");
-  obs::Registry::global().write_csv("telemetry_metrics.csv");
-  obs::Registry::global().write_jsonl("telemetry_metrics.jsonl");
+  obs::Tracer::global().write_chrome_json("results/telemetry_trace.json");
+  obs::Registry::global().write_csv("results/telemetry_metrics.csv");
+  obs::Registry::global().write_jsonl("results/telemetry_metrics.jsonl");
   std::printf(
-      "wrote telemetry_comm_<run>.csv, telemetry_metrics.csv/.jsonl and "
-      "telemetry_trace.json\n");
+      "wrote results/telemetry_comm_<run>.csv, "
+      "results/telemetry_metrics.csv/.jsonl and results/telemetry_trace.json\n");
   return 0;
 }

@@ -9,26 +9,30 @@ Cfl::Cfl(Scalar participation) : participation_(participation) {
             "participation rate must be in (0, 1]");
 }
 
-void Cfl::init(fl::Context& ctx) {
-  rng_.emplace(ctx.cfg->seed ^ 0xCF1CF1CF1ULL);
-}
+void Cfl::init(fl::Context& ctx) { seed_ = ctx.cfg->seed ^ 0xCF1CF1CF1ULL; }
 
 void Cfl::local_step(fl::Context& ctx, fl::WorkerState& w) {
   core::sgd_local_step(w, ctx.cfg->eta);
 }
 
-void Cfl::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
+void Cfl::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) {
   // CFL's own client sampling composes with the fault schedule: it draws
   // from the workers that survived the interval.
   const auto& ids = fl::active_workers(ctx.part, *ctx.topo, e.id);
 
+  // Independent stream per (edge round, edge): the draws do not depend on
+  // the order in which the engine's parallel barrier visits the edges.
+  Rng rng(seed_ +
+          0x9E3779B97F4A7C15ULL *
+              (static_cast<std::uint64_t>(k) * ctx.topo->num_edges() + e.id));
+
   // Bernoulli participation, forcing at least one participant per round.
   std::vector<std::size_t> participants;
   for (const std::size_t id : ids) {
-    if (rng_->uniform() < participation_) participants.push_back(id);
+    if (rng.uniform() < participation_) participants.push_back(id);
   }
   if (participants.empty()) {
-    participants.push_back(ids[rng_->uniform_index(ids.size())]);
+    participants.push_back(ids[rng.uniform_index(ids.size())]);
   }
 
   // Aggregate participants with renormalized data weights.
@@ -36,12 +40,13 @@ void Cfl::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
   for (const std::size_t id : participants) {
     total_weight += (*ctx.workers)[id].weight_in_edge;
   }
-  scratch_.assign(e.x_plus.size(), 0.0);
+  thread_local Vec scratch;  // not a member: edge_syncs run concurrently
+  scratch.assign(e.x_plus.size(), 0.0);
   for (const std::size_t id : participants) {
     const fl::WorkerState& w = (*ctx.workers)[id];
-    vec::axpy(w.weight_in_edge / total_weight, w.x, scratch_);
+    vec::axpy(w.weight_in_edge / total_weight, w.x, scratch);
   }
-  e.x_plus = scratch_;
+  e.x_plus = scratch;
 
   // Only participants receive the fresh edge model; stragglers keep training
   // on their local models until the cloud round.
@@ -52,11 +57,7 @@ void Cfl::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
 
 void Cfl::cloud_sync(fl::Context& ctx, std::size_t) {
   Vec& x = ctx.cloud->x;
-  x.assign(x.size(), 0.0);
-  for (const fl::EdgeState& e : *ctx.edges) {
-    if (!fl::is_edge_active(ctx.part, e.id)) continue;
-    vec::axpy(fl::active_edge_weight(ctx.part, e), e.x_plus, x);
-  }
+  fl::aggregate_edges(*ctx.edges, fl::edge_x_plus, x, ctx.part, ctx.pool);
   for (fl::EdgeState& e : *ctx.edges) {
     if (fl::is_edge_active(ctx.part, e.id)) e.x_plus = x;
   }

@@ -11,7 +11,7 @@
 // cloud round aggregates and re-distributes to all workers.
 #pragma once
 
-#include <optional>
+#include <cstdint>
 
 #include "src/common/rng.h"
 #include "src/fl/algorithm.h"
@@ -31,8 +31,11 @@ class Cfl final : public fl::Algorithm {
 
  private:
   Scalar participation_;
-  std::optional<Rng> rng_;
-  Vec scratch_;
+  // Base seed captured at init; edge_sync derives an independent stream per
+  // (edge round, edge), so the sampling is identical whether the engine runs
+  // the edge barrier serially or in parallel. A single sequential member Rng
+  // would make the draws depend on edge execution order.
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace hfl::algs

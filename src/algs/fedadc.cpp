@@ -17,7 +17,8 @@ void FedAdc::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedAdc::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
+                       ctx.pool);
   Vec& u = ctx.cloud->extra.at("drift_u");
   Vec& x = ctx.cloud->x;
   const Scalar beta = ctx.cfg->gamma_edge;

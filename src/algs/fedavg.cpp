@@ -9,7 +9,8 @@ void FedAvg::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedAvg::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, scratch_, ctx.part,
+                       ctx.pool);
   ctx.cloud->x = scratch_;
   for (fl::WorkerState& w : *ctx.workers) {
     if (fl::is_active(ctx.part, w.id)) w.x = scratch_;

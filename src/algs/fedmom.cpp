@@ -13,7 +13,8 @@ void FedMom::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedMom::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
+                       ctx.pool);
   Vec& y_prev = ctx.cloud->extra.at("server_y");
   const Scalar gs = ctx.cfg->gamma_edge;
 

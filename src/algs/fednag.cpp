@@ -9,8 +9,10 @@ void FedNag::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedNag::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
-  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
+                       ctx.pool);
+  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_, ctx.part,
+                       ctx.pool);
   ctx.cloud->x = x_scratch_;
   ctx.cloud->y = y_scratch_;
   for (fl::WorkerState& w : *ctx.workers) {

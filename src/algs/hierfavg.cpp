@@ -9,9 +9,11 @@ void HierFavg::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void HierFavg::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
-  fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, scratch_,
+  // thread_local, not a member: edge_sync runs concurrently across edges.
+  thread_local Vec scratch;
+  fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, scratch,
                      ctx.part);
-  e.x_plus = scratch_;
+  e.x_plus = scratch;
   for (const std::size_t id : fl::active_workers(ctx.part, *ctx.topo, e.id)) {
     (*ctx.workers)[id].x = e.x_plus;
   }
@@ -19,11 +21,7 @@ void HierFavg::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
 
 void HierFavg::cloud_sync(fl::Context& ctx, std::size_t) {
   Vec& x = ctx.cloud->x;
-  x.assign(x.size(), 0.0);
-  for (const fl::EdgeState& e : *ctx.edges) {
-    if (!fl::is_edge_active(ctx.part, e.id)) continue;
-    vec::axpy(fl::active_edge_weight(ctx.part, e), e.x_plus, x);
-  }
+  fl::aggregate_edges(*ctx.edges, fl::edge_x_plus, x, ctx.part, ctx.pool);
   for (fl::EdgeState& e : *ctx.edges) {
     if (fl::is_edge_active(ctx.part, e.id)) e.x_plus = x;
   }

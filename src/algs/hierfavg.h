@@ -18,9 +18,6 @@ class HierFavg final : public fl::Algorithm {
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;
-
- private:
-  Vec scratch_;
 };
 
 }  // namespace hfl::algs

@@ -60,7 +60,8 @@ void Mime::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void Mime::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
+                       ctx.pool);
   ctx.cloud->x = x_scratch_;
   for (fl::WorkerState& w : *ctx.workers) {
     if (fl::is_active(ctx.part, w.id)) w.x = x_scratch_;

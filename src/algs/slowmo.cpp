@@ -13,7 +13,8 @@ void SlowMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void SlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part);
+  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
+                       ctx.pool);
   Vec& m = ctx.cloud->extra.at("slow_m");
   Vec& x = ctx.cloud->x;
   const Scalar beta = ctx.cfg->gamma_edge;

@@ -60,19 +60,29 @@ namespace {
 // traffic on the output tile.
 constexpr std::size_t kSumTile = 4096;
 
+// The per-element accumulation below visits inputs in index order with a
+// fixed 4-way grouping that depends only on `count`, so any [range_lo,
+// range_hi) partition of the output — including the full range — yields
+// bit-identical element values. weighted_sum_range relies on this to make
+// the engine's parallel reductions independent of thread count.
 template <class VecAt>
 void weighted_sum_tiled(std::size_t count, std::span<const Scalar> weights,
-                        Vec& out, VecAt&& vec_at) {
+                        Vec& out, std::size_t range_lo, std::size_t range_hi,
+                        VecAt&& vec_at) {
   HFL_CHECK(count > 0, "weighted_sum needs at least one vector");
   HFL_CHECK(count == weights.size(), "weighted_sum weight count");
   const std::size_t n = vec_at(0).size();
   for (std::size_t v = 1; v < count; ++v) {
     HFL_CHECK(vec_at(v).size() == n, "weighted_sum vector size mismatch");
   }
-  out.assign(n, 0.0);
+  HFL_CHECK(out.size() == n, "weighted_sum output size mismatch");
+  HFL_CHECK(range_lo <= range_hi && range_hi <= n,
+            "weighted_sum range out of bounds");
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(range_lo),
+            out.begin() + static_cast<std::ptrdiff_t>(range_hi), 0.0);
   Scalar* o = out.data();
-  for (std::size_t lo = 0; lo < n; lo += kSumTile) {
-    const std::size_t hi = std::min(n, lo + kSumTile);
+  for (std::size_t lo = range_lo; lo < range_hi; lo += kSumTile) {
+    const std::size_t hi = std::min(range_hi, lo + kSumTile);
     std::size_t v = 0;
     for (; v + 4 <= count; v += 4) {
       const Scalar w0 = weights[v], w1 = weights[v + 1];
@@ -97,15 +107,26 @@ void weighted_sum_tiled(std::size_t count, std::span<const Scalar> weights,
 
 void weighted_sum(std::span<const Vec* const> vecs,
                   std::span<const Scalar> weights, Vec& out) {
-  weighted_sum_tiled(vecs.size(), weights, out,
+  HFL_CHECK(!vecs.empty(), "weighted_sum needs at least one vector");
+  out.resize(vecs[0]->size());
+  weighted_sum_tiled(vecs.size(), weights, out, 0, out.size(),
                      [&](std::size_t v) -> const Vec& { return *vecs[v]; });
 }
 
 void weighted_sum(const std::vector<Vec>& vecs,
                   std::span<const Scalar> weights, Vec& out) {
   // Indexes the vectors directly — no per-call pointer-array rebuild.
-  weighted_sum_tiled(vecs.size(), weights, out,
+  HFL_CHECK(!vecs.empty(), "weighted_sum needs at least one vector");
+  out.resize(vecs[0].size());
+  weighted_sum_tiled(vecs.size(), weights, out, 0, out.size(),
                      [&](std::size_t v) -> const Vec& { return vecs[v]; });
+}
+
+void weighted_sum_range(std::span<const Vec* const> vecs,
+                        std::span<const Scalar> weights, Vec& out,
+                        std::size_t lo, std::size_t hi) {
+  weighted_sum_tiled(vecs.size(), weights, out, lo, hi,
+                     [&](std::size_t v) -> const Vec& { return *vecs[v]; });
 }
 
 void fill(std::span<Scalar> x, Scalar value) {

@@ -49,6 +49,17 @@ void weighted_sum(std::span<const Vec* const> vecs,
 void weighted_sum(const std::vector<Vec>& vecs,
                   std::span<const Scalar> weights, Vec& out);
 
+// Partial-range weighted sum: writes only out[lo, hi), which must already be
+// sized to the input length. Each output element is accumulated across the
+// inputs in fixed input-index order, so splitting [0, n) into any set of
+// ranges — one per thread of a parallel reduction — produces bit-identical
+// results to one full-range call. This is the engine's deterministic
+// aggregation primitive: FP summation order depends only on the input count,
+// never on the thread count or partition shape.
+void weighted_sum_range(std::span<const Vec* const> vecs,
+                        std::span<const Scalar> weights, Vec& out,
+                        std::size_t lo, std::size_t hi);
+
 // Fill with a constant.
 void fill(std::span<Scalar> x, Scalar value);
 

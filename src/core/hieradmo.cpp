@@ -113,24 +113,29 @@ void HierAdMo::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
     e.gamma_edge = ctx.cfg->gamma_edge;
   }
 
+  // Aggregation scratch is thread_local, never a member: the engine invokes
+  // edge_sync for distinct edges concurrently, and member scratch would race
+  // (the pre-parallel-tier latent bug this layout fixes).
+  thread_local Vec y_minus_scratch, y_plus_scratch;
+
   // Line 11: worker momentum edge aggregation y_{ℓ−} = Σ w_i y_i.
-  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_y, y_minus_scratch_,
+  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_y, y_minus_scratch,
                      ctx.part);
-  e.y_minus = y_minus_scratch_;
+  e.y_minus = y_minus_scratch;
 
   // Line 12: y_{ℓ+} = x_{ℓ+}^{(k−1)τ} − Σ w_i (x_{ℓ+}^{(k−1)τ} − x_i^{kτ}),
   // which simplifies to the data-weighted worker model average Σ w_i x_i.
-  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_x, y_plus_scratch_,
+  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_x, y_plus_scratch,
                      ctx.part);
 
   // Line 13: x_{ℓ+} = y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
   Vec& x_plus = e.x_plus;
-  x_plus.resize(y_plus_scratch_.size());
+  x_plus.resize(y_plus_scratch.size());
   for (std::size_t i = 0; i < x_plus.size(); ++i) {
-    x_plus[i] = y_plus_scratch_[i] +
-                e.gamma_edge * (y_plus_scratch_[i] - e.y_plus[i]);
+    x_plus[i] = y_plus_scratch[i] +
+                e.gamma_edge * (y_plus_scratch[i] - e.y_plus[i]);
   }
-  e.y_plus = y_plus_scratch_;
+  e.y_plus = y_plus_scratch;
 
   // Lines 14–15: re-distribute y_{ℓ−} and x_{ℓ+} to the edge's workers (only
   // the survivors receive; absent workers keep local state per the absent
@@ -148,15 +153,10 @@ void HierAdMo::cloud_sync(fl::Context& ctx, std::size_t) {
   fl::CloudState& cloud = *ctx.cloud;
 
   // Lines 18–19: cloud aggregation of worker momenta and edge models (over
-  // the reachable edges, with weights renormalized over the survivors).
-  cloud.y.assign(cloud.y.size(), 0.0);
-  cloud.x.assign(cloud.x.size(), 0.0);
-  for (const fl::EdgeState& e : edges) {
-    if (!fl::is_edge_active(ctx.part, e.id)) continue;
-    const Scalar weight = fl::active_edge_weight(ctx.part, e);
-    vec::axpy(weight, e.y_minus, cloud.y);
-    vec::axpy(weight, e.x_plus, cloud.x);
-  }
+  // the reachable edges, with weights renormalized over the survivors) via
+  // the deterministic parallel reduction — same bits for any thread count.
+  fl::aggregate_edges(edges, fl::edge_y_minus, cloud.y, ctx.part, ctx.pool);
+  fl::aggregate_edges(edges, fl::edge_x_plus, cloud.x, ctx.part, ctx.pool);
 
   // Lines 20–23: re-distribute to edges, then from edges to workers.
   for (fl::EdgeState& e : edges) {

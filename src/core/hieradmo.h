@@ -72,6 +72,14 @@ class HierAdMo final : public fl::Algorithm {
   std::string name() const override;
   bool three_tier() const override { return true; }
 
+  // edge_sync keeps all scratch in thread_local storage, so it is re-entrant
+  // across edges — unless a stateful (RNG-carrying) compressor is attached,
+  // whose draw order must match the serial edge walk.
+  bool edge_sync_reentrant() const override {
+    return options_.upload_compressor == nullptr ||
+           options_.upload_compressor->reentrant();
+  }
+
   void init(fl::Context& ctx) override;
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override;
@@ -89,7 +97,6 @@ class HierAdMo final : public fl::Algorithm {
 
  private:
   HierAdMoOptions options_;
-  Vec y_minus_scratch_, y_plus_scratch_;
 };
 
 // Convenience factories used by benches and examples.

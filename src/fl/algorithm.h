@@ -3,22 +3,37 @@
 // The engine drives the simulation clock (t = 1..T) and calls:
 //   * local_step  — once per worker per iteration (run in parallel; the hook
 //                   must only touch its worker's state),
-//   * edge_sync   — at t = kτ, once per edge, only for three-tier algorithms,
-//   * cloud_sync  — at t = pτπ,
+//   * edge_sync   — at t = kτ, once per edge, only for three-tier algorithms.
+//                   Distinct edges are dispatched CONCURRENTLY on the
+//                   engine's thread pool, so implementations must be
+//                   re-entrant across edges: per-call scratch lives on the
+//                   stack or in thread_local storage, never in members (see
+//                   edge_sync_reentrant below for the escape hatch),
+//   * cloud_sync  — at t = pτπ (single call; never concurrent with itself),
 //   * absent_sync — once per non-participating worker per synchronization,
 //                   only when a fault schedule drives the run.
 // `Context` bundles the read-only run configuration and the mutable tier
 // states. `Context::part` is null for fault-free runs; under a fault
 // schedule it exposes the surviving roster and renormalized weights
 // (src/fl/availability.h) — the engine never calls edge_sync/cloud_sync for
-// a tier with no survivors.
+// a tier with no survivors. `Context::pool` is the engine's thread pool, for
+// the deterministic parallel reductions of src/fl/state.h (null in
+// hand-built test contexts — all helpers degrade to the serial path).
 #pragma once
 
+#include <atomic>
 #include <string>
 
+#include "src/common/errors.h"
 #include "src/fl/availability.h"
 #include "src/fl/config.h"
 #include "src/fl/state.h"
+
+// Debug builds always carry the edge_sync re-entrancy guard; release builds
+// compile it out unless a build preset (e.g. HFL_SANITIZE) forces it on.
+#if !defined(NDEBUG) && !defined(HFL_SYNC_GUARD)
+#define HFL_SYNC_GUARD 1
+#endif
 
 namespace hfl::fl {
 
@@ -30,6 +45,7 @@ struct Context {
   CloudState* cloud = nullptr;
   std::size_t t = 0;  // current iteration (1-based while stepping)
   const Participation* part = nullptr;  // null = full participation
+  ThreadPool* pool = nullptr;  // engine pool for deterministic reductions
 };
 
 class Algorithm {
@@ -49,11 +65,23 @@ class Algorithm {
   virtual void local_step(Context& ctx, WorkerState& w) = 0;
 
   // Edge synchronization at t = kτ (k passed for algorithms that care).
+  // Called concurrently for distinct edges when edge_sync_reentrant() is
+  // true; must then confine mutation to its edge's state, its edge's
+  // workers, and thread-safe sinks (obs). Anything order-dependent (RNG
+  // draws, shared accumulators) must be derived per (k, edge) so the result
+  // is independent of edge execution order.
   virtual void edge_sync(Context& ctx, EdgeState& e, std::size_t k) {
     (void)ctx;
     (void)e;
     (void)k;
   }
+
+  // Re-entrancy contract for edge_sync. Implementations that keep per-call
+  // scratch or order-dependent state in members must override this to return
+  // false; the engine then walks their edges serially (in edge-index order,
+  // matching the 1-thread schedule bit for bit). The debug-mode guard below
+  // fails loudly if a serial-only edge_sync is ever entered concurrently.
+  virtual bool edge_sync_reentrant() const { return true; }
 
   // Cloud synchronization at t = pτπ.
   virtual void cloud_sync(Context& ctx, std::size_t p) = 0;
@@ -69,6 +97,44 @@ class Algorithm {
                           ctx.part->absent_decay());
     }
   }
+};
+
+// Debug-mode re-entrancy guard for edge_sync (active when the build defines
+// HFL_SYNC_GUARD — plain debug builds and every sanitizer preset; compiled
+// out of release builds). The engine wraps each edge_sync call in one of
+// these around a per-run entry counter: an algorithm whose
+// edge_sync_reentrant() is false must never be observed inside edge_sync by
+// two threads at once, so a member-scratch regression that also forgets to
+// flip the flag trips either this check (when mis-dispatched) or TSan (the
+// sanitized suite runs the parallel tier with the guard enabled) instead of
+// silently corrupting curves.
+class EdgeSyncGuard {
+ public:
+#if defined(HFL_SYNC_GUARD)
+  EdgeSyncGuard(std::atomic<int>& entries, bool reentrant)
+      : entries_(&entries) {
+    const int prev = entries_->fetch_add(1, std::memory_order_acq_rel);
+    if (!reentrant && prev != 0) {
+      // Roll back before throwing: a throwing constructor never runs the
+      // destructor, and the counter must stay balanced for later guards.
+      entries_->fetch_sub(1, std::memory_order_acq_rel);
+      HFL_CHECK(false,
+                "non-re-entrant edge_sync entered concurrently — the engine "
+                "must serialize algorithms with edge_sync_reentrant() == "
+                "false");
+    }
+  }
+  ~EdgeSyncGuard() { entries_->fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int>* entries_;
+#else
+  EdgeSyncGuard(std::atomic<int>&, bool) {}
+#endif
+
+ public:
+  EdgeSyncGuard(const EdgeSyncGuard&) = delete;
+  EdgeSyncGuard& operator=(const EdgeSyncGuard&) = delete;
 };
 
 }  // namespace hfl::fl

@@ -29,15 +29,23 @@ std::size_t TopKCompressor::compress(Vec& v) {
   if (v.empty()) return 0;
   const std::size_t k = keep_count(keep_, v.size());
   if (k == v.size()) return k;
-  order_.resize(v.size());
-  std::iota(order_.begin(), order_.end(), std::size_t{0});
-  // Partition so order_[0..k) holds the k largest magnitudes, then zero the
-  // rest of the vector.
-  std::nth_element(order_.begin(), order_.begin() + k, order_.end(),
-                   [&v](std::size_t a, std::size_t b) {
-                     return std::abs(v[a]) > std::abs(v[b]);
+  // Selection scratch is thread_local (not a member): one shared compressor
+  // instance serves all edges of the engine's parallel sync tier.
+  thread_local std::vector<std::size_t> order;
+  order.resize(v.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Partition so order[0..k) holds the k largest magnitudes, breaking
+  // magnitude ties by ascending index: nth_element leaves tied elements in
+  // an unspecified order, so without the tie-break the kept set — and every
+  // downstream compressed-upload curve — could differ across standard
+  // library implementations.
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                   order.end(), [&v](std::size_t a, std::size_t b) {
+                     const Scalar ma = std::abs(v[a]);
+                     const Scalar mb = std::abs(v[b]);
+                     return ma != mb ? ma > mb : a < b;
                    });
-  for (std::size_t i = k; i < order_.size(); ++i) v[order_[i]] = 0;
+  for (std::size_t i = k; i < order.size(); ++i) v[order[i]] = 0;
   return k;
 }
 

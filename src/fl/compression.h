@@ -31,6 +31,11 @@ class Compressor {
   virtual std::string name() const = 0;
   // In-place lossy compression; returns the transmitted scalar count.
   virtual std::size_t compress(Vec& v) = 0;
+  // True when compress() may be called concurrently from several threads
+  // with identical results regardless of call order (no member scratch, no
+  // shared RNG stream). The engine's parallel edge tier serializes the
+  // edge_sync of any algorithm holding a non-re-entrant compressor.
+  virtual bool reentrant() const { return false; }
 };
 
 using CompressorPtr = std::shared_ptr<Compressor>;
@@ -41,11 +46,14 @@ class TopKCompressor final : public Compressor {
   explicit TopKCompressor(Scalar keep_fraction);
   std::string name() const override;
   std::size_t compress(Vec& v) override;
+  // Stateless (selection scratch is thread_local) and fully deterministic:
+  // ties in magnitude are broken by ascending index, so the kept set never
+  // depends on the standard library's nth_element partition order.
+  bool reentrant() const override { return true; }
   Scalar keep_fraction() const { return keep_; }
 
  private:
   Scalar keep_;
-  std::vector<std::size_t> order_;  // scratch
 };
 
 class RandomKCompressor final : public Compressor {

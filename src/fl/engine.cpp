@@ -1,5 +1,6 @@
 #include "src/fl/engine.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/common/logging.h"
@@ -92,7 +93,8 @@ void Engine::build_states(Algorithm& alg, std::vector<WorkerState>& workers,
   cloud.y = x0;
   cloud.extra.clear();
 
-  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, nullptr};
+  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, nullptr,
+              pool_.get()};
   alg.init(ctx);
 }
 
@@ -110,26 +112,42 @@ nn::EvalResult Engine::evaluate(const Vec& params) {
   std::vector<Scalar> correct(num_batches, 0.0);
   std::vector<std::size_t> counts(num_batches, 0);
 
-  // Round-robin batches over the per-thread eval models. parallel_for uses
-  // static block partitioning, so each model is touched by one thread only.
+  // One contiguous batch range per per-thread eval model, accumulated into
+  // block-local buffers and written back once per block: threads never
+  // interleave stores into the shared arrays mid-loop (the earlier
+  // round-robin layout had every thread bouncing the same cache lines on
+  // each batch — false sharing on the eval hot path). The final merge below
+  // walks batches in index order, so the totals are bit-identical for every
+  // thread count and block shape.
   const std::size_t num_blocks = std::min(num_batches, eval_models_.size());
+  const std::size_t batches_per_block =
+      (num_batches + num_blocks - 1) / num_blocks;
   pool_->parallel_for(num_blocks, [&](std::size_t blk) {
+    const std::size_t blo = blk * batches_per_block;
+    const std::size_t bhi = std::min(num_batches, blo + batches_per_block);
+    if (blo >= bhi) return;
     nn::Model& model = *eval_models_[blk];
     model.set_params(params);
     Tensor x;
     std::vector<std::size_t> y;
     std::vector<std::size_t> idx;
-    for (std::size_t b = blk; b < num_batches; b += num_blocks) {
+    std::vector<Scalar> local_loss(bhi - blo), local_correct(bhi - blo);
+    std::vector<std::size_t> local_count(bhi - blo);
+    for (std::size_t b = blo; b < bhi; ++b) {
       const std::size_t lo = b * kEvalBatch;
       const std::size_t hi = std::min(n, lo + kEvalBatch);
       idx.resize(hi - lo);
       for (std::size_t i = lo; i < hi; ++i) idx[i - lo] = i;
       test.gather(idx, x, y);
       const nn::EvalResult r = model.evaluate(x, y);
-      losses[b] = r.loss * static_cast<Scalar>(hi - lo);
-      correct[b] = r.accuracy * static_cast<Scalar>(hi - lo);
-      counts[b] = hi - lo;
+      local_loss[b - blo] = r.loss * static_cast<Scalar>(hi - lo);
+      local_correct[b - blo] = r.accuracy * static_cast<Scalar>(hi - lo);
+      local_count[b - blo] = hi - lo;
     }
+    std::copy(local_loss.begin(), local_loss.end(), losses.begin() + blo);
+    std::copy(local_correct.begin(), local_correct.end(),
+              correct.begin() + blo);
+    std::copy(local_count.begin(), local_count.end(), counts.begin() + blo);
   });
 
   nn::EvalResult total;
@@ -184,7 +202,8 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
                                            /*edge_faults=*/alg.three_tier());
   }
 
-  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, part.get()};
+  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, part.get(),
+              pool_.get()};
 
   RunResult result;
   result.algorithm = alg.name();
@@ -220,24 +239,41 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
 
     if (alg.three_tier() && sync_point) {
       const obs::Span span("edge_sync", "edge");
-      for (EdgeState& e : edges) {
-        // An edge with no survivors (node outage or all workers absent)
-        // holds its state; its workers are handled by absent_sync below.
-        if (part && !part->edge_active(e.id)) continue;
-        if (obs::enabled()) {
-          // Every surviving worker of this edge uploads its sync payload and
-          // receives the redistribution. Recorded before edge_sync so that
-          // compression savings reported from inside the algorithm always
-          // land on an already-counted message.
-          obs::CommAccountant& comm = obs::CommAccountant::global();
+      if (obs::enabled()) {
+        // Comm accounting depends only on the surviving roster, so it is
+        // recorded serially in edge-index order BEFORE the (possibly
+        // concurrent) edge_sync dispatch: the records stay deterministic
+        // under any thread count, and compression savings reported from
+        // inside the algorithm always land on an already-counted message.
+        obs::CommAccountant& comm = obs::CommAccountant::global();
+        obs::Registry& reg = obs::Registry::global();
+        for (const EdgeState& e : edges) {
+          if (part && !part->edge_active(e.id)) continue;
+          // Every surviving worker of this edge uploads its sync payload
+          // and receives the redistribution.
           for (const std::size_t w : topo_.workers_of_edge(e.id)) {
             if (part && !part->worker_active(w)) continue;
             comm.record(obs::Link::kWorkerToEdge, e.id, worker_up);
             comm.record(obs::Link::kEdgeToWorker, e.id, worker_down);
           }
-          obs::Registry::global().counter("engine.edge_syncs").add();
+          reg.counter("engine.edge_syncs").add();
         }
+      }
+      // The edge barrier itself: re-entrant algorithms run their edges
+      // concurrently; serial-only ones (edge_sync_reentrant() == false) walk
+      // the edges in index order — the exact 1-thread schedule. Either way
+      // an edge with no survivors (node outage or all workers absent) holds
+      // its state; its workers are handled by absent_sync below.
+      const auto sync_edge = [&](std::size_t i) {
+        EdgeState& e = edges[i];
+        if (part && !part->edge_active(e.id)) return;
+        const EdgeSyncGuard guard(edge_sync_entries_, alg.edge_sync_reentrant());
         alg.edge_sync(ctx, e, k);
+      };
+      if (alg.edge_sync_reentrant()) {
+        pool_->parallel_for(edges.size(), sync_edge);
+      } else {
+        for (std::size_t i = 0; i < edges.size(); ++i) sync_edge(i);
       }
     }
 
@@ -277,7 +313,7 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
     } else if (cfg_.eval_every != 0 && t % cfg_.eval_every == 0) {
       // Between synchronizations, evaluate the data-weighted average of the
       // worker models (the paper's virtual global model).
-      aggregate_global(workers, worker_x, avg_scratch);
+      aggregate_global(workers, worker_x, avg_scratch, nullptr, pool_.get());
       record(t, avg_scratch);
     }
 
@@ -323,6 +359,7 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
 
   result.final_accuracy = result.curve.back().test_accuracy;
   result.final_loss = result.curve.back().test_loss;
+  result.final_params = cloud.x;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

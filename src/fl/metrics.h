@@ -36,6 +36,7 @@ struct RunResult {
   std::vector<MetricPoint> curve;  // includes t = 0 and every cloud sync
   Scalar final_accuracy = 0;
   Scalar final_loss = 0;
+  Vec final_params;  // cloud model after the last iteration
   double wall_seconds = 0;  // host time spent simulating (not modeled time)
 
   // Fault-driven runs only (empty / 1.0 for fault-free runs): one entry per

@@ -1,5 +1,8 @@
 #include "src/fl/state.h"
 
+#include <algorithm>
+
+#include "src/common/thread_pool.h"
 #include "src/fl/availability.h"
 
 namespace hfl::fl {
@@ -35,10 +38,39 @@ void WorkerState::reset_interval_accumulators() {
 namespace {
 
 // Gather scratch for the fused aggregation below: pointer + weight arrays
-// sized by the fleet, reused across sync rounds (thread-local because edges
-// may aggregate concurrently under the engine's thread pool).
+// sized by the fleet, reused across sync rounds. Thread-local because the
+// engine runs edge_sync for distinct edges concurrently on its thread pool
+// (src/fl/engine.cpp), so several aggregations may gather at once — each on
+// its own thread's copy. The parallel element-range reduction below reads
+// the gathering thread's arrays from pool workers, which is safe: the
+// gathering thread blocks in parallel_for until the reduction finishes.
 thread_local std::vector<const Vec*> tl_agg_vecs;
 thread_local Vec tl_agg_weights;
+
+// Dispatches the fused weighted sum either serially or as an element-range
+// parallel reduction. Both paths produce bit-identical output for any thread
+// count: each out[j] is accumulated over the inputs in fixed input-index
+// order (see vec::weighted_sum_range), so the partition shape never shows up
+// in the FP result. The cutoff below only picks serial vs parallel dispatch
+// — never the numbers.
+void weighted_sum_dispatch(std::span<const Vec* const> vecs,
+                           std::span<const Scalar> weights, Vec& out,
+                           ThreadPool* pool) {
+  const std::size_t n = vecs.empty() ? 0 : vecs[0]->size();
+  constexpr std::size_t kMinParallelElems = 1 << 14;
+  if (pool == nullptr || pool->size() <= 1 || n < kMinParallelElems) {
+    vec::weighted_sum(vecs, weights, out);
+    return;
+  }
+  out.resize(n);
+  const std::size_t chunks = pool->size();
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    if (lo < hi) vec::weighted_sum_range(vecs, weights, out, lo, hi);
+  });
+}
 
 }  // namespace
 
@@ -95,23 +127,45 @@ void aggregate_edge(const Topology& topo, std::size_t edge,
 void aggregate_global(const std::vector<WorkerState>& workers,
                       WorkerVecAccessor acc, Vec& out,
                       const Participation* part) {
-  if (part == nullptr) {
-    aggregate_global(workers, acc, out);
-    return;
+  aggregate_global(workers, acc, out, part, nullptr);
+}
+
+void aggregate_global(const std::vector<WorkerState>& workers,
+                      WorkerVecAccessor acc, Vec& out,
+                      const Participation* part, ThreadPool* pool) {
+  HFL_CHECK(!workers.empty(), "no workers to aggregate");
+  if (part != nullptr) {
+    HFL_CHECK(part->num_active() > 0, "no participating workers this round");
   }
-  HFL_CHECK(part->num_active() > 0, "no participating workers this round");
   tl_agg_vecs.clear();
   tl_agg_weights.clear();
   for (const WorkerState& w : workers) {
-    if (!part->worker_active(w.id)) continue;
+    if (part != nullptr && !part->worker_active(w.id)) continue;
     tl_agg_vecs.push_back(&acc(w));
-    tl_agg_weights.push_back(part->weight_global(w.id));
+    tl_agg_weights.push_back(part != nullptr ? part->weight_global(w.id)
+                                             : w.weight_global);
   }
-  vec::weighted_sum(std::span<const Vec* const>(tl_agg_vecs), tl_agg_weights,
-                    out);
+  weighted_sum_dispatch(std::span<const Vec* const>(tl_agg_vecs),
+                        tl_agg_weights, out, pool);
+}
+
+void aggregate_edges(const std::vector<EdgeState>& edges, EdgeVecAccessor acc,
+                     Vec& out, const Participation* part, ThreadPool* pool) {
+  tl_agg_vecs.clear();
+  tl_agg_weights.clear();
+  for (const EdgeState& e : edges) {
+    if (!is_edge_active(part, e.id)) continue;
+    tl_agg_vecs.push_back(&acc(e));
+    tl_agg_weights.push_back(active_edge_weight(part, e));
+  }
+  HFL_CHECK(!tl_agg_vecs.empty(), "no reachable edges to aggregate");
+  weighted_sum_dispatch(std::span<const Vec* const>(tl_agg_vecs),
+                        tl_agg_weights, out, pool);
 }
 
 const Vec& worker_x(const WorkerState& w) { return w.x; }
 const Vec& worker_y(const WorkerState& w) { return w.y; }
+const Vec& edge_x_plus(const EdgeState& e) { return e.x_plus; }
+const Vec& edge_y_minus(const EdgeState& e) { return e.y_minus; }
 
 }  // namespace hfl::fl

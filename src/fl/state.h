@@ -22,6 +22,12 @@
 #include "src/fl/topology.h"
 #include "src/nn/model.h"
 
+namespace hfl {
+
+class ThreadPool;  // src/common/thread_pool.h
+
+}  // namespace hfl
+
 namespace hfl::fl {
 
 struct WorkerState {
@@ -94,6 +100,7 @@ struct CloudState {
 // Weighted aggregation helpers. The accessor receives a worker/edge and
 // returns the vector to aggregate; weights are the paper's D-ratios.
 using WorkerVecAccessor = const Vec& (*)(const WorkerState&);
+using EdgeVecAccessor = const Vec& (*)(const EdgeState&);
 
 class Participation;  // src/fl/availability.h
 
@@ -118,8 +125,28 @@ void aggregate_global(const std::vector<WorkerState>& workers,
                       WorkerVecAccessor acc, Vec& out,
                       const Participation* part);
 
+// Deterministic parallel reduction: the element range of `out` is split
+// across the pool's threads and each element is accumulated over the inputs
+// in fixed input-index order (vec::weighted_sum_range), so the result is
+// bit-identical to the serial overloads for every thread count and partition
+// shape. A null pool (or a small problem) takes the serial path — same bits
+// either way. Algorithms reach the pool through `Context::pool`.
+void aggregate_global(const std::vector<WorkerState>& workers,
+                      WorkerVecAccessor acc, Vec& out,
+                      const Participation* part, ThreadPool* pool);
+
+// Cloud-tier edge aggregation: out = Σ_{reachable edges ℓ} w_ℓ · acc(edge_ℓ)
+// with the weights renormalized over the survivors (full roster when `part`
+// is null). Replaces the per-algorithm axpy loops so the cloud reduction
+// shares the deterministic parallel path above.
+void aggregate_edges(const std::vector<EdgeState>& edges, EdgeVecAccessor acc,
+                     Vec& out, const Participation* part,
+                     ThreadPool* pool = nullptr);
+
 // Common accessors.
 const Vec& worker_x(const WorkerState& w);
 const Vec& worker_y(const WorkerState& w);
+const Vec& edge_x_plus(const EdgeState& e);
+const Vec& edge_y_minus(const EdgeState& e);
 
 }  // namespace hfl::fl

@@ -45,6 +45,39 @@ TEST(TopKTest, EmptyVector) {
   EXPECT_EQ(c.compress(v), 0u);
 }
 
+TEST(TopKTest, TiesBreakByAscendingIndex) {
+  // Regression: with every magnitude tied, nth_element alone leaves the kept
+  // set at the mercy of the library's partition order. The contract is that
+  // ties keep the lowest indices, deterministically.
+  TopKCompressor c(0.5);
+  Vec v{1, -1, 1, -1, 1, -1, 1, -1};
+  EXPECT_EQ(c.compress(v), 4u);
+  EXPECT_EQ(v, (Vec{1, -1, 1, -1, 0, 0, 0, 0}));
+}
+
+TEST(TopKTest, TieHeavyMixedMagnitudes) {
+  // Two magnitude classes with ties inside each: the larger class survives
+  // whole, and the tied smaller class keeps its lowest indices.
+  TopKCompressor c(0.5);
+  Vec v{0.5, 2, -0.5, 0.5, -2, 0.5, 0.5, -0.5};
+  EXPECT_EQ(c.compress(v), 4u);
+  EXPECT_EQ(v, (Vec{0.5, 2, -0.5, 0, -2, 0, 0, 0}));
+}
+
+TEST(TopKTest, TieHeavyCompressIsStableAcrossRepeats) {
+  TopKCompressor c(0.25);
+  Rng rng(9);
+  Vec base(64);
+  for (auto& x : base) x = (rng.uniform() < 0.5 ? -1.0 : 1.0);  // all tied
+  Vec first = base;
+  c.compress(first);
+  for (int rep = 0; rep < 5; ++rep) {
+    Vec again = base;
+    c.compress(again);
+    EXPECT_EQ(again, first);
+  }
+}
+
 TEST(TopKTest, InvalidFractionThrows) {
   EXPECT_THROW(TopKCompressor(0.0), Error);
   EXPECT_THROW(TopKCompressor(1.5), Error);
