@@ -1,0 +1,92 @@
+// Pre-batched baseline measurement for BENCH_batched.json: runs the SAME
+// workloads as bench_batched (HierAdMo, 32-worker uniform(8,4) cohort, same
+// seeds and iteration counts) and prints per-round times in the
+// HFL_PR4_BASELINE env format bench_batched consumes.
+//
+// This file is NOT built by the main tree. It uses only APIs that predate
+// the batched path, so the recipe (EXPERIMENTS.md E16) is: check out the
+// pre-batched commit in a worktree, copy this file into its bench/, append
+// `hfl_add_experiment(bench_pr4_baseline)` to its bench/CMakeLists.txt,
+// build, and run it back-to-back with bench_batched — same machine phase —
+// exporting its last output line.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/common/rng.h"
+
+namespace {
+
+using namespace hfl;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Workload {
+  std::string model;
+  nn::ModelFactory factory;
+  std::size_t iters;
+};
+
+}  // namespace
+
+int main() {
+  using namespace hfl;
+
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  Rng rng(7);
+  const data::TrainTest dataset = data::make_synthetic_mnist(rng);
+  const fl::Topology topo = fl::Topology::uniform(8, 4);
+  const data::Partition partition =
+      data::partition_by_class(dataset.train, topo.num_workers(), 5, rng);
+
+  const std::vector<Workload> workloads = {
+      {"logistic", nn::logistic_regression({1, 28, 28}, 10),
+       bench::scaled_iters(64, 8)},
+      {"mlp", nn::mlp({1, 28, 28}, 256, 10), bench::scaled_iters(16, 8)},
+      {"cnn", nn::cnn({1, 28, 28}, 10), bench::scaled_iters(8, 8)},
+  };
+
+  std::string env = "HFL_PR4_BASELINE=\"";
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const Workload& wl = workloads[wi];
+    fl::RunConfig cfg;
+    cfg.total_iterations = wl.iters;
+    cfg.tau = 4;  // paper-realistic sync cadence: compute dominates the round
+    cfg.pi = 2;
+    cfg.batch_size = 16;
+    cfg.eval_max_samples = 200;
+    cfg.seed = 3;
+    cfg.num_threads = cores;
+
+    const int reps = 3;
+    std::vector<double> ts;
+    for (int rep = 0; rep < reps; ++rep) {
+      fl::Engine engine(wl.factory, dataset, partition, topo, cfg);
+      auto alg = algs::make_algorithm("HierAdMo");
+      const auto t0 = std::chrono::steady_clock::now();
+      engine.run(*alg);
+      ts.push_back(seconds_since(t0));
+    }
+    const double round_ms =
+        median(ts) * 1000.0 / static_cast<double>(wl.iters);
+    std::printf("%-9s %.3f ms/round (T=%zu)\n", wl.model.c_str(), round_ms,
+                wl.iters);
+    env += wl.model + "=" + std::to_string(round_ms);
+    if (wi + 1 < workloads.size()) env += ",";
+  }
+  env += "\"";
+  std::printf("\n%s\n", env.c_str());
+  return 0;
+}

@@ -25,6 +25,7 @@ class Cfl final : public fl::Algorithm {
   std::string name() const override { return "CFL"; }
   bool three_tier() const override { return true; }
   void init(fl::Context& ctx) override;
+  bool local_gradient_prefetchable() const override { return true; }
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;

@@ -19,6 +19,7 @@ class FastSlowMo final : public fl::Algorithm {
   std::string name() const override { return "FastSlowMo"; }
   bool three_tier() const override { return false; }
   void init(fl::Context& ctx) override;
+  bool local_gradient_prefetchable() const override { return true; }
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;
 

@@ -15,6 +15,7 @@ class FedNag final : public fl::Algorithm {
  public:
   std::string name() const override { return "FedNAG"; }
   bool three_tier() const override { return false; }
+  bool local_gradient_prefetchable() const override { return true; }
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;
 

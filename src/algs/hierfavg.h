@@ -15,6 +15,7 @@ class HierFavg final : public fl::Algorithm {
  public:
   std::string name() const override { return "HierFAVG"; }
   bool three_tier() const override { return true; }
+  bool local_gradient_prefetchable() const override { return true; }
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;

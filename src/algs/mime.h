@@ -32,6 +32,12 @@ class Mime final : public fl::Algorithm {
     return svrg_correction_ ? "Mime" : "MimeLite";
   }
   bool three_tier() const override { return false; }
+  // Full Mime evaluates a PAIRED gradient (compute_gradient_pair) as its
+  // first evaluation, which the cohort prefetch cannot serve; MimeLite's
+  // first evaluation is the plain ∇F_B(x) and prefetches fine.
+  bool local_gradient_prefetchable() const override {
+    return !svrg_correction_;
+  }
   void init(fl::Context& ctx) override;
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;

@@ -81,6 +81,9 @@ class HierAdMo final : public fl::Algorithm {
   }
 
   void init(fl::Context& ctx) override;
+  // Local steps evaluate ∇F_B(x) at the worker iterate first — the engine's
+  // fused cohort prefetch serves them bit-identically.
+  bool local_gradient_prefetchable() const override { return true; }
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;

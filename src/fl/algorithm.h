@@ -64,6 +64,26 @@ class Algorithm {
   // One local iteration on worker w. Must not touch other workers.
   virtual void local_step(Context& ctx, WorkerState& w) = 0;
 
+  // Gradient-prefetch contract for the fused cohort path (src/nn/cohort.h).
+  // When this returns true, the FIRST gradient evaluation inside local_step
+  // must be `w.compute_gradient(local_gradient_point(w))` — the engine then
+  // draws each active worker's batch up front, computes all those gradients
+  // in one batched pass, and deposits them so that compute_gradient call
+  // returns the precomputed (bit-identical in FP64) result instead of
+  // running the model. Opt-in: the default is false (per-worker path), so an
+  // algorithm that never calls compute_gradient, calls it at another point,
+  // or evaluates a paired SVRG gradient first is never mis-prefetched; every
+  // registry algorithm that satisfies the contract overrides this to true.
+  // Contract violations behind a true override fail loudly (src/fl/state.cpp
+  // pointer checks), never silently.
+  virtual bool local_gradient_prefetchable() const { return false; }
+
+  // The point the prefetched gradient is evaluated at. Default: the worker's
+  // current iterate.
+  virtual const Vec& local_gradient_point(const WorkerState& w) const {
+    return w.x;
+  }
+
   // Edge synchronization at t = kτ (k passed for algorithms that care).
   // Called concurrently for distinct edges when edge_sync_reentrant() is
   // true; must then confine mutation to its edge's state, its edge's

@@ -33,6 +33,17 @@ struct RunConfig {
   std::uint64_t seed = 1;
   std::size_t num_threads = 0;  // 0 = hardware concurrency
 
+  // Fused cohort execution (src/nn/cohort.h): compute the cohort's local
+  // gradients through one batched pass instead of per-worker model calls.
+  // FP64 results are bit-identical either way; the engine silently falls
+  // back per worker for architectures or algorithms the fused path cannot
+  // serve. Env override: HFL_BATCHED=0/1 (read by the engine constructor).
+  bool batched = true;
+  // FP32-compute / FP64-accumulate GEMMs inside the fused path (≤1e-6
+  // relative error — NOT bit-identical; see src/tensor/gemm_mixed.h).
+  // Requires `batched`. Env override: HFL_MIXED_PRECISION=0/1.
+  bool mixed_precision = false;
+
   // Throws hfl::Error with an actionable message on any inconsistency
   // (non-positive periods, T not a multiple of τ·π, bad hyper-parameters).
   // The engine calls this at construction; call it directly to fail fast

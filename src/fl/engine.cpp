@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "src/common/logging.h"
 #include "src/fl/comm_model.h"
@@ -18,6 +19,16 @@ Engine::Engine(nn::ModelFactory factory, const data::TrainTest& data,
       partition_(std::move(partition)),
       topo_(std::move(topo)),
       cfg_(cfg) {
+  // Runtime switches for the fused cohort path, applied before validation so
+  // HFL_MIXED_PRECISION=1 HFL_BATCHED=0 fails with the config error instead
+  // of silently ignoring one flag.
+  const auto env_flag = [](const char* name, bool& flag) {
+    if (const char* v = std::getenv(name)) {
+      flag = !(v[0] == '0' && v[1] == '\0');
+    }
+  };
+  env_flag("HFL_BATCHED", cfg_.batched);
+  env_flag("HFL_MIXED_PRECISION", cfg_.mixed_precision);
   cfg_.validate();
   HFL_CHECK(partition_.size() == topo_.num_workers(),
             "partition size must equal worker count");
@@ -28,6 +39,45 @@ Engine::Engine(nn::ModelFactory factory, const data::TrainTest& data,
   eval_models_.reserve(pool_->size());
   for (std::size_t i = 0; i < pool_->size(); ++i) {
     eval_models_.push_back(factory_());
+  }
+  if (cfg_.batched) {
+    // nullptr (unsupported architecture/loss) simply keeps the per-worker
+    // path for the whole run.
+    cohort_ = nn::CohortModel::create(factory_);
+  }
+}
+
+void Engine::prefetch_cohort_gradients(Algorithm& alg, Context& ctx,
+                                       std::vector<WorkerState>& workers) {
+  cohort_items_.clear();
+  cohort_ids_.clear();
+  for (WorkerState& w : workers) {
+    if (ctx.part && !ctx.part->worker_active(w.id)) continue;
+    nn::CohortItem item;
+    // Engine-side draw advances the worker's stream exactly like the
+    // compute_gradient it replaces; streams are worker-owned, so serial
+    // draws here see the same sequence the parallel local_steps would.
+    w.draw_batch(item.x, item.y);
+    item.params = alg.local_gradient_point(w).data();
+    item.grad = w.grad.data();
+    cohort_items_.push_back(item);
+    cohort_ids_.push_back(w.id);
+  }
+  if (cohort_items_.empty()) return;
+
+  cohort_->run(cohort_items_, pool_.get(), cfg_.mixed_precision);
+
+  for (std::size_t i = 0; i < cohort_items_.size(); ++i) {
+    WorkerState& w = workers[cohort_ids_[i]];
+    w.last_loss = cohort_items_[i].loss;
+    w.deposit_gradient(alg.local_gradient_point(w));
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("engine.cohort.fused_grads").add(cohort_items_.size());
+    reg.histogram("engine.cohort.size", "",
+                  {1, 2, 4, 8, 16, 32, 64, 128})
+        .observe(static_cast<double>(cohort_items_.size()));
   }
 }
 
@@ -226,6 +276,15 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
     }
     {
       const obs::Span span("local_steps", "worker");
+      const bool fused = cohort_ != nullptr && alg.local_gradient_prefetchable();
+      if (fused) {
+        prefetch_cohort_gradients(alg, ctx, workers);
+      } else if (obs::enabled()) {
+        const std::size_t active =
+            part ? part->num_active() : workers.size();
+        obs::Registry::global().counter("engine.cohort.fallback_grads")
+            .add(active);
+      }
       pool_->parallel_for(workers.size(), [&](std::size_t i) {
         // A worker that will miss this interval's synchronization is offline:
         // it computes nothing and its batch stream does not advance.

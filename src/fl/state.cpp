@@ -9,14 +9,42 @@ namespace hfl::fl {
 
 Scalar WorkerState::compute_gradient(const Vec& at) {
   HFL_CHECK(model && batcher, "worker state not initialized");
+  if (pending_grad_at_ != nullptr) {
+    // The engine prefetched this iteration's gradient through the cohort
+    // executor; `grad`/`last_loss` already hold the result and the batch was
+    // already drawn. Consume it — but only for the promised parameter point.
+    HFL_CHECK(pending_grad_at_ == at.data(),
+              "prefetched gradient consumed at a different parameter point — "
+              "the algorithm violates local_gradient_prefetchable()");
+    pending_grad_at_ = nullptr;
+    return last_loss;
+  }
   batcher->next(batch_x_, batch_y_);
   last_loss = model->loss_and_gradient(at, batch_x_, batch_y_, grad);
   return last_loss;
 }
 
+void WorkerState::draw_batch(const Tensor*& x,
+                             const std::vector<std::size_t>*& y) {
+  HFL_CHECK(model && batcher, "worker state not initialized");
+  HFL_CHECK(pending_grad_at_ == nullptr,
+            "draw_batch with an unconsumed prefetched gradient");
+  batcher->next(batch_x_, batch_y_);
+  x = &batch_x_;
+  y = &batch_y_;
+}
+
+void WorkerState::deposit_gradient(const Vec& at) {
+  pending_grad_at_ = at.data();
+}
+
 Scalar WorkerState::compute_gradient_pair(const Vec& at, const Vec& anchor,
                                           Vec& grad_anchor) {
   HFL_CHECK(model && batcher, "worker state not initialized");
+  HFL_CHECK(pending_grad_at_ == nullptr,
+            "paired gradient evaluation with a pending prefetched gradient — "
+            "the algorithm must report local_gradient_prefetchable() == "
+            "false");
   batcher->next(batch_x_, batch_y_);
   model->loss_and_gradient(anchor, batch_x_, batch_y_, grad_anchor);
   last_loss = model->loss_and_gradient(at, batch_x_, batch_y_, grad);

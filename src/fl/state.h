@@ -57,7 +57,22 @@ struct WorkerState {
 
   // Draw the next mini-batch and compute the gradient of the local loss at
   // `at`; stores it in `grad` and returns the batch loss.
+  //
+  // Fused-path interplay: if the engine has prefetched this iteration's batch
+  // and deposited its gradient (draw_batch + deposit_gradient below), the
+  // deposit is consumed instead of re-running the model — but ONLY when `at`
+  // is the exact vector the deposit was computed at (pointer identity with
+  // the engine's Algorithm::local_gradient_point). A mismatch fails loudly:
+  // it means an algorithm broke the prefetch contract.
   Scalar compute_gradient(const Vec& at);
+
+  // Engine-side half of the fused cohort path (src/fl/engine.cpp). draw_batch
+  // advances the main stream exactly like compute_gradient's draw and exposes
+  // the batch; deposit_gradient marks `grad`/`last_loss` (already filled by
+  // the cohort executor) as the precomputed result for the parameter vector
+  // `at`, to be consumed by the next compute_gradient call.
+  void draw_batch(const Tensor*& x, const std::vector<std::size_t>*& y);
+  void deposit_gradient(const Vec& at);
 
   // Draw ONE mini-batch and evaluate the gradient at two parameter points on
   // that same batch (paired SVRG-style evaluation: the sampling noise of the
@@ -75,6 +90,9 @@ struct WorkerState {
  private:
   Tensor batch_x_;
   std::vector<std::size_t> batch_y_;
+  // Non-null while a prefetched gradient awaits its compute_gradient call;
+  // points at the Vec the gradient was evaluated at.
+  const Scalar* pending_grad_at_ = nullptr;
 };
 
 struct EdgeState {

@@ -3,11 +3,22 @@
 // Stride-1 convolution with symmetric zero padding, lowered to GEMM: the
 // minibatch is expanded into an im2col matrix col(r, c) with r = (ic, kh, kw)
 // and c = (b, oh, ow), and forward/backward become wide matrix products
-// against the (out_ch × in_ch·k²) weight matrix instead of B skinny
-// per-sample ones. The expansion is processed in cache-sized multi-sample
-// chunks so the col block is consumed by the GEMM while still resident —
-// a whole-minibatch buffer would be re-read from DRAM. Weight layout is
-// (out_ch, in_ch, kh, kw), one bias per output channel.
+// against the (out_ch × in_ch·k²) weight matrix. The expansion is processed
+// in cache-sized multi-sample chunks so the col block is consumed by the GEMM
+// while still resident, and each chunk's per-sample products run as ONE
+// strided-batch GEMM (src/tensor/gemm_batched.h) with the weight operand
+// declared shared — its panels are packed once per cache tile instead of once
+// per sample. Weight layout is (out_ch, in_ch, kh, kw), one bias per output
+// channel.
+//
+// The heavy lifting lives in static `forward_span` / `backward_span` helpers
+// that take raw parameter/gradient pointers and a sample range, so the cohort
+// executor (src/nn/cohort.cpp) can run many workers' convolutions over one
+// concatenated activation tensor without staging parameters through layer
+// tensors. The layer methods call the same spans — one code path, one FP
+// behaviour. FP64 span results are bit-identical to the pre-batched
+// per-sample ops::gemm loops (the gemm_batched contract); `mixed` switches
+// the products to the FP32-compute/FP64-accumulate kernels.
 //
 // The im2col/dcol scratch is thread-local and shared by every Conv2d
 // instance on a thread, so peak scratch memory scales with the thread count
@@ -20,6 +31,12 @@ namespace hfl::nn {
 
 class Conv2d final : public Layer {
  public:
+  // Geometry bundle for the static span helpers.
+  struct Spec {
+    std::size_t in_ch = 0, out_ch = 0, k = 0, pad = 0;
+    std::size_t kk() const { return in_ch * k * k; }
+  };
+
   Conv2d(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel, std::size_t padding);
 
@@ -30,14 +47,35 @@ class Conv2d final : public Layer {
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
   void init_params(Rng& rng) override;
 
- private:
-  // Fills `col` (shape in_ch·k² × bn·OH·OW) with the im2col expansion of
-  // samples [b0, b0+bn) of `x`.
-  void im2col(const Tensor& x, std::size_t b0, std::size_t bn,
-              std::size_t oh_count, std::size_t ow_count, Vec& col) const;
+  std::size_t in_channels() const { return in_ch_; }
+  std::size_t out_channels() const { return out_ch_; }
+  std::size_t kernel() const { return k_; }
+  std::size_t padding() const { return pad_; }
 
-  // How many samples fit the cache-resident im2col chunk budget.
-  std::size_t samples_per_chunk(std::size_t cols) const;
+  // Forward for samples [b0, b0+bn) of `x` (NCHW tensor). `out0` points at
+  // the (out_ch, OH·OW) output plane of sample b0; consecutive samples'
+  // planes follow contiguously (the cohort executor passes an offset into a
+  // concatenated tensor whose batch indexing differs from x's). `weight` is
+  // (out_ch, in_ch·k²) row-major, `bias` is (out_ch).
+  static void forward_span(const Spec& s, const Scalar* weight,
+                           const Scalar* bias, const Tensor& x, std::size_t b0,
+                           std::size_t bn, Scalar* out0, bool mixed);
+
+  // Backward for samples [b0, b0+bn): accumulates into grad_weight /
+  // grad_bias (in sample-index order — callers pass zeroed or partially
+  // accumulated buffers) and scatter-adds dX into `grad_in0`, which points at
+  // sample b0's pre-zeroed (in_ch, H·W) input-gradient plane. `gout0` points
+  // at sample b0's upstream-gradient plane. Pass grad_in0 == nullptr to skip
+  // the dX computation entirely (dCol product + col2im) — the cohort
+  // executor does this for the model's first parametric layer, whose input
+  // gradient has no consumer.
+  static void backward_span(const Spec& s, const Scalar* weight,
+                            const Tensor& x, std::size_t b0, std::size_t bn,
+                            const Scalar* gout0, Scalar* grad_weight,
+                            Scalar* grad_bias, Scalar* grad_in0, bool mixed);
+
+ private:
+  Spec spec() const { return {in_ch_, out_ch_, k_, pad_}; }
 
   std::size_t in_ch_, out_ch_, k_, pad_;
   Tensor weight_, bias_;

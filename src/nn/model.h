@@ -59,6 +59,11 @@ class Model {
   // Mean loss and top-1 accuracy over the given batch.
   EvalResult evaluate(const Tensor& x, const std::vector<std::size_t>& labels);
 
+  // Structural access for the cohort executor (src/nn/cohort.cpp), which
+  // walks the layer chain once to compile its fused execution plan.
+  Sequential& net() { return *net_; }
+  const Loss& loss_fn() const { return *loss_; }
+
  private:
   std::unique_ptr<Sequential> net_;
   LossPtr loss_;

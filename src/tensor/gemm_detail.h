@@ -1,0 +1,435 @@
+// Internal building blocks of the blocked GEMM (gemm.cpp), shared with the
+// strided-batch driver (gemm_batched.cpp).
+//
+// Everything here — tile constants, packing routines, micro-kernels, and the
+// un-instrumented single-product driver — is the PR-1 implementation moved
+// verbatim out of gemm.cpp so the batched path can reuse the exact kernels.
+// That verbatim reuse is load-bearing: the batched FP64 path promises
+// bit-identical results to per-call ops::gemm, which holds only because both
+// run the same packing, the same tiling order, and the same micro-kernels.
+// Do not "improve" one caller's copy of the loop nest without the other.
+//
+// Not part of the public tensor API; include only from src/tensor/*.cpp and
+// matching tests.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define HFL_GEMM_AVX2 1
+#endif
+
+namespace hfl::ops::detail {
+
+// Register tile (micro-kernel footprint). With AVX2/FMA the classic 6×8
+// double tile is used: 12 ymm accumulators + 2 B vectors + 1 broadcast fit
+// the 16 architectural ymm registers. The portable fallback uses 4×8, which
+// auto-vectorizes acceptably.
+#ifdef HFL_GEMM_AVX2
+constexpr std::size_t kMR = 6;
+#else
+constexpr std::size_t kMR = 4;
+#endif
+constexpr std::size_t kNR = 8;
+
+// Cache tiles: an MC×KC packed A panel (~132 KB) targets L2, each KC×NR
+// packed B strip (~16 KB) stays L1-resident across a full sweep of A strips,
+// and the KC×NC packed B panel (~2 MB) targets L3.
+constexpr std::size_t kMC = 66;
+constexpr std::size_t kKC = 256;
+constexpr std::size_t kNC = 1024;
+
+// Largest m for which untransposed B is streamed directly instead of packed:
+// below this the packed panel would be reused too few times (m/kMR A-strip
+// sweeps) to pay for the packing pass. Conv-lowered products (m = out_ch on
+// the forward path) take this route.
+constexpr std::size_t kDirectBMaxM = 32;
+
+inline Scalar elem(const Scalar* x, std::size_t ld, bool trans, std::size_t row,
+                   std::size_t col) {
+  return trans ? x[col * ld + row] : x[row * ld + col];
+}
+
+// Packs the mc×kc block of op(A) at (i0, p0) into strips of kMR rows,
+// column-major within each strip, so the micro-kernel reads kMR contiguous
+// values per k-step. Ragged strips are zero-padded: the micro-kernel then
+// always computes a full kMR×kNR tile and only the store is bounds-checked.
+// A short final strip (≤ 4 live rows when kMR is 6) is stored 4 wide and
+// computed by the narrower 4-row kernel, instead of padding to 6 and wasting
+// a third of the strip's FLOPs — this matters for conv-lowered products
+// where m = out_ch is 8/16/32.
+inline std::size_t strip_width(std::size_t mr) {
+  return (kMR == 6 && mr <= 4) ? 4 : kMR;
+}
+
+inline void pack_a(const Scalar* a, std::size_t lda, bool trans, std::size_t i0,
+                   std::size_t p0, std::size_t mc, std::size_t kc, Scalar* dst) {
+  for (std::size_t s = 0; s < mc; s += kMR) {
+    const std::size_t mr = std::min(kMR, mc - s);
+    const std::size_t width = strip_width(mr);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t i = 0; i < mr; ++i) {
+        *dst++ = elem(a, lda, trans, i0 + s + i, p0 + p);
+      }
+      for (std::size_t i = mr; i < width; ++i) *dst++ = 0.0;
+    }
+  }
+}
+
+// Number of scalars pack_a emits for an mc×kc block (narrow final strips
+// included). The batched driver uses this to lay consecutive MC blocks of a
+// shared A panel into one buffer.
+inline std::size_t packed_a_size(std::size_t mc, std::size_t kc) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < mc; s += kMR) {
+    total += strip_width(std::min(kMR, mc - s)) * kc;
+  }
+  return total;
+}
+
+// Packs the kc×nc block of op(B) at (p0, j0) into strips of kNR columns,
+// row-major within each strip (kNR contiguous values per k-step).
+inline void pack_b(const Scalar* b, std::size_t ldb, bool trans, std::size_t p0,
+                   std::size_t j0, std::size_t kc, std::size_t nc, Scalar* dst) {
+  for (std::size_t t = 0; t < nc; t += kNR) {
+    const std::size_t nr = std::min(kNR, nc - t);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        *dst++ = elem(b, ldb, trans, p0 + p, j0 + t + j);
+      }
+      for (std::size_t j = nr; j < kNR; ++j) *dst++ = 0.0;
+    }
+  }
+}
+
+#ifdef HFL_GEMM_AVX2
+
+// C[0..mr)×[0..nr) += Aᵖ·B over kc steps. `b` is either a packed strip
+// (stride kNR) or a direct view into the source matrix (stride ldb): packed
+// strips and untransposed row-major B both present kNR contiguous values per
+// k-step, so one kernel serves both.
+inline void micro_kernel(std::size_t kc, const Scalar* ap, const Scalar* b,
+                         std::size_t bstride, Scalar* c, std::size_t ldc,
+                         std::size_t mr, std::size_t nr) {
+  __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+  __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+  __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+  __m256d acc40 = _mm256_setzero_pd(), acc41 = _mm256_setzero_pd();
+  __m256d acc50 = _mm256_setzero_pd(), acc51 = _mm256_setzero_pd();
+  // Two k-steps per iteration: at conv-sized kc (100–250) the loop-carried
+  // overhead is a measurable slice of the kernel, and the second step's B
+  // loads issue while the first step's FMA chain drains.
+  auto step = [&](std::size_t p) {
+    // Pull the B row a few k-steps ahead into L1: on the direct-B path the
+    // rows are ldb apart (a strided stream the hardware prefetcher loses at
+    // page boundaries); on the packed path this just runs ahead in the strip.
+    _mm_prefetch(reinterpret_cast<const char*>(b + (p + 8) * bstride),
+                 _MM_HINT_T0);
+    const __m256d b0 = _mm256_loadu_pd(b + p * bstride);
+    const __m256d b1 = _mm256_loadu_pd(b + p * bstride + 4);
+    const Scalar* arow = ap + p * kMR;
+    __m256d av;
+    av = _mm256_broadcast_sd(arow + 0);
+    acc00 = _mm256_fmadd_pd(av, b0, acc00);
+    acc01 = _mm256_fmadd_pd(av, b1, acc01);
+    av = _mm256_broadcast_sd(arow + 1);
+    acc10 = _mm256_fmadd_pd(av, b0, acc10);
+    acc11 = _mm256_fmadd_pd(av, b1, acc11);
+    av = _mm256_broadcast_sd(arow + 2);
+    acc20 = _mm256_fmadd_pd(av, b0, acc20);
+    acc21 = _mm256_fmadd_pd(av, b1, acc21);
+    av = _mm256_broadcast_sd(arow + 3);
+    acc30 = _mm256_fmadd_pd(av, b0, acc30);
+    acc31 = _mm256_fmadd_pd(av, b1, acc31);
+    av = _mm256_broadcast_sd(arow + 4);
+    acc40 = _mm256_fmadd_pd(av, b0, acc40);
+    acc41 = _mm256_fmadd_pd(av, b1, acc41);
+    av = _mm256_broadcast_sd(arow + 5);
+    acc50 = _mm256_fmadd_pd(av, b0, acc50);
+    acc51 = _mm256_fmadd_pd(av, b1, acc51);
+  };
+  std::size_t p = 0;
+  for (; p + 2 <= kc; p += 2) {
+    step(p);
+    step(p + 1);
+  }
+  if (p < kc) step(p);
+  alignas(32) Scalar tile[kMR * kNR];
+  _mm256_store_pd(tile + 0 * kNR, acc00);
+  _mm256_store_pd(tile + 0 * kNR + 4, acc01);
+  _mm256_store_pd(tile + 1 * kNR, acc10);
+  _mm256_store_pd(tile + 1 * kNR + 4, acc11);
+  _mm256_store_pd(tile + 2 * kNR, acc20);
+  _mm256_store_pd(tile + 2 * kNR + 4, acc21);
+  _mm256_store_pd(tile + 3 * kNR, acc30);
+  _mm256_store_pd(tile + 3 * kNR + 4, acc31);
+  _mm256_store_pd(tile + 4 * kNR, acc40);
+  _mm256_store_pd(tile + 4 * kNR + 4, acc41);
+  _mm256_store_pd(tile + 5 * kNR, acc50);
+  _mm256_store_pd(tile + 5 * kNR + 4, acc51);
+  if (mr == kMR && nr == kNR) {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      Scalar* crow = c + i * ldc;
+      const __m256d c0 = _mm256_loadu_pd(crow);
+      const __m256d c1 = _mm256_loadu_pd(crow + 4);
+      _mm256_storeu_pd(crow, _mm256_add_pd(c0, _mm256_load_pd(tile + i * kNR)));
+      _mm256_storeu_pd(
+          crow + 4, _mm256_add_pd(c1, _mm256_load_pd(tile + i * kNR + 4)));
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      Scalar* crow = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += tile[i * kNR + j];
+    }
+  }
+}
+
+// 4-row variant for a short final A strip (packed 4 wide): 8 accumulators,
+// same B streaming.
+inline void micro_kernel4(std::size_t kc, const Scalar* ap, const Scalar* b,
+                          std::size_t bstride, Scalar* c, std::size_t ldc,
+                          std::size_t mr, std::size_t nr) {
+  __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+  __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+  __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+  for (std::size_t p = 0; p < kc; ++p) {
+    _mm_prefetch(reinterpret_cast<const char*>(b + (p + 8) * bstride),
+                 _MM_HINT_T0);
+    const __m256d b0 = _mm256_loadu_pd(b + p * bstride);
+    const __m256d b1 = _mm256_loadu_pd(b + p * bstride + 4);
+    const Scalar* arow = ap + p * 4;
+    __m256d av;
+    av = _mm256_broadcast_sd(arow + 0);
+    acc00 = _mm256_fmadd_pd(av, b0, acc00);
+    acc01 = _mm256_fmadd_pd(av, b1, acc01);
+    av = _mm256_broadcast_sd(arow + 1);
+    acc10 = _mm256_fmadd_pd(av, b0, acc10);
+    acc11 = _mm256_fmadd_pd(av, b1, acc11);
+    av = _mm256_broadcast_sd(arow + 2);
+    acc20 = _mm256_fmadd_pd(av, b0, acc20);
+    acc21 = _mm256_fmadd_pd(av, b1, acc21);
+    av = _mm256_broadcast_sd(arow + 3);
+    acc30 = _mm256_fmadd_pd(av, b0, acc30);
+    acc31 = _mm256_fmadd_pd(av, b1, acc31);
+  }
+  alignas(32) Scalar tile[4 * kNR];
+  _mm256_store_pd(tile + 0 * kNR, acc00);
+  _mm256_store_pd(tile + 0 * kNR + 4, acc01);
+  _mm256_store_pd(tile + 1 * kNR, acc10);
+  _mm256_store_pd(tile + 1 * kNR + 4, acc11);
+  _mm256_store_pd(tile + 2 * kNR, acc20);
+  _mm256_store_pd(tile + 2 * kNR + 4, acc21);
+  _mm256_store_pd(tile + 3 * kNR, acc30);
+  _mm256_store_pd(tile + 3 * kNR + 4, acc31);
+  for (std::size_t i = 0; i < mr; ++i) {
+    Scalar* crow = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) crow[j] += tile[i * kNR + j];
+  }
+}
+
+// Ragged-right direct-B tile (nr < kNR): a plain 8-wide load from the source
+// matrix could run past the allocation, so B is read with maskload (lanes
+// ≥ nr are never touched in memory). One such strip per GEMM at most, but on
+// conv-lowered shapes (OH·OW rarely a multiple of 8) it runs once per
+// sample, so it is worth keeping vectorized.
+template <int Rows>
+inline void micro_kernel_tail_impl(std::size_t kc, const Scalar* ap,
+                                   const Scalar* b, std::size_t bstride,
+                                   Scalar* c, std::size_t ldc, std::size_t mr,
+                                   std::size_t nr) {
+  alignas(32) long long mbits[kNR];
+  for (std::size_t j = 0; j < kNR; ++j) mbits[j] = j < nr ? -1LL : 0;
+  const __m256i mask0 =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(mbits));
+  const __m256i mask1 =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(mbits + 4));
+  __m256d acc0[Rows], acc1[Rows];
+  for (int i = 0; i < Rows; ++i) {
+    acc0[i] = _mm256_setzero_pd();
+    acc1[i] = _mm256_setzero_pd();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_maskload_pd(b + p * bstride, mask0);
+    const __m256d b1 = _mm256_maskload_pd(b + p * bstride + 4, mask1);
+    const Scalar* arow = ap + p * Rows;
+    for (int i = 0; i < Rows; ++i) {
+      const __m256d av = _mm256_broadcast_sd(arow + i);
+      acc0[i] = _mm256_fmadd_pd(av, b0, acc0[i]);
+      acc1[i] = _mm256_fmadd_pd(av, b1, acc1[i]);
+    }
+  }
+  alignas(32) Scalar tile[Rows * kNR];
+  for (int i = 0; i < Rows; ++i) {
+    _mm256_store_pd(tile + i * kNR, acc0[i]);
+    _mm256_store_pd(tile + i * kNR + 4, acc1[i]);
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    Scalar* crow = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) crow[j] += tile[i * kNR + j];
+  }
+}
+
+inline void micro_kernel_tail(std::size_t kc, const Scalar* ap,
+                              std::size_t astride, const Scalar* b,
+                              std::size_t bstride, Scalar* c, std::size_t ldc,
+                              std::size_t mr, std::size_t nr) {
+  if (astride == 4) {
+    micro_kernel_tail_impl<4>(kc, ap, b, bstride, c, ldc, mr, nr);
+  } else {
+    micro_kernel_tail_impl<kMR>(kc, ap, b, bstride, c, ldc, mr, nr);
+  }
+}
+
+#else  // portable fallback
+
+inline void micro_kernel(std::size_t kc, const Scalar* ap, const Scalar* b,
+                         std::size_t bstride, Scalar* c, std::size_t ldc,
+                         std::size_t mr, std::size_t nr) {
+  Scalar acc[kMR * kNR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const Scalar* arow = ap + p * kMR;
+    const Scalar* brow = b + p * bstride;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const Scalar av = arow[i];
+      Scalar* crow = acc + i * kNR;
+      for (std::size_t j = 0; j < kNR; ++j) crow[j] += av * brow[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    Scalar* crow = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) crow[j] += acc[i * kNR + j];
+  }
+}
+
+// Never reached (strip_width is the identity when kMR == 4); exists so the
+// dispatch below compiles unconditionally.
+inline void micro_kernel4(std::size_t kc, const Scalar* ap, const Scalar* b,
+                          std::size_t bstride, Scalar* c, std::size_t ldc,
+                          std::size_t mr, std::size_t nr) {
+  micro_kernel(kc, ap, b, bstride, c, ldc, mr, nr);
+}
+
+inline void micro_kernel_tail(std::size_t kc, const Scalar* ap,
+                              std::size_t astride, const Scalar* b,
+                              std::size_t bstride, Scalar* c, std::size_t ldc,
+                              std::size_t mr, std::size_t nr) {
+  Scalar acc[kMR * kNR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const Scalar* arow = ap + p * astride;
+    const Scalar* brow = b + p * bstride;
+    for (std::size_t i = 0; i < astride; ++i) {
+      const Scalar av = arow[i];
+      Scalar* crow = acc + i * kNR;
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += av * brow[j];
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    Scalar* crow = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) crow[j] += acc[i * kNR + j];
+  }
+}
+
+#endif  // HFL_GEMM_AVX2
+
+// Runs the macro-kernel over one packed A block: every KC×NR strip of B (or
+// the corresponding direct-B slice) sweeps the block's A strips. Shared by
+// gemm_single below and the batched driver — the (jr, ir) order and the
+// kernel dispatch here define the FP contract both must honor.
+inline void macro_kernel(std::size_t kc, std::size_t nc, std::size_t mc,
+                         const Scalar* ap_block, const Scalar* b_packed,
+                         bool direct_b, const Scalar* bdir_base,
+                         std::size_t ldb, Scalar* c_block, std::size_t ldc) {
+  for (std::size_t jr = 0; jr < nc; jr += kNR) {
+    const std::size_t nr = std::min(kNR, nc - jr);
+    for (std::size_t ir = 0; ir < mc; ir += kMR) {
+      const std::size_t mr = std::min(kMR, mc - ir);
+      // Only the final strip can be narrow, so the full-width offset formula
+      // still locates it.
+      const std::size_t width = strip_width(mr);
+      const Scalar* ap = ap_block + (ir / kMR) * kc * kMR;
+      Scalar* ctile = c_block + ir * ldc + jr;
+      if (direct_b) {
+        const Scalar* bdir = bdir_base + jr;
+        if (nr < kNR) {
+          micro_kernel_tail(kc, ap, width, bdir, ldb, ctile, ldc, mr, nr);
+        } else if (width == kMR) {
+          micro_kernel(kc, ap, bdir, ldb, ctile, ldc, mr, nr);
+        } else {
+          micro_kernel4(kc, ap, bdir, ldb, ctile, ldc, mr, nr);
+        }
+      } else {
+        const Scalar* bp = b_packed + (jr / kNR) * kc * kNR;
+        if (width == kMR) {
+          micro_kernel(kc, ap, bp, kNR, ctile, ldc, mr, nr);
+        } else {
+          micro_kernel4(kc, ap, bp, kNR, ctile, ldc, mr, nr);
+        }
+      }
+    }
+  }
+}
+
+// Scales C by beta (beta == 0 overwrites, so C may be uninitialized).
+inline void fold_beta(Scalar beta, std::size_t m, std::size_t n, Scalar* c,
+                      std::size_t ldc) {
+  if (beta == 0.0) {
+    for (std::size_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0);
+    }
+  } else if (beta != 1.0) {
+    for (std::size_t i = 0; i < m; ++i) {
+      Scalar* crow = c + i * ldc;
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+// One full product, no telemetry: the exact loop nest ops::gemm runs. The
+// batched driver calls this per item when it cannot amortize anything
+// (shared-C accumulation), keeping its results bit-identical by definition.
+inline void gemm_single(bool trans_a, bool trans_b, std::size_t m,
+                        std::size_t n, std::size_t k, const Scalar* a,
+                        std::size_t lda, const Scalar* b, std::size_t ldb,
+                        Scalar beta, Scalar* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+
+  // Fold beta in up front; every panel pass below accumulates into C.
+  fold_beta(beta, m, n, c, ldc);
+  if (k == 0) return;
+
+  // Packed-panel scratch, reused across calls (and across the layers of a
+  // model — each simulation worker thread owns one pair).
+  thread_local std::vector<Scalar> a_packed;
+  thread_local std::vector<Scalar> b_packed;
+  const bool direct_b = !trans_b && m <= kDirectBMaxM;
+  // pack_a zero-pads the final strip to full width, so when kMC is not a
+  // multiple of kMR the panel holds one extra partial strip's padding —
+  // size by whole strips, not rows.
+  a_packed.resize(((kMC + kMR - 1) / kMR) * kMR * kKC);
+  if (!direct_b) b_packed.resize(kKC * kNC);
+
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      if (!direct_b) pack_b(b, ldb, trans_b, pc, jc, kc, nc, b_packed.data());
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        pack_a(a, lda, trans_a, ic, pc, mc, kc, a_packed.data());
+        // Macro-kernel: each KC×NR B strip stays hot while every A strip of
+        // the panel streams past it.
+        macro_kernel(kc, nc, mc, a_packed.data(), b_packed.data(), direct_b,
+                     b + pc * ldb + jc, ldb, c + ic * ldc + jc, ldc);
+      }
+    }
+  }
+}
+
+}  // namespace hfl::ops::detail

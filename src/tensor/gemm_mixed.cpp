@@ -1,0 +1,315 @@
+#include "src/tensor/gemm_mixed.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/tensor/gemm_detail.h"
+
+namespace hfl::ops {
+namespace {
+
+// Float register tile. With AVX2/FMA: 6 rows × 16 columns — 12 ymm float
+// accumulators + 2 B vectors + 1 broadcast, the same register budget as the
+// FP64 6×8 tile at twice the lane width. Portable fallback: 4×16.
+#ifdef HFL_GEMM_AVX2
+constexpr std::size_t kMRf = 6;
+#else
+constexpr std::size_t kMRf = 4;
+#endif
+constexpr std::size_t kNRf = 16;
+
+// Cache tiles. kKCf is the float accumulation cap, chosen for accuracy
+// before locality: a float dot of 96 terms keeps the panel's rounding error
+// near √96·ε_f32 ≈ 1.2e-6 worst-case (~1e-7 on random signs), and panel
+// results accumulate in FP64. The smaller k-panel also halves the packed
+// footprint, so locality does not suffer.
+constexpr std::size_t kMCf = 66;
+constexpr std::size_t kKCf = 96;
+constexpr std::size_t kNCf = 1024;
+
+inline std::size_t strip_width_f(std::size_t mr) {
+  return (kMRf == 6 && mr <= 4) ? 4 : kMRf;
+}
+
+// Packs the mc×kc block of op(A) into kMRf-row float strips (narrow final
+// strip stored 4 wide, as in the FP64 pack), converting double→float once
+// per element.
+void pack_a_f32(const Scalar* a, std::size_t lda, bool trans, std::size_t i0,
+                std::size_t p0, std::size_t mc, std::size_t kc, float* dst) {
+  for (std::size_t s = 0; s < mc; s += kMRf) {
+    const std::size_t mr = std::min(kMRf, mc - s);
+    const std::size_t width = strip_width_f(mr);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t i = 0; i < mr; ++i) {
+        *dst++ = static_cast<float>(
+            detail::elem(a, lda, trans, i0 + s + i, p0 + p));
+      }
+      for (std::size_t i = mr; i < width; ++i) *dst++ = 0.0f;
+    }
+  }
+}
+
+// Packs the kc×nc block of op(B) into kNRf-column float strips. The mixed
+// path always packs B (the conversion pass is needed anyway, so there is no
+// direct-B shortcut and no masked tail kernel — ragged edges are zero-padded
+// here and bounds-checked at the store).
+void pack_b_f32(const Scalar* b, std::size_t ldb, bool trans, std::size_t p0,
+                std::size_t j0, std::size_t kc, std::size_t nc, float* dst) {
+  for (std::size_t t = 0; t < nc; t += kNRf) {
+    const std::size_t nr = std::min(kNRf, nc - t);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        *dst++ = static_cast<float>(
+            detail::elem(b, ldb, trans, p0 + p, j0 + t + j));
+      }
+      for (std::size_t j = nr; j < kNRf; ++j) *dst++ = 0.0f;
+    }
+  }
+}
+
+// Widens a finished float tile into the FP64 accumulator:
+// c[i][j] += (double)tile[i][j], bounds-checked against (mr, nr).
+inline void add_tile_f32(const float* tile, std::size_t tile_ld, Scalar* c,
+                         std::size_t ldc, std::size_t mr, std::size_t nr) {
+#ifdef HFL_GEMM_AVX2
+  if (nr == kNRf) {
+    for (std::size_t i = 0; i < mr; ++i) {
+      Scalar* crow = c + i * ldc;
+      const float* trow = tile + i * tile_ld;
+      for (std::size_t j = 0; j < kNRf; j += 4) {
+        const __m256d cv = _mm256_loadu_pd(crow + j);
+        const __m256d tv = _mm256_cvtps_pd(_mm_load_ps(trow + j));
+        _mm256_storeu_pd(crow + j, _mm256_add_pd(cv, tv));
+      }
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < mr; ++i) {
+    Scalar* crow = c + i * ldc;
+    const float* trow = tile + i * tile_ld;
+    for (std::size_t j = 0; j < nr; ++j) {
+      crow[j] += static_cast<Scalar>(trow[j]);
+    }
+  }
+}
+
+#ifdef HFL_GEMM_AVX2
+
+// 6×16 float tile over kc steps of packed strips, widened into FP64 C.
+void micro_kernel_f32(std::size_t kc, const float* ap, const float* bp,
+                      Scalar* c, std::size_t ldc, std::size_t mr,
+                      std::size_t nr) {
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
+  __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    // loadu: the packed-B vector's base is only malloc-aligned (16B), so a
+    // 32-byte-aligned load faults on every other allocation.
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNRf);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNRf + 8);
+    const float* arow = ap + p * kMRf;
+    __m256 av;
+    av = _mm256_broadcast_ss(arow + 0);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_broadcast_ss(arow + 1);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_broadcast_ss(arow + 2);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_broadcast_ss(arow + 3);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+    av = _mm256_broadcast_ss(arow + 4);
+    acc40 = _mm256_fmadd_ps(av, b0, acc40);
+    acc41 = _mm256_fmadd_ps(av, b1, acc41);
+    av = _mm256_broadcast_ss(arow + 5);
+    acc50 = _mm256_fmadd_ps(av, b0, acc50);
+    acc51 = _mm256_fmadd_ps(av, b1, acc51);
+  }
+  alignas(32) float tile[kMRf * kNRf];
+  _mm256_store_ps(tile + 0 * kNRf, acc00);
+  _mm256_store_ps(tile + 0 * kNRf + 8, acc01);
+  _mm256_store_ps(tile + 1 * kNRf, acc10);
+  _mm256_store_ps(tile + 1 * kNRf + 8, acc11);
+  _mm256_store_ps(tile + 2 * kNRf, acc20);
+  _mm256_store_ps(tile + 2 * kNRf + 8, acc21);
+  _mm256_store_ps(tile + 3 * kNRf, acc30);
+  _mm256_store_ps(tile + 3 * kNRf + 8, acc31);
+  _mm256_store_ps(tile + 4 * kNRf, acc40);
+  _mm256_store_ps(tile + 4 * kNRf + 8, acc41);
+  _mm256_store_ps(tile + 5 * kNRf, acc50);
+  _mm256_store_ps(tile + 5 * kNRf + 8, acc51);
+  add_tile_f32(tile, kNRf, c, ldc, mr, nr);
+}
+
+// 4-row variant for a narrow final A strip (packed 4 wide).
+void micro_kernel_f32_4(std::size_t kc, const float* ap, const float* bp,
+                        Scalar* c, std::size_t ldc, std::size_t mr,
+                        std::size_t nr) {
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNRf);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNRf + 8);
+    const float* arow = ap + p * 4;
+    __m256 av;
+    av = _mm256_broadcast_ss(arow + 0);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_broadcast_ss(arow + 1);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_broadcast_ss(arow + 2);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_broadcast_ss(arow + 3);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+  }
+  alignas(32) float tile[4 * kNRf];
+  _mm256_store_ps(tile + 0 * kNRf, acc00);
+  _mm256_store_ps(tile + 0 * kNRf + 8, acc01);
+  _mm256_store_ps(tile + 1 * kNRf, acc10);
+  _mm256_store_ps(tile + 1 * kNRf + 8, acc11);
+  _mm256_store_ps(tile + 2 * kNRf, acc20);
+  _mm256_store_ps(tile + 2 * kNRf + 8, acc21);
+  _mm256_store_ps(tile + 3 * kNRf, acc30);
+  _mm256_store_ps(tile + 3 * kNRf + 8, acc31);
+  add_tile_f32(tile, kNRf, c, ldc, mr, nr);
+}
+
+#else  // portable fallback
+
+void micro_kernel_f32(std::size_t kc, const float* ap, const float* bp,
+                      Scalar* c, std::size_t ldc, std::size_t mr,
+                      std::size_t nr) {
+  float acc[kMRf * kNRf] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMRf;
+    const float* brow = bp + p * kNRf;
+    for (std::size_t i = 0; i < kMRf; ++i) {
+      const float av = arow[i];
+      float* crow = acc + i * kNRf;
+      for (std::size_t j = 0; j < kNRf; ++j) crow[j] += av * brow[j];
+    }
+  }
+  add_tile_f32(acc, kNRf, c, ldc, mr, nr);
+}
+
+// Never reached when kMRf == 4 (strip_width_f is the identity); exists so
+// the dispatch compiles unconditionally.
+void micro_kernel_f32_4(std::size_t kc, const float* ap, const float* bp,
+                        Scalar* c, std::size_t ldc, std::size_t mr,
+                        std::size_t nr) {
+  micro_kernel_f32(kc, ap, bp, c, ldc, mr, nr);
+}
+
+#endif  // HFL_GEMM_AVX2
+
+// The mixed single-product nest: gemm_single's structure with float panels,
+// the float micro-kernel, and FP64 tile accumulation. No direct-B path (B is
+// packed for the conversion) and no bit-identity contract to preserve.
+void gemm_mixed_single(bool trans_a, bool trans_b, std::size_t m,
+                       std::size_t n, std::size_t k, const Scalar* a,
+                       std::size_t lda, const Scalar* b, std::size_t ldb,
+                       Scalar beta, Scalar* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  detail::fold_beta(beta, m, n, c, ldc);
+  if (k == 0) return;
+
+  thread_local std::vector<float> a_packed;
+  thread_local std::vector<float> b_packed;
+  a_packed.resize(((kMCf + kMRf - 1) / kMRf) * kMRf * kKCf);
+  b_packed.resize(kKCf * kNCf);
+
+  for (std::size_t jc = 0; jc < n; jc += kNCf) {
+    const std::size_t nc = std::min(kNCf, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKCf) {
+      const std::size_t kc = std::min(kKCf, k - pc);
+      pack_b_f32(b, ldb, trans_b, pc, jc, kc, nc, b_packed.data());
+      for (std::size_t ic = 0; ic < m; ic += kMCf) {
+        const std::size_t mc = std::min(kMCf, m - ic);
+        pack_a_f32(a, lda, trans_a, ic, pc, mc, kc, a_packed.data());
+        for (std::size_t jr = 0; jr < nc; jr += kNRf) {
+          const std::size_t nr = std::min(kNRf, nc - jr);
+          const float* bp = b_packed.data() + (jr / kNRf) * kc * kNRf;
+          for (std::size_t ir = 0; ir < mc; ir += kMRf) {
+            const std::size_t mr = std::min(kMRf, mc - ir);
+            const std::size_t width = strip_width_f(mr);
+            const float* ap = a_packed.data() + (ir / kMRf) * kc * kMRf;
+            Scalar* ctile = c + (ic + ir) * ldc + (jc + jr);
+            if (width == kMRf) {
+              micro_kernel_f32(kc, ap, bp, ctile, ldc, mr, nr);
+            } else {
+              micro_kernel_f32_4(kc, ap, bp, ctile, ldc, mr, nr);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void log_mixed(std::size_t m, std::size_t n, std::size_t k, std::size_t items,
+               bool batched) {
+  if (!obs::enabled()) return;
+  static obs::Counter& calls =
+      obs::Registry::global().counter("gemm.mixed_calls");
+  static obs::Counter& flops =
+      obs::Registry::global().counter("gemm.mixed_flops");
+  static obs::Counter& bytes =
+      obs::Registry::global().counter("gemm.mixed_bytes");
+  calls.add();
+  flops.add(static_cast<std::uint64_t>(2) * m * n * k * items);
+  bytes.add(static_cast<std::uint64_t>(m * k + k * n + 2 * m * n) * items *
+            sizeof(Scalar));
+  if (batched) {
+    static obs::Histogram& batch = obs::Registry::global().histogram(
+        "gemm.batched_items", "mode=mixed", {1, 2, 4, 8, 16, 32, 64, 128});
+    batch.observe(static_cast<double>(items));
+  }
+}
+
+}  // namespace
+
+void gemm_mixed(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                std::size_t k, const Scalar* a, std::size_t lda,
+                const Scalar* b, std::size_t ldb, Scalar beta, Scalar* c,
+                std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  log_mixed(m, n, k, 1, /*batched=*/false);
+  gemm_mixed_single(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc);
+}
+
+void gemm_batched_mixed(bool trans_a, bool trans_b, std::size_t m,
+                        std::size_t n, std::size_t k, std::size_t items,
+                        const Scalar* a, std::size_t lda, std::size_t stride_a,
+                        const Scalar* b, std::size_t ldb, std::size_t stride_b,
+                        Scalar beta, Scalar* c, std::size_t ldc,
+                        std::size_t stride_c) {
+  if (items == 0 || m == 0 || n == 0) return;
+  log_mixed(m, n, k, items, /*batched=*/true);
+  if (stride_c == 0) {
+    for (std::size_t it = 0; it < items; ++it) {
+      gemm_mixed_single(trans_a, trans_b, m, n, k, a + it * stride_a, lda,
+                        b + it * stride_b, ldb, it == 0 ? beta : Scalar{1}, c,
+                        ldc);
+    }
+    return;
+  }
+  for (std::size_t it = 0; it < items; ++it) {
+    gemm_mixed_single(trans_a, trans_b, m, n, k, a + it * stride_a, lda,
+                      b + it * stride_b, ldb, beta, c + it * stride_c, ldc);
+  }
+}
+
+}  // namespace hfl::ops
