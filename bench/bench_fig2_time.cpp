@@ -91,7 +91,7 @@ void run() {
           name, alg->three_tier(), model_params, topo.num_workers());
       net::TimeSimulator timer(topo, cfg, sim);
       const std::size_t iters = result.iterations_to_accuracy(target);
-      const bool reached = iters != fl::RunResult::npos;
+      const bool reached = iters != hfl::kNeverIndex;
       const Scalar seconds = timer.time_to_accuracy(result, target);
       print_row({name,
                  reached ? std::to_string(iters) : "never",

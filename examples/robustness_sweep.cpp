@@ -113,7 +113,7 @@ int main() {
          CsvWriter::format_scalar(r.mean_participation_rate),
          CsvWriter::format_scalar(r.final_accuracy),
          CsvWriter::format_scalar(r.best_accuracy()),
-         iters == fl::RunResult::npos ? "never" : std::to_string(iters)});
+         iters == hfl::kNeverIndex ? "never" : std::to_string(iters)});
     std::printf("dropout %.0f%%  %-10s -> %.2f%% (participation %.2f)\n",
                 100 * m.dropout, m.name.c_str(), 100 * r.final_accuracy,
                 r.mean_participation_rate);

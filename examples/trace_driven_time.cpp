@@ -62,7 +62,7 @@ int main() {
         run.name, run.three_tier, model_params, topo.num_workers());
     net::TimeSimulator timer(topo, *run.cfg, sim);
     const std::size_t iters = run.result.iterations_to_accuracy(0.8);
-    const bool reached = iters != fl::RunResult::npos;
+    const bool reached = iters != hfl::kNeverIndex;
     std::printf("%-10s%-12.3f%-14.1f%-16s%-16.1f\n", run.name,
                 run.result.final_accuracy, timer.total_time(),
                 reached ? std::to_string(iters).c_str() : "never",

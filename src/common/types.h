@@ -16,4 +16,15 @@ namespace hfl {
 using Scalar = double;
 using Vec = std::vector<Scalar>;
 
+// Shared "never reached" sentinels for search-style queries (first iteration
+// / first modeled second at which a curve hits a target). Index-valued
+// queries return kNeverIndex (mirrors std::string::npos — 0 is a legitimate
+// answer, the initial model may already qualify); time-valued queries return
+// kNeverTime (modeled clocks start at 0 and only move forward, so any
+// negative value is unreachable). fl::RunResult::npos and
+// net::TimeSimulator::kNeverReached are aliases of these two constants, so
+// every caller compares against the same bits.
+inline constexpr std::size_t kNeverIndex = static_cast<std::size_t>(-1);
+inline constexpr Scalar kNeverTime = -1.0;
+
 }  // namespace hfl

@@ -1,0 +1,843 @@
+#include "src/evt/async_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/errors.h"
+#include "src/common/rng.h"
+#include "src/evt/event_queue.h"
+#include "src/fl/state.h"
+#include "src/net/profiles.h"
+#include "src/obs/comm.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+#include "src/sim/fault_plan.h"
+
+namespace hfl::evt {
+
+namespace {
+
+// The embedded fl::Engine always carries the sync policy: the requested
+// config is validated FIRST, so policy-specific errors (semi_async without a
+// deadline, async + batched cohort) surface against the user's actual
+// settings, and only then sanitized down to what fl::Engine accepts.
+// Everything the event-driven paths read through Context::cfg (τ, π, the
+// staleness knobs, seeds) is preserved.
+fl::RunConfig toolbox_config(fl::RunConfig cfg) {
+  cfg.validate();
+  cfg.policy = fl::ExecPolicy::kSync;
+  cfg.semi_async_deadline_s = 0.0;
+  return cfg;
+}
+
+// v ← (1−α)·pre + α·v — the damped fold of an asynchronous aggregation: the
+// aggregator only moves by the admitted cohort's effective (staleness-scaled)
+// mass. A full fresh cohort has α = 1 and keeps the plain aggregation; a
+// lone stale straggler barely moves the tier. Vectors the aggregation
+// resized (algorithm-specific scratch appearing mid-run) are kept as-is.
+void damp(Vec& v, const Vec& pre, Scalar alpha) {
+  if (alpha >= 1.0 || v.size() != pre.size()) return;
+  const Scalar keep = 1.0 - alpha;
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = keep * pre[i] + alpha * v[i];
+}
+
+// s(τ) = staleness_decay^τ.
+Scalar staleness_weight(Scalar decay, std::size_t tau) {
+  Scalar s = 1.0;
+  for (std::size_t i = 0; i < tau; ++i) s *= decay;
+  return s;
+}
+
+// Bucket bounds of the evt.staleness histogram (aggregator versions).
+const std::vector<double>& staleness_bounds() {
+  static const std::vector<double> bounds{0, 1, 2, 4, 8, 16};
+  return bounds;
+}
+
+}  // namespace
+
+// Mutable state of one event-driven run. The fl::RunState inside must not
+// move after prepare_run (Context holds pointers into it), so EvtRun lives
+// on run_event_driven's stack and is only ever passed by reference.
+struct EvtRun {
+  fl::RunState rs;
+  EventQueue q;
+  std::unique_ptr<fl::Participation> mpart;  // manual-roster view
+  const sim::FaultPlan* plan = nullptr;
+  const fl::ParticipationSchedule* schedule = nullptr;  // null = fault-free
+  bool three_tier = true;
+  std::size_t K = 0;            // edge intervals per worker (T/τ)
+  Scalar last_time = 0;         // latest modeled instant touched
+  std::size_t steps_total = 0;  // local steps executed across all workers
+  std::string policy_label;     // obs label, e.g. "policy=semi_async"
+
+  // Per-entity latency streams forked off TimeSimConfig::seed: arrival ORDER
+  // depends on the sampled delays, but each entity's delay SEQUENCE depends
+  // only on the seed — no handler ordering can perturb another stream.
+  std::vector<Rng> wrng, erng;
+  Rng crng{0};
+
+  // Worker progress: completed intervals (quota K), aggregator version at
+  // the last download (the staleness base), last observed availability.
+  std::vector<std::size_t> w_interval, w_version;
+  std::vector<std::uint8_t> w_up;
+
+  // Edge aggregator state: version (aggregation count), fault-schedule round
+  // counter, edge intervals since the last cloud push, cloud version at the
+  // last cloud interaction, semi-async inbox + armed-deadline flag.
+  std::vector<std::size_t> e_version, e_round, e_since_cloud, e_cloud_base;
+  std::vector<std::vector<std::size_t>> e_inbox;
+  std::vector<std::uint8_t> e_deadline_armed, e_up;
+
+  std::size_t cloud_version = 0;
+  std::vector<std::size_t> c_inbox;  // two-tier semi-async
+  bool c_deadline_armed = false;
+
+  // Staleness accounting (RunResult + obs).
+  std::size_t admitted = 0, stale = 0, dropped = 0, max_tau = 0;
+  Scalar tau_sum = 0;
+
+  // Roster scratch reused across aggregations.
+  std::vector<std::uint8_t> roster_w, roster_e;
+  std::vector<Scalar> scale;
+};
+
+AsyncEngine::AsyncEngine(nn::ModelFactory factory, const data::TrainTest& data,
+                         data::Partition partition, fl::Topology topo,
+                         fl::RunConfig cfg, net::TimeSimConfig sim)
+    : cfg_(cfg),
+      sim_(std::move(sim)),
+      engine_(std::move(factory), data, std::move(partition), std::move(topo),
+              toolbox_config(cfg)) {
+  if (sim_.model_params == 0) {
+    sim_.model_params = engine_.factory_()->num_params();
+  }
+  if (sim_.worker_devices.empty()) {
+    sim_.worker_devices = net::default_worker_roster(engine_.topo_.num_workers());
+  }
+  sim_.fault_plan = nullptr;  // plans are per-run; see run()
+  model_ = std::make_unique<net::LatencyModel>(engine_.topo_, sim_);
+}
+
+fl::RunResult AsyncEngine::run(fl::Algorithm& alg, const sim::FaultPlan* plan) {
+  if (cfg_.policy == fl::ExecPolicy::kSync) return run_sync(alg, plan);
+  return run_event_driven(alg, plan);
+}
+
+// ---------------------------------------------------------------------------
+// Sync policy: the barrier schedule replayed as events.
+//
+// The whole timetable is known up front (logical time = iteration index), so
+// every event is pushed before the first pop and the (time, seq) order of the
+// queue reproduces fl::Engine::run's statement order exactly: local steps,
+// edge barrier, cloud round, evaluation, interval tail. Each handler calls
+// the corresponding private piece of fl::Engine on the shared RunState, which
+// is what makes this policy bit-identical to fl::Engine by construction —
+// same calls, same order, same state. Modeled time is stamped afterwards from
+// a net::TimeSimulator barrier replay (additive: iteration/loss/accuracy and
+// all engine.* counters are untouched).
+// ---------------------------------------------------------------------------
+fl::RunResult AsyncEngine::run_sync(fl::Algorithm& alg,
+                                    const sim::FaultPlan* plan) {
+  const obs::Span run_span("run:" + alg.name(), "evt");
+  const fl::ParticipationSchedule* schedule =
+      plan != nullptr ? &plan->schedule() : nullptr;
+
+  fl::RunState rs;
+  engine_.prepare_run(alg, schedule, rs);
+  engine_.record_point(rs, 0, rs.cloud.x);
+
+  const fl::RunConfig& cfg = engine_.cfg_;
+  const std::size_t global_period = cfg.tau * cfg.pi;
+
+  // Availability flips, grouped by the interval they take effect in.
+  std::vector<std::vector<sim::FaultTransition>> flips;
+  if (schedule != nullptr && !schedule->is_noop()) {
+    flips.resize(cfg.total_iterations / cfg.tau + 1);
+    for (const sim::FaultTransition& tr : sim::fault_transitions(*schedule)) {
+      if (tr.interval < flips.size()) flips[tr.interval].push_back(tr);
+    }
+  }
+
+  EventQueue q;
+  for (std::size_t t = 1; t <= cfg.total_iterations; ++t) {
+    const Scalar time = static_cast<Scalar>(t);
+    const bool sync_point = t % cfg.tau == 0;
+    const bool cloud_point = t % global_period == 0;
+    if ((t - 1) % cfg.tau == 0) {
+      // Interval k's availability flips land just before its first local
+      // step (the push order IS the tie-break).
+      const std::size_t k = (t - 1) / cfg.tau + 1;
+      if (k < flips.size()) {
+        for (const sim::FaultTransition& tr : flips[k]) {
+          q.push({time, 0, EventType::kFault, tr.id, tr.interval, tr.up,
+                  tr.is_edge});
+        }
+      }
+    }
+    // The barrier collapses the fleet's worker-ready events into one per
+    // iteration: under sync semantics every worker steps at the same instant
+    // and the engine's (deterministically parallel) dispatch IS that event.
+    q.push({time, 0, EventType::kWorkerReady, 0, t, false, false});
+    if (alg.three_tier() && sync_point) {
+      q.push({time, 0, EventType::kEdgeSync, 0, t / cfg.tau, false, false});
+    }
+    if (cloud_point) {
+      q.push({time, 0, EventType::kCloudSync, 0, t / global_period, false,
+              false});
+    }
+    if (sync_point || cloud_point ||
+        (cfg.eval_every != 0 && t % cfg.eval_every == 0)) {
+      q.push({time, 0, EventType::kEval, 0, t, false, false});
+    }
+  }
+
+  obs::Registry& reg = obs::Registry::global();
+  while (!q.empty()) {
+    const Event ev = q.pop();
+    const std::size_t t = ev.round;
+    switch (ev.type) {
+      case EventType::kFault:
+        if (obs::enabled()) reg.counter("evt.fault.transitions").add();
+        break;
+      case EventType::kWorkerReady:
+        rs.ctx.t = t;
+        if (rs.part && (t - 1) % cfg.tau == 0) {
+          rs.part->begin_interval((t - 1) / cfg.tau + 1);
+        }
+        engine_.run_local_steps(alg, rs);
+        break;
+      case EventType::kEdgeSync:
+        engine_.run_edge_syncs(alg, rs, t);
+        if (obs::enabled()) reg.counter("evt.edge_syncs", "policy=sync").add();
+        break;
+      case EventType::kCloudSync:
+        engine_.run_cloud_sync(alg, rs, t);
+        if (obs::enabled()) reg.counter("evt.cloud_syncs", "policy=sync").add();
+        break;
+      case EventType::kEval:
+        if (t % global_period == 0) {
+          engine_.record_point(rs, t, rs.cloud.x);
+        } else if (cfg.eval_every != 0 && t % cfg.eval_every == 0) {
+          fl::aggregate_global(rs.workers, fl::worker_x, rs.avg_scratch,
+                               nullptr, engine_.pool_.get());
+          engine_.record_point(rs, t, rs.avg_scratch);
+        }
+        if (t % cfg.tau == 0) engine_.finish_interval(alg, rs, t / cfg.tau);
+        break;
+    }
+  }
+
+  engine_.finalize_run(alg, rs);
+
+  // Stamp modeled wall-clock time from the barrier replay of this exact run.
+  net::TimeSimConfig tsim = sim_;
+  tsim.fault_plan = plan;
+  const net::TimeSimulator ts(engine_.topo_, cfg, tsim);
+  for (fl::MetricPoint& p : rs.result.curve) {
+    p.sim_time = ts.time_at_iteration(p.iteration);
+  }
+  rs.result.sim_seconds = ts.total_time();
+  return rs.result;
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven policies (semi_async / async).
+// ---------------------------------------------------------------------------
+
+// Schedule worker w's next interval: sample its compute + upload delay from
+// the worker's own latency stream and push the arrival. Availability and
+// straggler factors come from the fault schedule, resolved against the
+// worker's OWN interval counter (capped at the schedule horizon) — in an
+// asynchronous run workers drift apart, so "interval k" is per-worker
+// progress, not global time.
+void AsyncEngine::dispatch_worker(fl::Algorithm& alg, EvtRun& er,
+                                  std::size_t w, Scalar base) {
+  (void)alg;
+  const std::size_t kw = er.w_interval[w] + 1;
+  if (kw > er.K) return;  // quota exhausted — worker is done
+  bool up = true;
+  Scalar slowdown = 1.0;
+  std::size_t attempts = 1;
+  if (er.schedule != nullptr) {
+    const std::size_t kc = std::min(kw, er.schedule->num_intervals);
+    up = er.schedule->worker_available(kc, w);
+    if (up) {
+      slowdown = er.schedule->worker_slowdown(kc, w);
+      attempts = er.plan->upload_attempts(kc, w);
+    }
+  }
+  note_availability(er, /*is_edge=*/false, w, up, base);
+  if (!up) {
+    // Offline interval: nothing is computed or uploaded; the worker re-checks
+    // after a nominal (unstretched) interval of compute time so the outage
+    // still occupies modeled time.
+    const Scalar dt = model_->worker_compute(er.wrng[w], w, engine_.cfg_.tau);
+    er.q.push({base + dt, 0, EventType::kWorkerReady, w, kw, /*absent=*/true,
+               false});
+    return;
+  }
+  const Scalar compute =
+      model_->worker_compute(er.wrng[w], w, engine_.cfg_.tau) * slowdown;
+  const Scalar upload = model_->worker_upload(er.wrng[w], w, attempts);
+  er.q.push({base + compute + upload, 0, EventType::kWorkerReady, w, kw, false,
+             false});
+}
+
+// Record an availability flip as a fault event the first time it is observed
+// (rosters themselves are resolved at dispatch/admission points).
+void AsyncEngine::note_availability(EvtRun& er, bool is_edge, std::size_t id,
+                                    bool up, Scalar time) {
+  std::uint8_t& cur = is_edge ? er.e_up[id] : er.w_up[id];
+  if ((cur != 0) == up) return;
+  cur = up ? 1 : 0;
+  er.q.push({time, 0, EventType::kFault, id, 0, up, is_edge});
+}
+
+// A worker misses interval consumption without contributing an update (its
+// own outage, or its aggregator refused it): apply the absent-momentum
+// policy, consume the interval and schedule the next one.
+void AsyncEngine::miss_interval(fl::Algorithm& alg, EvtRun& er, std::size_t w,
+                                Scalar tev) {
+  fl::RunState& rs = er.rs;
+  ++er.w_interval[w];
+  rs.ctx.part = er.mpart.get();
+  alg.absent_sync(rs.ctx, rs.workers[w], er.w_interval[w]);
+  rs.ctx.part = nullptr;
+  if (!rs.result.worker_miss_counts.empty()) {
+    ++rs.result.worker_miss_counts[w];
+  }
+  dispatch_worker(alg, er, w, tev);
+}
+
+// A worker's interval lands: run its τ local steps lazily (so it trains on
+// exactly the model it last downloaded) and route the update to its
+// aggregator per the policy.
+void AsyncEngine::worker_arrival(fl::Algorithm& alg, EvtRun& er,
+                                 const Event& ev) {
+  fl::RunState& rs = er.rs;
+  const std::size_t w = ev.entity;
+  if (ev.flag) {  // offline interval (scheduled by dispatch_worker)
+    miss_interval(alg, er, w, ev.time);
+    return;
+  }
+
+  fl::WorkerState& ws = rs.workers[w];
+  {
+    const obs::Span span("local_steps", "worker");
+    for (std::size_t s = 0; s < engine_.cfg_.tau; ++s) {
+      rs.ctx.t = ++er.steps_total;
+      alg.local_step(rs.ctx, ws);
+    }
+  }
+
+  if (er.three_tier) {
+    const std::size_t e = ws.edge;
+    if (cfg_.policy == fl::ExecPolicy::kSemiAsync) {
+      // Admission happens when the edge's deadline fires; arm it on the
+      // round's first arrival.
+      er.e_inbox[e].push_back(w);
+      if (!er.e_deadline_armed[e]) {
+        er.e_deadline_armed[e] = 1;
+        er.q.push({ev.time + cfg_.semi_async_deadline_s, 0,
+                   EventType::kEdgeSync, e, 0, false, false});
+      }
+      return;
+    }
+    // Fully async: the arrival IS the aggregation trigger.
+    bool eup = true;
+    if (er.schedule != nullptr) {
+      const std::size_t kc =
+          std::min(er.e_round[e] + 1, er.schedule->num_intervals);
+      eup = er.schedule->edge_available(kc, e);
+    }
+    note_availability(er, /*is_edge=*/true, e, eup, ev.time);
+    if (!eup) {
+      // Refused at a dark edge: the update is lost and the refusal consumes
+      // one edge schedule round — a long outage burns through its scheduled
+      // rounds instead of freezing the subtree forever.
+      ++er.dropped;
+      ++er.e_round[e];
+      miss_interval(alg, er, w, ev.time);
+      return;
+    }
+    edge_cohort_sync(alg, er, e, {w}, ev.time);
+    return;
+  }
+
+  // Two-tier: workers talk straight to the cloud.
+  if (cfg_.policy == fl::ExecPolicy::kSemiAsync) {
+    er.c_inbox.push_back(w);
+    if (!er.c_deadline_armed) {
+      er.c_deadline_armed = true;
+      er.q.push({ev.time + cfg_.semi_async_deadline_s, 0,
+                 EventType::kCloudSync, 0, 0, /*deadline=*/true, false});
+    }
+    return;
+  }
+  cloud_cohort_sync(alg, er, {w}, ev.time);
+}
+
+// Edge aggregation over an arrived cohort. Splits the cohort by the
+// staleness bound, runs Algorithm::edge_sync against the manual roster with
+// staleness-scaled weights, folds the result in with the damped α-mix, then
+// downloads the refreshed model and redispatches everyone.
+void AsyncEngine::edge_cohort_sync(fl::Algorithm& alg, EvtRun& er,
+                                   std::size_t e,
+                                   std::vector<std::size_t> cohort,
+                                   Scalar tev) {
+  fl::RunState& rs = er.rs;
+  fl::EdgeState& es = rs.edges[e];
+  std::sort(cohort.begin(), cohort.end());  // canonical roster order
+
+  std::vector<std::size_t> admitted, discarded;
+  for (const std::size_t w : cohort) {
+    const std::size_t tau = er.e_version[e] - er.w_version[w];
+    if (static_cast<std::int64_t>(tau) > cfg_.max_staleness) {
+      discarded.push_back(w);
+    } else {
+      admitted.push_back(w);
+    }
+  }
+
+  const Scalar agg = model_->edge_aggregate(er.erng[e]);
+  const Scalar down = model_->edge_broadcast(er.erng[e], e);
+  obs::Registry& reg = obs::Registry::global();
+
+  if (!admitted.empty()) {
+    const std::size_t k_agg = ++er.e_version[e];
+    ++er.e_round[e];
+
+    // Roster + staleness weights (s multiplies the data-size mass before the
+    // per-edge renormalization inside Participation).
+    er.roster_w.assign(rs.workers.size(), 0);
+    er.roster_e.assign(rs.edges.size(), 0);
+    er.roster_e[e] = 1;
+    er.scale.assign(rs.workers.size(), 1.0);
+    Scalar alpha = 0;
+    for (const std::size_t w : admitted) {
+      const std::size_t tau = k_agg - 1 - er.w_version[w];
+      const Scalar s = staleness_weight(cfg_.staleness_decay, tau);
+      er.roster_w[w] = 1;
+      er.scale[w] = s;
+      alpha += rs.workers[w].weight_in_edge * s;
+      ++er.admitted;
+      er.tau_sum += static_cast<Scalar>(tau);
+      er.max_tau = std::max(er.max_tau, tau);
+      if (obs::enabled()) {
+        reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
+            .observe(static_cast<double>(tau));
+      }
+    }
+    er.mpart->set_roster(er.roster_w, er.roster_e, &er.scale);
+    rs.ctx.part = er.mpart.get();
+
+    // Staleness hook before the aggregation reads worker state.
+    for (const std::size_t w : admitted) {
+      const std::size_t tau = k_agg - 1 - er.w_version[w];
+      if (tau > 0) {
+        ++er.stale;
+        alg.stale_sync(rs.ctx, rs.workers[w], tau);
+      }
+    }
+
+    // Aggregate against the cohort, then α-damp every edge vector back
+    // toward its pre-sync value.
+    const Vec pre_x = es.x_plus;
+    const Vec pre_yp = es.y_plus;
+    const Vec pre_ym = es.y_minus;
+    const std::map<std::string, Vec> pre_extra = es.extra;
+    {
+      const fl::EdgeSyncGuard guard(engine_.edge_sync_entries_,
+                                    alg.edge_sync_reentrant());
+      alg.edge_sync(rs.ctx, es, k_agg);
+    }
+    damp(es.x_plus, pre_x, alpha);
+    damp(es.y_plus, pre_yp, alpha);
+    damp(es.y_minus, pre_ym, alpha);
+    for (auto& [name, v] : es.extra) {
+      const auto it = pre_extra.find(name);
+      if (it != pre_extra.end()) damp(v, it->second, alpha);
+    }
+    rs.ctx.part = nullptr;
+
+    if (obs::enabled()) {
+      reg.counter("evt.edge_syncs", er.policy_label).add();
+    }
+  }
+
+  // Comm accounting + downloads + redispatch (cohort order = ascending ids).
+  // Every cohort member uploaded; everyone receives the refreshed model —
+  // discarded updates are replaced by a forced refresh (their interval work
+  // is lost, accumulators cleared, momentum per the hold default).
+  if (obs::enabled()) {
+    obs::CommAccountant& comm = obs::CommAccountant::global();
+    for (const std::size_t w : cohort) {
+      (void)w;
+      comm.record(obs::Link::kWorkerToEdge, e, rs.worker_up_bytes);
+      comm.record(obs::Link::kEdgeToWorker, e, rs.worker_down_bytes);
+    }
+  }
+  for (const std::size_t w : discarded) {
+    ++er.dropped;
+    rs.workers[w].reset_interval_accumulators();
+  }
+  for (const std::size_t w : cohort) {
+    fl::WorkerState& ws = rs.workers[w];
+    ws.x = es.x_plus;
+    er.w_version[w] = er.e_version[e];
+    ++er.w_interval[w];
+    dispatch_worker(alg, er, w, tev + agg + down);
+  }
+  er.last_time = std::max(er.last_time, tev + agg + down);
+
+  // Every π-th edge aggregation ships the edge state up to the cloud.
+  if (!admitted.empty() && ++er.e_since_cloud[e] >= engine_.cfg_.pi) {
+    er.e_since_cloud[e] = 0;
+    const Scalar up = model_->edge_upload(er.erng[e]);
+    er.q.push({tev + agg + up, 0, EventType::kCloudSync, e, er.e_cloud_base[e],
+               false, false});
+  }
+}
+
+// An edge's update lands at the cloud (three-tier). Staleness is measured in
+// cloud versions since the edge's last cloud interaction (`base_version`,
+// carried by the event). The refreshed cloud model is pushed down to the
+// edge and its whole worker subtree — retroactively for in-flight workers,
+// whose lazily-executed steps will simply train on the refreshed model.
+void AsyncEngine::cloud_edge_arrival(fl::Algorithm& alg, EvtRun& er,
+                                     std::size_t e, std::size_t base_version,
+                                     Scalar tev) {
+  fl::RunState& rs = er.rs;
+  fl::EdgeState& es = rs.edges[e];
+  const std::size_t tau_e = er.cloud_version - base_version;
+  obs::Registry& reg = obs::Registry::global();
+
+  if (static_cast<std::int64_t>(tau_e) > cfg_.max_staleness) {
+    // Too far behind: the edge update is discarded and the edge re-anchored
+    // on the current cloud model.
+    ++er.dropped;
+    es.x_plus = rs.cloud.x;
+    er.e_cloud_base[e] = er.cloud_version;
+    er.last_time = std::max(er.last_time, tev);
+    return;
+  }
+
+  const std::size_t p = ++er.cloud_version;
+  ++er.admitted;
+  er.tau_sum += static_cast<Scalar>(tau_e);
+  er.max_tau = std::max(er.max_tau, tau_e);
+  if (tau_e > 0) ++er.stale;
+  if (obs::enabled()) {
+    reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
+        .observe(static_cast<double>(tau_e));
+  }
+
+  // Roster: this edge plus its whole subtree (cloud_sync pushes down to the
+  // participating workers).
+  er.roster_w.assign(rs.workers.size(), 0);
+  er.roster_e.assign(rs.edges.size(), 0);
+  er.roster_e[e] = 1;
+  for (const std::size_t w : engine_.topo_.workers_of_edge(e)) {
+    er.roster_w[w] = 1;
+  }
+  er.mpart->set_roster(er.roster_w, er.roster_e, nullptr);
+  rs.ctx.part = er.mpart.get();
+
+  const Scalar alpha =
+      es.weight_global * staleness_weight(cfg_.staleness_decay, tau_e);
+  const Vec pre_cx = rs.cloud.x;
+  const Vec pre_cy = rs.cloud.y;
+  const std::map<std::string, Vec> pre_cextra = rs.cloud.extra;
+  const Vec pre_x = es.x_plus;
+  const Vec pre_yp = es.y_plus;
+  const Vec pre_ym = es.y_minus;
+  const std::map<std::string, Vec> pre_extra = es.extra;
+
+  alg.cloud_sync(rs.ctx, p);
+
+  damp(rs.cloud.x, pre_cx, alpha);
+  damp(rs.cloud.y, pre_cy, alpha);
+  for (auto& [name, v] : rs.cloud.extra) {
+    const auto it = pre_cextra.find(name);
+    if (it != pre_cextra.end()) damp(v, it->second, alpha);
+  }
+  damp(es.x_plus, pre_x, alpha);
+  damp(es.y_plus, pre_yp, alpha);
+  damp(es.y_minus, pre_ym, alpha);
+  for (auto& [name, v] : es.extra) {
+    const auto it = pre_extra.find(name);
+    if (it != pre_extra.end()) damp(v, it->second, alpha);
+  }
+  rs.ctx.part = nullptr;
+
+  // Push-down: the subtree re-anchors on the damped cloud model (worker
+  // momentum stays as the algorithm's own push-down left it).
+  for (const std::size_t w : engine_.topo_.workers_of_edge(e)) {
+    rs.workers[w].x = rs.cloud.x;
+  }
+  er.e_cloud_base[e] = p;
+
+  if (obs::enabled()) {
+    obs::CommAccountant& comm = obs::CommAccountant::global();
+    comm.record(obs::Link::kEdgeToCloud, e, rs.edge_up_bytes);
+    comm.record(obs::Link::kCloudToEdge, e, rs.edge_down_bytes);
+    reg.counter("evt.cloud_syncs", er.policy_label).add();
+  }
+
+  const Scalar done = tev + model_->cloud_aggregate(er.crng) +
+                      model_->cloud_broadcast(er.crng);
+  er.last_time = std::max(er.last_time, done);
+  engine_.record_point(rs, er.steps_total / rs.workers.size(), rs.cloud.x,
+                       done);
+}
+
+// Two-tier cloud aggregation over a worker cohort — the cloud-level analog
+// of edge_cohort_sync (single aggregator, α over global weights).
+void AsyncEngine::cloud_cohort_sync(fl::Algorithm& alg, EvtRun& er,
+                                    std::vector<std::size_t> cohort,
+                                    Scalar tev) {
+  fl::RunState& rs = er.rs;
+  std::sort(cohort.begin(), cohort.end());
+
+  std::vector<std::size_t> admitted, discarded;
+  for (const std::size_t w : cohort) {
+    const std::size_t tau = er.cloud_version - er.w_version[w];
+    if (static_cast<std::int64_t>(tau) > cfg_.max_staleness) {
+      discarded.push_back(w);
+    } else {
+      admitted.push_back(w);
+    }
+  }
+
+  const Scalar agg = model_->cloud_aggregate(er.crng);
+  const Scalar down = model_->cloud_broadcast(er.crng);
+  obs::Registry& reg = obs::Registry::global();
+
+  if (!admitted.empty()) {
+    const std::size_t p = ++er.cloud_version;
+
+    er.roster_w.assign(rs.workers.size(), 0);
+    er.roster_e.assign(rs.edges.size(), 1);
+    er.scale.assign(rs.workers.size(), 1.0);
+    Scalar alpha = 0;
+    for (const std::size_t w : admitted) {
+      const std::size_t tau = p - 1 - er.w_version[w];
+      const Scalar s = staleness_weight(cfg_.staleness_decay, tau);
+      er.roster_w[w] = 1;
+      er.scale[w] = s;
+      alpha += rs.workers[w].weight_global * s;
+      ++er.admitted;
+      er.tau_sum += static_cast<Scalar>(tau);
+      er.max_tau = std::max(er.max_tau, tau);
+      if (obs::enabled()) {
+        reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
+            .observe(static_cast<double>(tau));
+      }
+    }
+    er.mpart->set_roster(er.roster_w, er.roster_e, &er.scale);
+    rs.ctx.part = er.mpart.get();
+
+    for (const std::size_t w : admitted) {
+      const std::size_t tau = p - 1 - er.w_version[w];
+      if (tau > 0) {
+        ++er.stale;
+        alg.stale_sync(rs.ctx, rs.workers[w], tau);
+      }
+    }
+
+    const Vec pre_cx = rs.cloud.x;
+    const Vec pre_cy = rs.cloud.y;
+    const std::map<std::string, Vec> pre_cextra = rs.cloud.extra;
+
+    alg.cloud_sync(rs.ctx, p);
+
+    damp(rs.cloud.x, pre_cx, alpha);
+    damp(rs.cloud.y, pre_cy, alpha);
+    for (auto& [name, v] : rs.cloud.extra) {
+      const auto it = pre_cextra.find(name);
+      if (it != pre_cextra.end()) damp(v, it->second, alpha);
+    }
+    rs.ctx.part = nullptr;
+
+    if (obs::enabled()) {
+      reg.counter("evt.cloud_syncs", er.policy_label).add();
+    }
+    engine_.record_point(rs, er.steps_total / rs.workers.size(), rs.cloud.x,
+                         tev + agg + down);
+  }
+
+  if (obs::enabled()) {
+    obs::CommAccountant& comm = obs::CommAccountant::global();
+    for (const std::size_t w : cohort) {
+      comm.record(obs::Link::kWorkerToCloud, w, rs.worker_up_bytes);
+      comm.record(obs::Link::kCloudToWorker, w, rs.worker_down_bytes);
+    }
+  }
+  for (const std::size_t w : discarded) {
+    ++er.dropped;
+    rs.workers[w].reset_interval_accumulators();
+  }
+  for (const std::size_t w : cohort) {
+    fl::WorkerState& ws = rs.workers[w];
+    ws.x = rs.cloud.x;
+    er.w_version[w] = er.cloud_version;
+    ++er.w_interval[w];
+    dispatch_worker(alg, er, w, tev + agg + down);
+  }
+  er.last_time = std::max(er.last_time, tev + agg + down);
+}
+
+fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
+                                            const sim::FaultPlan* plan) {
+  const obs::Span run_span("run:" + alg.name(), "evt");
+
+  EvtRun er;
+  er.plan = plan;
+  if (plan != nullptr && !plan->schedule().is_noop()) {
+    plan->schedule().validate(engine_.topo_, engine_.cfg_);
+    er.schedule = &plan->schedule();
+  }
+  er.three_tier = alg.three_tier();
+  er.K = engine_.cfg_.total_iterations / engine_.cfg_.tau;
+  er.policy_label = std::string("policy=") + fl::to_string(cfg_.policy);
+
+  fl::RunState& rs = er.rs;
+  // Training state exactly as the barrier engine would build it (same seed →
+  // same initial point, same batch streams); ctx.part stays null outside
+  // aggregation/absence windows, where the manual roster is swapped in.
+  engine_.prepare_run(alg, nullptr, rs);
+
+  const std::size_t W = engine_.topo_.num_workers();
+  const std::size_t E = engine_.topo_.num_edges();
+  er.mpart = std::make_unique<fl::Participation>(engine_.topo_, rs.workers,
+                                                 er.three_tier);
+  if (er.schedule != nullptr) {
+    er.mpart->set_absent_policy(er.schedule->absent_policy,
+                                er.schedule->absent_decay);
+    rs.result.worker_miss_counts.assign(W, 0);
+  }
+
+  // Per-entity latency streams.
+  Rng lroot(sim_.seed);
+  er.wrng.reserve(W);
+  for (std::size_t w = 0; w < W; ++w) {
+    er.wrng.push_back(lroot.fork(0xA5A50000u + w));
+  }
+  er.erng.reserve(E);
+  for (std::size_t e = 0; e < E; ++e) {
+    er.erng.push_back(lroot.fork(0xE5E50000u + e));
+  }
+  er.crng = lroot.fork(0xC10D);
+
+  er.w_interval.assign(W, 0);
+  er.w_version.assign(W, 0);
+  er.w_up.assign(W, 1);
+  er.e_version.assign(E, 0);
+  er.e_round.assign(E, 0);
+  er.e_since_cloud.assign(E, 0);
+  er.e_cloud_base.assign(E, 0);
+  er.e_inbox.resize(E);
+  er.e_deadline_armed.assign(E, 0);
+  er.e_up.assign(E, 1);
+
+  engine_.record_point(rs, 0, rs.cloud.x, 0.0);
+  for (std::size_t w = 0; w < W; ++w) dispatch_worker(alg, er, w, 0.0);
+
+  obs::Registry& reg = obs::Registry::global();
+  while (!er.q.empty()) {
+    const Event ev = er.q.pop();
+    er.last_time = std::max(er.last_time, ev.time);
+    switch (ev.type) {
+      case EventType::kWorkerReady:
+        worker_arrival(alg, er, ev);
+        break;
+      case EventType::kEdgeSync: {
+        // Semi-async deadline at edge `entity`.
+        const std::size_t e = ev.entity;
+        er.e_deadline_armed[e] = 0;
+        std::vector<std::size_t> cohort = std::move(er.e_inbox[e]);
+        er.e_inbox[e].clear();
+        if (cohort.empty()) break;  // flushed elsewhere — nothing to do
+        bool eup = true;
+        if (er.schedule != nullptr) {
+          const std::size_t kc =
+              std::min(er.e_round[e] + 1, er.schedule->num_intervals);
+          eup = er.schedule->edge_available(kc, e);
+        }
+        note_availability(er, /*is_edge=*/true, e, eup, ev.time);
+        if (!eup) {
+          // The whole round misses: the outage consumes one schedule round
+          // and every cohort member an interval.
+          ++er.e_round[e];
+          for (const std::size_t w : cohort) {
+            ++er.dropped;
+            miss_interval(alg, er, w, ev.time);
+          }
+          break;
+        }
+        edge_cohort_sync(alg, er, e, std::move(cohort), ev.time);
+        break;
+      }
+      case EventType::kCloudSync:
+        if (er.three_tier) {
+          cloud_edge_arrival(alg, er, ev.entity, ev.round, ev.time);
+        } else {
+          // Two-tier semi-async deadline.
+          er.c_deadline_armed = false;
+          std::vector<std::size_t> cohort = std::move(er.c_inbox);
+          er.c_inbox.clear();
+          if (!cohort.empty()) {
+            cloud_cohort_sync(alg, er, std::move(cohort), ev.time);
+          }
+        }
+        break;
+      case EventType::kFault:
+        if (obs::enabled()) reg.counter("evt.fault.transitions").add();
+        break;
+      case EventType::kEval:
+        break;  // unused by the event-driven policies
+    }
+  }
+
+  // Terminal flush: edges still holding un-pushed aggregations (a partial π
+  // window) hand them to the cloud in ascending edge order.
+  if (er.three_tier) {
+    for (std::size_t e = 0; e < E; ++e) {
+      if (er.e_since_cloud[e] > 0 && er.e_version[e] > 0) {
+        er.e_since_cloud[e] = 0;
+        const Scalar up = model_->edge_upload(er.erng[e]);
+        cloud_edge_arrival(alg, er, e, er.e_cloud_base[e], er.last_time + up);
+      }
+    }
+  }
+
+  // Final curve point at the final cloud model.
+  const std::size_t final_iter = er.steps_total / W;
+  if (rs.result.curve.back().iteration != final_iter ||
+      rs.result.curve.size() == 1) {
+    engine_.record_point(rs, final_iter, rs.cloud.x, er.last_time);
+  }
+
+  rs.result.sim_seconds = er.last_time;
+  rs.result.admitted_updates = er.admitted;
+  rs.result.stale_updates = er.stale;
+  rs.result.dropped_updates = er.dropped;
+  rs.result.max_staleness_seen = er.max_tau;
+  rs.result.mean_staleness =
+      er.admitted > 0 ? er.tau_sum / static_cast<Scalar>(er.admitted) : 0.0;
+
+  if (obs::enabled()) {
+    reg.counter("evt.updates.admitted", er.policy_label).add(er.admitted);
+    reg.counter("evt.updates.stale", er.policy_label).add(er.stale);
+    reg.counter("evt.updates.dropped", er.policy_label).add(er.dropped);
+  }
+
+  engine_.finalize_run(alg, rs);
+  return rs.result;
+}
+
+}  // namespace hfl::evt

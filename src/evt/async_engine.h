@@ -1,0 +1,109 @@
+// Event-driven engine: drives an Algorithm through a deterministic
+// discrete-event queue, so simulated time is the actual execution order
+// (DESIGN.md §12).
+//
+// Three execution policies, selected by RunConfig::policy:
+//
+//   * sync — the paper's barrier schedule reproduced as events. Built from
+//     the same per-step pieces as fl::Engine (friend access to its helpers),
+//     so curves, final parameters and engine obs counters are bit-identical
+//     to fl::Engine for every registry algorithm at any thread count — the
+//     degenerate correctness anchor, asserted by tests/async_engine_test.cpp.
+//     On top, every curve point is stamped with the modeled wall-clock time
+//     of the barrier replay (net::TimeSimulator over the same TimeSimConfig).
+//
+//   * semi_async — deadline-based cohort admission per aggregator: each edge
+//     (each round of the cloud, for two-tier algorithms) waits
+//     `semi_async_deadline_s` modeled seconds, then aggregates whatever
+//     updates arrived, weighting each by staleness (see below). Stragglers
+//     simply land in a later round instead of stalling everyone.
+//
+//   * async — fully event-ordered: every update arrival triggers its
+//     aggregator immediately with a single-member cohort.
+//
+// Staleness contract (semi_async and async): an update dispatched when its
+// aggregator was at version v and admitted at version v' has staleness
+// τ = v' − v. Admitted updates are weighted by s(τ) = staleness_decay^τ
+// (renormalized inside the cohort) and folded into the aggregator state by a
+// damped mixing step: state ← (1−α)·state + α·cohort_result with
+// α = Σ_admitted full-roster-weight·s(τ) — a full fresh cohort reproduces the
+// plain aggregation (α = 1), a lone stale straggler barely moves the tier.
+// Updates with τ > max_staleness are dropped and the sender force-refreshed.
+// Algorithm::stale_sync runs for every admitted stale update before the
+// aggregation. All of this happens at the engine level through the manual
+// roster mode of fl::Participation, so every registry algorithm participates
+// without async-specific code.
+//
+// Determinism: the event loop is serial; all latency draws come from
+// per-entity RNG streams forked off TimeSimConfig::seed, all training draws
+// from the worker-owned streams seeded by RunConfig::seed, and parallelism
+// is confined to the deterministic reductions and batch-eval paths of
+// src/fl — identical seeds give identical event traces, curves and counters
+// at any thread count (tests/async_engine_test.cpp mirrors
+// tests/parallel_sync_test.cpp).
+#pragma once
+
+#include <memory>
+
+#include "src/evt/event.h"
+#include "src/fl/engine.h"
+#include "src/net/latency_model.h"
+#include "src/net/time_simulator.h"
+
+namespace hfl::sim {
+class FaultPlan;  // src/sim/fault_plan.h
+}
+
+namespace hfl::evt {
+
+struct EvtRun;  // internal per-run state (async_engine.cpp)
+
+class AsyncEngine {
+ public:
+  // Same contract as fl::Engine plus the deployment model the event clock
+  // samples delays from. `sim.model_params` (0 = auto-filled from the
+  // factory) and `sim.worker_devices` (empty = default roster) are
+  // completed here; `sim.fault_plan` is ignored — pass the plan to run().
+  AsyncEngine(nn::ModelFactory factory, const data::TrainTest& data,
+              data::Partition partition, fl::Topology topo, fl::RunConfig cfg,
+              net::TimeSimConfig sim);
+
+  fl::RunResult run(fl::Algorithm& alg) { return run(alg, nullptr); }
+
+  // Fault-aware run: the plan (which must outlive the call and match the
+  // topology/run) supplies availability, straggler and retry behaviour. In
+  // the event-driven policies schedule intervals are resolved against each
+  // entity's own round counter (capped at the schedule horizon).
+  fl::RunResult run(fl::Algorithm& alg, const sim::FaultPlan* plan);
+
+  const fl::Topology& topology() const { return engine_.topology(); }
+  // The policy actually executed (the embedded fl::Engine always reports
+  // sync — it only serves as the shared toolbox).
+  const fl::RunConfig& config() const { return cfg_; }
+
+ private:
+  fl::RunResult run_sync(fl::Algorithm& alg, const sim::FaultPlan* plan);
+  fl::RunResult run_event_driven(fl::Algorithm& alg,
+                                 const sim::FaultPlan* plan);
+
+  // Event-mode helpers (see async_engine.cpp).
+  void dispatch_worker(fl::Algorithm& alg, EvtRun& er, std::size_t w,
+                       Scalar base);
+  void worker_arrival(fl::Algorithm& alg, EvtRun& er, const Event& ev);
+  void edge_cohort_sync(fl::Algorithm& alg, EvtRun& er, std::size_t e,
+                        std::vector<std::size_t> cohort, Scalar tev);
+  void cloud_cohort_sync(fl::Algorithm& alg, EvtRun& er,
+                         std::vector<std::size_t> cohort, Scalar tev);
+  void cloud_edge_arrival(fl::Algorithm& alg, EvtRun& er, std::size_t e,
+                          std::size_t base_version, Scalar tev);
+  void miss_interval(fl::Algorithm& alg, EvtRun& er, std::size_t w, Scalar tev);
+  void note_availability(EvtRun& er, bool is_edge, std::size_t id, bool up,
+                         Scalar time);
+
+  fl::RunConfig cfg_;       // the requested (validated) configuration
+  net::TimeSimConfig sim_;  // completed deployment model
+  fl::Engine engine_;       // shared toolbox; runs with a sanitized config
+  std::unique_ptr<net::LatencyModel> model_;
+};
+
+}  // namespace hfl::evt

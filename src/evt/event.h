@@ -1,0 +1,51 @@
+// Event vocabulary of the discrete-event engine (DESIGN.md §12).
+//
+// Simulated time is the execution order: every state mutation of an
+// event-driven run happens inside the handler of one of these events, and
+// the deterministic queue (event_queue.h) fixes the handler order as a pure
+// function of the seeds. `time` is modeled seconds; `seq` is the queue's
+// push-order stamp that breaks time ties, so two events at the same instant
+// always replay in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace hfl::evt {
+
+enum class EventType : std::uint8_t {
+  // A worker's interval of local work (and its upload) lands at its
+  // aggregator — the edge in three-tier runs, the cloud in two-tier runs.
+  // The τ local steps execute lazily inside this handler, so the worker
+  // trains on exactly the model it last downloaded.
+  kWorkerReady,
+  // An edge aggregation point: the barrier instant (sync policy) or a
+  // semi-async admission deadline expiring at one edge.
+  kEdgeSync,
+  // A cloud aggregation point: the barrier instant, an edge's update
+  // arriving at the cloud (three-tier), or a two-tier admission deadline.
+  kCloudSync,
+  // An availability transition (worker or edge going up/down) becoming
+  // visible to the engine. Bookkeeping: rosters are resolved against the
+  // fault schedule at dispatch points, this event records the flip in the
+  // trace and the obs counters.
+  kFault,
+  // Bookkeeping for the sync policy: curve recording and per-interval
+  // accounting, scheduled after the same-instant synchronization events.
+  kEval,
+};
+
+const char* to_string(EventType type);
+
+struct Event {
+  Scalar time = 0;        // modeled seconds
+  std::uint64_t seq = 0;  // queue-assigned push order; breaks time ties
+  EventType type = EventType::kWorkerReady;
+  std::size_t entity = 0;  // worker id / edge id (type-dependent)
+  std::size_t round = 0;   // iteration t, interval k, or round index
+  bool flag = false;   // kWorkerReady: worker absent; kFault: entity came up
+  bool is_edge = false;  // kFault: entity is an edge node
+};
+
+}  // namespace hfl::evt

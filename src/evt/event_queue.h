@@ -1,0 +1,52 @@
+// Deterministic discrete-event queue.
+//
+// A binary min-heap ordered lexicographically on (time, seq): `seq` is the
+// monotone push-order stamp, so events scheduled for the same instant pop in
+// the order they were pushed. That stable tie-break is the whole determinism
+// story — given identical push sequences, the pop sequence is identical,
+// independent of heap internals, thread count, or platform.
+//
+// Time only moves forward: pushing an event earlier than the last pop is a
+// logic error and throws. The queue reports its high-water depth to the obs
+// registry (gauge `evt.queue.depth_max`) when telemetry is enabled.
+#pragma once
+
+#include <vector>
+
+#include "src/evt/event.h"
+
+namespace hfl::obs {
+class Gauge;  // src/obs/registry.h
+}
+
+namespace hfl::evt {
+
+class EventQueue {
+ public:
+  EventQueue();
+
+  // Schedules `e` (its `seq` is overwritten with the push-order stamp).
+  // Throws hfl::Error if e.time precedes the current simulation time.
+  void push(Event e);
+
+  // Removes and returns the earliest event, advancing now(). Throws
+  // hfl::Error when empty.
+  Event pop();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  // Time of the last popped event (0 before the first pop).
+  Scalar now() const { return now_; }
+
+  // Total events pushed over the queue's lifetime.
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+ private:
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  Scalar now_ = 0;
+  obs::Gauge* depth_gauge_ = nullptr;  // null when telemetry is disabled
+};
+
+}  // namespace hfl::evt

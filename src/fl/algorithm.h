@@ -117,6 +117,21 @@ class Algorithm {
                           ctx.part->absent_decay());
     }
   }
+
+  // Event-driven runs only (evt::AsyncEngine): called when worker w's update
+  // is admitted with staleness `tau` > 0 aggregator versions, before the
+  // aggregation folds it in. The default shrinks the worker's momentum state
+  // by cfg->stale_momentum_decay per staleness step (1 = hold, the no-op
+  // default; 0 = reset) — stale momentum was accumulated against an old
+  // anchor, and the decay knob lets a run damp it without touching the
+  // algorithm. Override for algorithm-specific staleness corrections.
+  virtual void stale_sync(Context& ctx, WorkerState& w, std::size_t tau) {
+    const Scalar decay = ctx.cfg->stale_momentum_decay;
+    if (decay >= 1.0 || tau == 0) return;
+    Scalar factor = 1.0;
+    for (std::size_t i = 0; i < tau; ++i) factor *= decay;
+    apply_absent_policy(w, AbsentPolicy::kDecay, factor);
+  }
 };
 
 // Debug-mode re-entrancy guard for edge_sync (active when the build defines

@@ -57,6 +57,27 @@ Participation::Participation(const Topology& topo,
   for (std::size_t i = 0; i < n; ++i) {
     base_weight_[i] = static_cast<Scalar>(workers[i].num_samples);
   }
+  mass_ = base_weight_;
+  active_.assign(n, 1);
+  edge_active_.assign(l, 1);
+  active_of_edge_.resize(l);
+  weight_in_edge_.assign(n, 0.0);
+  weight_global_.assign(n, 0.0);
+  edge_weight_.assign(l, 0.0);
+}
+
+Participation::Participation(const Topology& topo,
+                             const std::vector<WorkerState>& workers,
+                             bool edge_faults)
+    : topo_(&topo), schedule_(nullptr), edge_faults_(edge_faults) {
+  const std::size_t n = topo.num_workers();
+  const std::size_t l = topo.num_edges();
+  HFL_CHECK(workers.size() == n, "worker states do not match the topology");
+  base_weight_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_weight_[i] = static_cast<Scalar>(workers[i].num_samples);
+  }
+  mass_ = base_weight_;
   active_.assign(n, 1);
   edge_active_.assign(l, 1);
   active_of_edge_.resize(l);
@@ -66,6 +87,9 @@ Participation::Participation(const Topology& topo,
 }
 
 void Participation::begin_interval(std::size_t k) {
+  HFL_CHECK(schedule_ != nullptr,
+            "begin_interval is schedule-backed; a manual-roster Participation "
+            "must use set_roster instead");
   HFL_CHECK(k >= 1 && k <= schedule_->num_intervals,
             "interval index out of the schedule's range");
   k_ = k;
@@ -79,6 +103,59 @@ void Participation::begin_interval(std::size_t k) {
     active_[w] = (schedule_->worker_available(k, w) && edge_ok) ? 1 : 0;
     num_active_ += active_[w];
   }
+  for (std::size_t e = 0; e < l; ++e) {
+    edge_active_[e] = (!edge_faults_ || schedule_->edge_available(k, e)) ? 1 : 0;
+  }
+  for (std::size_t w = 0; w < n; ++w) mass_[w] = base_weight_[w];
+
+  rebuild_weights();
+}
+
+void Participation::set_roster(const std::vector<std::uint8_t>& worker_up,
+                               const std::vector<std::uint8_t>& edge_up,
+                               const std::vector<Scalar>* scale) {
+  const std::size_t n = active_.size();
+  const std::size_t l = edge_active_.size();
+  HFL_CHECK(worker_up.size() == n && edge_up.size() == l,
+            "set_roster arrays do not match the topology (" +
+                std::to_string(worker_up.size()) + " workers / " +
+                std::to_string(edge_up.size()) + " edges given, " +
+                std::to_string(n) + " / " + std::to_string(l) + " expected)");
+  HFL_CHECK(scale == nullptr || scale->size() == n,
+            "set_roster scale vector does not match the worker count");
+
+  num_active_ = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    const bool edge_ok =
+        !edge_faults_ || edge_up[topo_->edge_of_worker(w)] != 0;
+    active_[w] = (worker_up[w] != 0 && edge_ok) ? 1 : 0;
+    num_active_ += active_[w];
+  }
+  for (std::size_t e = 0; e < l; ++e) {
+    edge_active_[e] = (!edge_faults_ || edge_up[e] != 0) ? 1 : 0;
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    mass_[w] = base_weight_[w] * (scale == nullptr ? 1.0 : (*scale)[w]);
+  }
+
+  rebuild_weights();
+}
+
+void Participation::set_absent_policy(AbsentPolicy policy, Scalar decay) {
+  HFL_CHECK(decay >= 0.0 && decay <= 1.0, "absent decay must be in [0, 1]");
+  manual_policy_ = policy;
+  manual_decay_ = decay;
+}
+
+// Shared tail of begin_interval / set_roster: given active_ bits, the
+// edge-online preconditions already stored in edge_active_, and the
+// effective masses in mass_, materialize rosters and renormalized weights.
+// Summation order matches the pre-refactor begin_interval exactly (and
+// mass_ == base_weight_ in schedule mode), so schedule-backed replay stays
+// bit-identical.
+void Participation::rebuild_weights() {
+  const std::size_t n = active_.size();
+  const std::size_t l = edge_active_.size();
 
   // Per-edge surviving rosters and in-edge weight renormalization.
   Scalar global_mass = 0;
@@ -89,14 +166,11 @@ void Participation::begin_interval(std::size_t k) {
     for (const std::size_t w : topo_->workers_of_edge(e)) {
       if (!active_[w]) continue;
       roster.push_back(w);
-      edge_mass += base_weight_[w];
+      edge_mass += mass_[w];
     }
-    edge_active_[e] =
-        (!edge_faults_ || schedule_->edge_available(k, e)) && !roster.empty()
-            ? 1
-            : 0;
+    edge_active_[e] = edge_active_[e] != 0 && !roster.empty() ? 1 : 0;
     for (const std::size_t w : roster) {
-      weight_in_edge_[w] = base_weight_[w] / edge_mass;
+      weight_in_edge_[w] = mass_[w] / edge_mass;
     }
     if (edge_active_[e]) global_mass += edge_mass;
   }
@@ -105,15 +179,15 @@ void Participation::begin_interval(std::size_t k) {
   // virtual global model; edge-level for three-tier cloud rounds).
   Scalar active_mass = 0;
   for (std::size_t w = 0; w < n; ++w) {
-    if (active_[w]) active_mass += base_weight_[w];
+    if (active_[w]) active_mass += mass_[w];
   }
   for (std::size_t w = 0; w < n; ++w) {
     weight_global_[w] =
-        active_[w] && active_mass > 0 ? base_weight_[w] / active_mass : 0.0;
+        active_[w] && active_mass > 0 ? mass_[w] / active_mass : 0.0;
   }
   for (std::size_t e = 0; e < l; ++e) {
     Scalar edge_mass = 0;
-    for (const std::size_t w : active_of_edge_[e]) edge_mass += base_weight_[w];
+    for (const std::size_t w : active_of_edge_[e]) edge_mass += mass_[w];
     edge_weight_[e] = edge_active_[e] && global_mass > 0
                           ? edge_mass / global_mass
                           : 0.0;

@@ -86,9 +86,30 @@ class Participation {
   Participation(const Topology& topo, const ParticipationSchedule& schedule,
                 const std::vector<WorkerState>& workers, bool edge_faults);
 
+  // Manual-roster mode (evt::AsyncEngine): no schedule backs the view —
+  // the caller composes each roster via set_roster() instead of interval
+  // replay, typically the per-round admitted cohort of an asynchronous
+  // aggregation. begin_interval()/slowdown() are unavailable in this mode;
+  // absent policy defaults to kHold until set_absent_policy().
+  Participation(const Topology& topo, const std::vector<WorkerState>& workers,
+                bool edge_faults);
+
   // Materialize interval k (1-based). Must be called before the first local
   // step of the interval; stays valid through the interval's syncs.
+  // Schedule-backed mode only.
   void begin_interval(std::size_t k);
+
+  // Manual-roster mode: materialize an explicit roster. `worker_up` /
+  // `edge_up` flag who participates; `scale`, when non-null, multiplies
+  // worker i's data-size mass by scale[i] before renormalization (the
+  // staleness weight s(τ) of event-driven aggregation — weights stay
+  // normalized per edge and globally, only the relative mass shifts).
+  void set_roster(const std::vector<std::uint8_t>& worker_up,
+                  const std::vector<std::uint8_t>& edge_up,
+                  const std::vector<Scalar>* scale = nullptr);
+
+  // Manual-roster mode: absent-momentum policy reported to absent_sync.
+  void set_absent_policy(AbsentPolicy policy, Scalar decay);
 
   std::size_t interval() const { return k_; }
 
@@ -116,21 +137,31 @@ class Participation {
 
   std::size_t num_active() const { return num_active_; }
   std::size_t num_workers() const { return active_.size(); }
+  // 1.0 in manual-roster mode (the event clock models latency itself).
   Scalar slowdown(std::size_t worker) const {
-    return schedule_->worker_slowdown(k_, worker);
+    return schedule_ == nullptr ? 1.0 : schedule_->worker_slowdown(k_, worker);
   }
 
-  AbsentPolicy absent_policy() const { return schedule_->absent_policy; }
-  Scalar absent_decay() const { return schedule_->absent_decay; }
+  AbsentPolicy absent_policy() const {
+    return schedule_ == nullptr ? manual_policy_ : schedule_->absent_policy;
+  }
+  Scalar absent_decay() const {
+    return schedule_ == nullptr ? manual_decay_ : schedule_->absent_decay;
+  }
   const ParticipationSchedule& schedule() const { return *schedule_; }
 
  private:
+  void rebuild_weights();
+
   const Topology* topo_;
-  const ParticipationSchedule* schedule_;
+  const ParticipationSchedule* schedule_;  // null = manual-roster mode
   bool edge_faults_;
   std::size_t k_ = 0;
+  AbsentPolicy manual_policy_ = AbsentPolicy::kHold;
+  Scalar manual_decay_ = 0.5;
 
   std::vector<Scalar> base_weight_;  // per-worker sample mass D_i
+  std::vector<Scalar> mass_;         // effective mass this roster (D_i·scale)
   std::vector<std::uint8_t> active_;
   std::vector<std::uint8_t> edge_active_;
   std::vector<std::vector<std::size_t>> active_of_edge_;

@@ -6,6 +6,18 @@
 
 namespace hfl::fl {
 
+const char* to_string(ExecPolicy policy) {
+  switch (policy) {
+    case ExecPolicy::kSync:
+      return "sync";
+    case ExecPolicy::kSemiAsync:
+      return "semi_async";
+    case ExecPolicy::kAsync:
+      return "async";
+  }
+  return "unknown";
+}
+
 void RunConfig::validate() const {
   HFL_CHECK(total_iterations > 0, "total_iterations must be positive");
   HFL_CHECK(tau > 0, "tau (worker-edge period) must be positive");
@@ -22,6 +34,37 @@ void RunConfig::validate() const {
   HFL_CHECK(!mixed_precision || batched,
             "mixed_precision requires the batched execution path "
             "(set batched = true or drop mixed_precision)");
+
+  // Event-driven policy fields (DESIGN.md §12).
+  HFL_CHECK(policy != ExecPolicy::kSemiAsync || semi_async_deadline_s > 0,
+            "policy = semi_async requires semi_async_deadline_s > 0 "
+            "(the modeled seconds each aggregator round waits before "
+            "admitting the updates that have arrived)");
+  HFL_CHECK(policy == ExecPolicy::kSemiAsync || semi_async_deadline_s == 0,
+            "semi_async_deadline_s is only meaningful under policy = "
+            "semi_async; got " + std::to_string(semi_async_deadline_s) +
+            " under policy = " + to_string(policy) +
+            " (set it to 0 or switch the policy)");
+  HFL_CHECK(max_staleness >= 0,
+            "max_staleness must be >= 0 (updates more than max_staleness "
+            "aggregator versions behind are dropped); got " +
+                std::to_string(max_staleness));
+  HFL_CHECK(staleness_decay > 0 && staleness_decay <= 1,
+            "staleness_decay must be in (0, 1] — the staleness weight is "
+            "staleness_decay^tau, so 0 or negative values erase or flip "
+            "updates; got " + std::to_string(staleness_decay));
+  HFL_CHECK(stale_momentum_decay >= 0 && stale_momentum_decay <= 1,
+            "stale_momentum_decay must be in [0, 1] (1 = hold momentum, "
+            "0 = reset); got " + std::to_string(stale_momentum_decay));
+  HFL_CHECK(policy == ExecPolicy::kSync || !batched,
+            "the batched cohort path is barrier-shaped and unsupported "
+            "under policy = " + std::string(to_string(policy)) +
+            " (set batched = false; note batched defaults to true)");
+  HFL_CHECK(policy == ExecPolicy::kSync || eval_every == 0,
+            "eval_every is iteration-indexed and undefined under policy = " +
+                std::string(to_string(policy)) +
+                "; event-driven runs evaluate at t = 0 and at every cloud "
+                "synchronization (set eval_every = 0)");
 }
 
 }  // namespace hfl::fl

@@ -7,6 +7,20 @@
 
 namespace hfl::fl {
 
+// Execution policy of a run (DESIGN.md §12). `kSync` is the paper's barrier
+// schedule and the only policy `fl::Engine` executes; the event-driven
+// `evt::AsyncEngine` runs all three (its sync policy is bit-identical to
+// `fl::Engine` and serves as the correctness anchor).
+enum class ExecPolicy {
+  kSync,       // barrier per tier: every worker makes every synchronization
+  kSemiAsync,  // deadline-based cohort admission per aggregator; late updates
+               // are folded in at later rounds with staleness-scaled weights
+  kAsync,      // fully event-ordered: every update arrival triggers its
+               // aggregator, with bounded staleness
+};
+
+const char* to_string(ExecPolicy policy);
+
 struct RunConfig {
   // T — total local (worker) iterations. Must be a multiple of tau * pi.
   std::size_t total_iterations = 200;
@@ -43,6 +57,30 @@ struct RunConfig {
   // relative error — NOT bit-identical; see src/tensor/gemm_mixed.h).
   // Requires `batched`. Env override: HFL_MIXED_PRECISION=0/1.
   bool mixed_precision = false;
+
+  // ---- Event-driven execution (src/evt/async_engine.h) ----
+  //
+  // `kSync` runs on either engine; the other policies need evt::AsyncEngine
+  // and reject the batched cohort path (it is barrier-shaped: it draws the
+  // whole cohort's batches at one instant, which has no meaning when workers
+  // progress at their own pace). Set `batched = false` for them explicitly.
+  ExecPolicy policy = ExecPolicy::kSync;
+  // Semi-async only: how long (modeled seconds) each aggregator round waits
+  // before aggregating whatever updates have arrived. Must be > 0 under
+  // kSemiAsync and 0 otherwise.
+  Scalar semi_async_deadline_s = 0.0;
+  // Staleness bound (in aggregator versions): an update more than this many
+  // versions behind the aggregator is dropped and its worker force-refreshed.
+  // Signed so a negative bound is a loud config error, not a huge unsigned.
+  std::int64_t max_staleness = 4;
+  // Staleness weight s(τ) = staleness_decay^τ applied multiplicatively to a
+  // stale update's data-size weight before renormalization. In (0, 1]; 1
+  // disables down-weighting.
+  Scalar staleness_decay = 0.5;
+  // Default Algorithm::stale_sync policy: per staleness step, shrink the
+  // worker's momentum state toward its model by this factor. 1 = hold
+  // (keep momentum as-is), 0 = full reset. Mirrors AbsentPolicy::kDecay.
+  Scalar stale_momentum_decay = 1.0;
 
   // Throws hfl::Error with an actionable message on any inconsistency
   // (non-positive periods, T not a multiple of τ·π, bad hyper-parameters).

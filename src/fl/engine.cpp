@@ -30,6 +30,10 @@ Engine::Engine(nn::ModelFactory factory, const data::TrainTest& data,
   env_flag("HFL_BATCHED", cfg_.batched);
   env_flag("HFL_MIXED_PRECISION", cfg_.mixed_precision);
   cfg_.validate();
+  HFL_CHECK(cfg_.policy == ExecPolicy::kSync,
+            std::string("fl::Engine only executes the sync policy; policy = ") +
+                to_string(cfg_.policy) +
+                " needs the event-driven evt::AsyncEngine");
   HFL_CHECK(partition_.size() == topo_.num_workers(),
             "partition size must equal worker count");
   for (const auto& p : partition_) {
@@ -212,197 +216,178 @@ nn::EvalResult Engine::evaluate(const Vec& params) {
   return total;
 }
 
-RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
+void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
+                         RunState& rs) {
   if (!alg.three_tier()) {
     HFL_CHECK(cfg_.pi == 1,
               "two-tier algorithms require pi == 1 (use tau as the global "
               "aggregation period)");
   }
+  rs.start = std::chrono::steady_clock::now();
 
-  const auto start = std::chrono::steady_clock::now();
-  const obs::Span run_span("run:" + alg.name(), "engine");
+  build_states(alg, rs.workers, rs.edges, rs.cloud);
 
-  std::vector<WorkerState> workers;
-  std::vector<EdgeState> edges;
-  CloudState cloud;
-  build_states(alg, workers, edges, cloud);
-
-  // Logical synchronization payloads (obs/comm.h). Everything recorded below
-  // is derived from state the simulation already computed; telemetry being
-  // on or off cannot change the run (no RNG draws, no reordering).
+  // Logical synchronization payloads (obs/comm.h). Everything recorded from
+  // these is derived from state the simulation already computed; telemetry
+  // being on or off cannot change the run (no RNG draws, no reordering).
   const CommProfile comm_profile = comm_profile_for(alg.name());
   const std::uint64_t param_bytes =
-      static_cast<std::uint64_t>(cloud.x.size()) * sizeof(Scalar);
+      static_cast<std::uint64_t>(rs.cloud.x.size()) * sizeof(Scalar);
   const auto payload = [param_bytes](Scalar vectors) {
     return static_cast<std::uint64_t>(vectors *
                                       static_cast<Scalar>(param_bytes));
   };
-  const std::uint64_t worker_up = payload(comm_profile.worker_upload_vectors);
-  const std::uint64_t worker_down =
-      payload(comm_profile.worker_download_vectors);
-  const std::uint64_t edge_up = payload(comm_profile.edge_upload_vectors);
-  const std::uint64_t edge_down = payload(comm_profile.edge_download_vectors);
+  rs.worker_up_bytes = payload(comm_profile.worker_upload_vectors);
+  rs.worker_down_bytes = payload(comm_profile.worker_download_vectors);
+  rs.edge_up_bytes = payload(comm_profile.edge_upload_vectors);
+  rs.edge_down_bytes = payload(comm_profile.edge_download_vectors);
 
-  // A null or no-op schedule takes the pre-fault code path below, byte for
-  // byte: `part` stays null and every helper reduces to the full roster.
-  std::unique_ptr<Participation> part;
+  // A null or no-op schedule takes the pre-fault code path, byte for byte:
+  // `part` stays null and every helper reduces to the full roster.
   if (schedule != nullptr && !schedule->is_noop()) {
     schedule->validate(topo_, cfg_);
-    part = std::make_unique<Participation>(topo_, *schedule, workers,
-                                           /*edge_faults=*/alg.three_tier());
+    rs.part = std::make_unique<Participation>(topo_, *schedule, rs.workers,
+                                              /*edge_faults=*/alg.three_tier());
   }
 
-  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, part.get(),
-              pool_.get()};
+  rs.ctx = Context{&cfg_,     &topo_,        &rs.workers, &rs.edges,
+                   &rs.cloud, 0,             rs.part.get(), pool_.get()};
 
-  RunResult result;
-  result.algorithm = alg.name();
-  if (part) result.worker_miss_counts.assign(workers.size(), 0);
+  rs.result.algorithm = alg.name();
+  if (rs.part) rs.result.worker_miss_counts.assign(rs.workers.size(), 0);
+}
 
-  const auto record = [&](std::size_t t, const Vec& params) {
-    const obs::Span span("evaluate", "eval");
-    const nn::EvalResult r = evaluate(params);
-    result.curve.push_back({t, r.loss, r.accuracy});
+void Engine::record_point(RunState& rs, std::size_t t, const Vec& params,
+                          Scalar sim_time) {
+  const obs::Span span("evaluate", "eval");
+  const nn::EvalResult r = evaluate(params);
+  rs.result.curve.push_back({t, r.loss, r.accuracy, sim_time});
+}
+
+void Engine::run_local_steps(Algorithm& alg, RunState& rs) {
+  const Participation* part = rs.ctx.part;
+  const obs::Span span("local_steps", "worker");
+  const bool fused = cohort_ != nullptr && alg.local_gradient_prefetchable();
+  if (fused) {
+    prefetch_cohort_gradients(alg, rs.ctx, rs.workers);
+  } else if (obs::enabled()) {
+    const std::size_t active = part ? part->num_active() : rs.workers.size();
+    obs::Registry::global().counter("engine.cohort.fallback_grads").add(active);
+  }
+  pool_->parallel_for(rs.workers.size(), [&](std::size_t i) {
+    // A worker that will miss this interval's synchronization is offline:
+    // it computes nothing and its batch stream does not advance.
+    if (part && !part->worker_active(i)) return;
+    alg.local_step(rs.ctx, rs.workers[i]);
+  });
+}
+
+void Engine::run_edge_syncs(Algorithm& alg, RunState& rs, std::size_t k) {
+  const Participation* part = rs.ctx.part;
+  const obs::Span span("edge_sync", "edge");
+  if (obs::enabled()) {
+    // Comm accounting depends only on the surviving roster, so it is
+    // recorded serially in edge-index order BEFORE the (possibly
+    // concurrent) edge_sync dispatch: the records stay deterministic
+    // under any thread count, and compression savings reported from
+    // inside the algorithm always land on an already-counted message.
+    obs::CommAccountant& comm = obs::CommAccountant::global();
+    obs::Registry& reg = obs::Registry::global();
+    for (const EdgeState& e : rs.edges) {
+      if (part && !part->edge_active(e.id)) continue;
+      // Every surviving worker of this edge uploads its sync payload
+      // and receives the redistribution.
+      for (const std::size_t w : topo_.workers_of_edge(e.id)) {
+        if (part && !part->worker_active(w)) continue;
+        comm.record(obs::Link::kWorkerToEdge, e.id, rs.worker_up_bytes);
+        comm.record(obs::Link::kEdgeToWorker, e.id, rs.worker_down_bytes);
+      }
+      reg.counter("engine.edge_syncs").add();
+    }
+  }
+  // The edge barrier itself: re-entrant algorithms run their edges
+  // concurrently; serial-only ones (edge_sync_reentrant() == false) walk
+  // the edges in index order — the exact 1-thread schedule. Either way
+  // an edge with no survivors (node outage or all workers absent) holds
+  // its state; its workers are handled by absent_sync in finish_interval.
+  const auto sync_edge = [&](std::size_t i) {
+    EdgeState& e = rs.edges[i];
+    if (part && !part->edge_active(e.id)) return;
+    const EdgeSyncGuard guard(edge_sync_entries_, alg.edge_sync_reentrant());
+    alg.edge_sync(rs.ctx, e, k);
   };
+  if (alg.edge_sync_reentrant()) {
+    pool_->parallel_for(rs.edges.size(), sync_edge);
+  } else {
+    for (std::size_t i = 0; i < rs.edges.size(); ++i) sync_edge(i);
+  }
+}
 
-  record(0, cloud.x);
-
-  Vec avg_scratch;
-  const std::size_t global_period = cfg_.tau * cfg_.pi;
-  for (std::size_t t = 1; t <= cfg_.total_iterations; ++t) {
-    ctx.t = t;
-    if (part && (t - 1) % cfg_.tau == 0) {
-      part->begin_interval((t - 1) / cfg_.tau + 1);
-    }
-    {
-      const obs::Span span("local_steps", "worker");
-      const bool fused = cohort_ != nullptr && alg.local_gradient_prefetchable();
-      if (fused) {
-        prefetch_cohort_gradients(alg, ctx, workers);
-      } else if (obs::enabled()) {
-        const std::size_t active =
-            part ? part->num_active() : workers.size();
-        obs::Registry::global().counter("engine.cohort.fallback_grads")
-            .add(active);
+void Engine::run_cloud_sync(Algorithm& alg, RunState& rs, std::size_t p) {
+  const Participation* part = rs.ctx.part;
+  const bool any_survivor =
+      !part || (alg.three_tier()
+                    ? [&] {
+                        for (const EdgeState& e : rs.edges) {
+                          if (part->edge_active(e.id)) return true;
+                        }
+                        return false;
+                      }()
+                    : part->num_active() > 0);
+  if (!any_survivor) return;
+  const obs::Span span("cloud_sync", "cloud");
+  if (obs::enabled()) {
+    obs::CommAccountant& comm = obs::CommAccountant::global();
+    if (alg.three_tier()) {
+      for (const EdgeState& e : rs.edges) {
+        if (part && !part->edge_active(e.id)) continue;
+        comm.record(obs::Link::kEdgeToCloud, e.id, rs.edge_up_bytes);
+        comm.record(obs::Link::kCloudToEdge, e.id, rs.edge_down_bytes);
       }
-      pool_->parallel_for(workers.size(), [&](std::size_t i) {
-        // A worker that will miss this interval's synchronization is offline:
-        // it computes nothing and its batch stream does not advance.
-        if (part && !part->worker_active(i)) return;
-        alg.local_step(ctx, workers[i]);
-      });
-    }
-
-    const bool sync_point = t % cfg_.tau == 0;
-    const std::size_t k = t / cfg_.tau;
-
-    if (alg.three_tier() && sync_point) {
-      const obs::Span span("edge_sync", "edge");
-      if (obs::enabled()) {
-        // Comm accounting depends only on the surviving roster, so it is
-        // recorded serially in edge-index order BEFORE the (possibly
-        // concurrent) edge_sync dispatch: the records stay deterministic
-        // under any thread count, and compression savings reported from
-        // inside the algorithm always land on an already-counted message.
-        obs::CommAccountant& comm = obs::CommAccountant::global();
-        obs::Registry& reg = obs::Registry::global();
-        for (const EdgeState& e : edges) {
-          if (part && !part->edge_active(e.id)) continue;
-          // Every surviving worker of this edge uploads its sync payload
-          // and receives the redistribution.
-          for (const std::size_t w : topo_.workers_of_edge(e.id)) {
-            if (part && !part->worker_active(w)) continue;
-            comm.record(obs::Link::kWorkerToEdge, e.id, worker_up);
-            comm.record(obs::Link::kEdgeToWorker, e.id, worker_down);
-          }
-          reg.counter("engine.edge_syncs").add();
-        }
-      }
-      // The edge barrier itself: re-entrant algorithms run their edges
-      // concurrently; serial-only ones (edge_sync_reentrant() == false) walk
-      // the edges in index order — the exact 1-thread schedule. Either way
-      // an edge with no survivors (node outage or all workers absent) holds
-      // its state; its workers are handled by absent_sync below.
-      const auto sync_edge = [&](std::size_t i) {
-        EdgeState& e = edges[i];
-        if (part && !part->edge_active(e.id)) return;
-        const EdgeSyncGuard guard(edge_sync_entries_, alg.edge_sync_reentrant());
-        alg.edge_sync(ctx, e, k);
-      };
-      if (alg.edge_sync_reentrant()) {
-        pool_->parallel_for(edges.size(), sync_edge);
-      } else {
-        for (std::size_t i = 0; i < edges.size(); ++i) sync_edge(i);
+    } else {
+      for (const WorkerState& w : rs.workers) {
+        if (part && !part->worker_active(w.id)) continue;
+        comm.record(obs::Link::kWorkerToCloud, w.id, rs.worker_up_bytes);
+        comm.record(obs::Link::kCloudToWorker, w.id, rs.worker_down_bytes);
       }
     }
+    obs::Registry::global().counter("engine.cloud_syncs").add();
+  }
+  alg.cloud_sync(rs.ctx, p);
+}
 
-    if (t % global_period == 0) {
-      const std::size_t p = t / global_period;
-      const bool any_survivor =
-          !part || (alg.three_tier()
-                        ? [&] {
-                            for (const EdgeState& e : edges) {
-                              if (part->edge_active(e.id)) return true;
-                            }
-                            return false;
-                          }()
-                        : part->num_active() > 0);
-      if (any_survivor) {
-        const obs::Span span("cloud_sync", "cloud");
-        if (obs::enabled()) {
-          obs::CommAccountant& comm = obs::CommAccountant::global();
-          if (alg.three_tier()) {
-            for (const EdgeState& e : edges) {
-              if (part && !part->edge_active(e.id)) continue;
-              comm.record(obs::Link::kEdgeToCloud, e.id, edge_up);
-              comm.record(obs::Link::kCloudToEdge, e.id, edge_down);
-            }
-          } else {
-            for (const WorkerState& w : workers) {
-              if (part && !part->worker_active(w.id)) continue;
-              comm.record(obs::Link::kWorkerToCloud, w.id, worker_up);
-              comm.record(obs::Link::kCloudToWorker, w.id, worker_down);
-            }
-          }
-          obs::Registry::global().counter("engine.cloud_syncs").add();
-        }
-        alg.cloud_sync(ctx, p);
-      }
-      record(t, cloud.x);
-    } else if (cfg_.eval_every != 0 && t % cfg_.eval_every == 0) {
-      // Between synchronizations, evaluate the data-weighted average of the
-      // worker models (the paper's virtual global model).
-      aggregate_global(workers, worker_x, avg_scratch, nullptr, pool_.get());
-      record(t, avg_scratch);
-    }
-
-    if (sync_point && obs::enabled()) {
-      obs::Registry& reg = obs::Registry::global();
-      const std::size_t active = part ? part->num_active() : workers.size();
-      reg.counter("engine.sync.intervals").add();
-      reg.counter("engine.sync.active_workers").add(active);
-      reg.counter("engine.sync.worker_slots").add(workers.size());
-      reg.counter("engine.sync.absent_workers").add(workers.size() - active);
-    }
-
-    if (part && sync_point) {
-      // Absent-worker policy + participation bookkeeping, once per interval.
-      std::size_t active_edges = 0;
-      for (const EdgeState& e : edges) {
-        if (part->edge_active(e.id)) ++active_edges;
-      }
-      for (WorkerState& w : workers) {
-        if (part->worker_active(w.id)) continue;
-        alg.absent_sync(ctx, w, k);
-        ++result.worker_miss_counts[w.id];
-      }
-      result.participation.push_back(
-          {k, part->num_active(), workers.size(), active_edges, edges.size(),
-           static_cast<Scalar>(part->num_active()) /
-               static_cast<Scalar>(workers.size())});
-    }
+void Engine::finish_interval(Algorithm& alg, RunState& rs, std::size_t k) {
+  Participation* part = rs.part.get();
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    const std::size_t active = part ? part->num_active() : rs.workers.size();
+    reg.counter("engine.sync.intervals").add();
+    reg.counter("engine.sync.active_workers").add(active);
+    reg.counter("engine.sync.worker_slots").add(rs.workers.size());
+    reg.counter("engine.sync.absent_workers").add(rs.workers.size() - active);
   }
 
+  if (part) {
+    // Absent-worker policy + participation bookkeeping, once per interval.
+    std::size_t active_edges = 0;
+    for (const EdgeState& e : rs.edges) {
+      if (part->edge_active(e.id)) ++active_edges;
+    }
+    for (WorkerState& w : rs.workers) {
+      if (part->worker_active(w.id)) continue;
+      alg.absent_sync(rs.ctx, w, k);
+      ++rs.result.worker_miss_counts[w.id];
+    }
+    rs.result.participation.push_back(
+        {k, part->num_active(), rs.workers.size(), active_edges,
+         rs.edges.size(),
+         static_cast<Scalar>(part->num_active()) /
+             static_cast<Scalar>(rs.workers.size())});
+  }
+}
+
+void Engine::finalize_run(Algorithm& alg, RunState& rs) {
+  RunResult& result = rs.result;
   if (!result.participation.empty()) {
     Scalar sum = 0;
     for (const ParticipationPoint& p : result.participation) sum += p.rate;
@@ -418,11 +403,49 @@ RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
 
   result.final_accuracy = result.curve.back().test_accuracy;
   result.final_loss = result.curve.back().test_loss;
-  result.final_params = cloud.x;
+  result.final_params = rs.cloud.x;
   result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    rs.start)
           .count();
-  return result;
+}
+
+RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
+  const obs::Span run_span("run:" + alg.name(), "engine");
+
+  RunState rs;
+  prepare_run(alg, schedule, rs);
+  record_point(rs, 0, rs.cloud.x);
+
+  const std::size_t global_period = cfg_.tau * cfg_.pi;
+  for (std::size_t t = 1; t <= cfg_.total_iterations; ++t) {
+    rs.ctx.t = t;
+    if (rs.part && (t - 1) % cfg_.tau == 0) {
+      rs.part->begin_interval((t - 1) / cfg_.tau + 1);
+    }
+    run_local_steps(alg, rs);
+
+    const bool sync_point = t % cfg_.tau == 0;
+    const std::size_t k = t / cfg_.tau;
+
+    if (alg.three_tier() && sync_point) run_edge_syncs(alg, rs, k);
+
+    if (t % global_period == 0) {
+      run_cloud_sync(alg, rs, t / global_period);
+      record_point(rs, t, rs.cloud.x);
+    } else if (cfg_.eval_every != 0 && t % cfg_.eval_every == 0) {
+      // Between synchronizations, evaluate the data-weighted average of the
+      // worker models (the paper's virtual global model).
+      aggregate_global(rs.workers, worker_x, rs.avg_scratch, nullptr,
+                       pool_.get());
+      record_point(rs, t, rs.avg_scratch);
+    }
+
+    if (sync_point) finish_interval(alg, rs, k);
+  }
+
+  finalize_run(alg, rs);
+  return rs.result;
 }
 
 }  // namespace hfl::fl

@@ -10,7 +10,7 @@ std::size_t RunResult::iterations_to_accuracy(Scalar target) const {
   for (const MetricPoint& p : curve) {
     if (p.test_accuracy >= target) return p.iteration;
   }
-  return npos;
+  return kNeverIndex;
 }
 
 Scalar RunResult::best_accuracy() const {

@@ -14,6 +14,9 @@ struct MetricPoint {
   std::size_t iteration = 0;
   Scalar test_loss = 0;
   Scalar test_accuracy = 0;
+  // Modeled seconds at which the point was recorded. Only event-driven runs
+  // (evt::AsyncEngine) fill this in; `fl::Engine` has no clock and leaves 0.
+  Scalar sim_time = 0;
 };
 
 // One edge interval of a fault-driven run: how many workers made the
@@ -28,9 +31,10 @@ struct ParticipationPoint {
 };
 
 struct RunResult {
-  // Sentinel for "never reached" (mirrors std::string::npos; iteration 0 is
-  // a legitimate answer — the initial model can already satisfy a target).
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  // Sentinel for "never reached" (alias of hfl::kNeverIndex, shared with
+  // net::TimeSimulator::kNeverReached's index-valued siblings; iteration 0
+  // is a legitimate answer — the initial model can already satisfy a target).
+  static constexpr std::size_t npos = kNeverIndex;
 
   std::string algorithm;
   std::vector<MetricPoint> curve;  // includes t = 0 and every cloud sync
@@ -45,6 +49,19 @@ struct RunResult {
   std::vector<ParticipationPoint> participation;
   std::vector<std::size_t> worker_miss_counts;
   Scalar mean_participation_rate = 1.0;
+
+  // Event-driven runs only (evt::AsyncEngine; all zero under fl::Engine).
+  // Modeled seconds the run took end-to-end, and the staleness profile of
+  // the updates the aggregators saw: `admitted_updates` counts every update
+  // folded into an aggregation, `stale_updates` the admitted subset with
+  // staleness > 0, `dropped_updates` those discarded for exceeding
+  // RunConfig::max_staleness. Staleness is measured in aggregator versions.
+  Scalar sim_seconds = 0;
+  std::size_t admitted_updates = 0;
+  std::size_t stale_updates = 0;
+  std::size_t dropped_updates = 0;
+  Scalar mean_staleness = 0;             // over admitted updates
+  std::size_t max_staleness_seen = 0;    // over admitted updates
 
   // First recorded iteration at which test accuracy reached `target`, or
   // `npos` if the curve never gets there. Linear search over the curve.

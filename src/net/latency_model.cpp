@@ -1,0 +1,95 @@
+#include "src/net/latency_model.h"
+
+#include <string>
+
+#include "src/common/errors.h"
+#include "src/net/time_simulator.h"
+#include "src/obs/registry.h"
+
+namespace hfl::net {
+
+LatencyModel::LatencyModel(const fl::Topology& topo, const TimeSimConfig& sim)
+    : topo_(&topo), sim_(&sim) {
+  sim.validate();
+  HFL_CHECK(sim.worker_devices.size() == topo.num_workers(),
+            "one device profile per worker required (" +
+                std::to_string(sim.worker_devices.size()) + " profiles for " +
+                std::to_string(topo.num_workers()) + " workers)");
+  payload_ = static_cast<Scalar>(sim.model_params) * sim.bytes_per_param;
+}
+
+Scalar LatencyModel::worker_compute(Rng& rng, std::size_t w,
+                                    std::size_t steps) const {
+  Scalar total = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    total += sim_->worker_devices[w].sample(rng);
+  }
+  return total;
+}
+
+Scalar LatencyModel::worker_upload(Rng& rng, std::size_t w,
+                                   std::size_t attempts) const {
+  if (sim_->three_tier) {
+    return upload_with_retries(
+        rng, sim_->worker_edge_link, payload_ * sim_->worker_upload_vectors,
+        topo_->workers_in_edge(topo_->edge_of_worker(w)), attempts);
+  }
+  return upload_with_retries(rng, sim_->worker_cloud_link,
+                             payload_ * sim_->worker_upload_vectors,
+                             topo_->num_workers(), attempts);
+}
+
+Scalar LatencyModel::edge_aggregate(Rng& rng) const {
+  return sim_->edge_device.sample(rng);
+}
+
+Scalar LatencyModel::edge_broadcast(Rng& rng, std::size_t e) const {
+  return sim_->worker_edge_link.sample(
+      rng, payload_ * sim_->worker_download_vectors, topo_->workers_in_edge(e));
+}
+
+Scalar LatencyModel::edge_upload(Rng& rng) const {
+  return sim_->edge_cloud_link.sample(
+      rng, payload_ * sim_->edge_upload_vectors, topo_->num_edges());
+}
+
+Scalar LatencyModel::cloud_aggregate(Rng& rng) const {
+  return sim_->cloud_device.sample(rng);
+}
+
+Scalar LatencyModel::cloud_broadcast(Rng& rng) const {
+  if (sim_->three_tier) {
+    return sim_->edge_cloud_link.sample(
+        rng, payload_ * sim_->edge_download_vectors, topo_->num_edges());
+  }
+  return sim_->worker_cloud_link.sample(
+      rng, payload_ * sim_->worker_download_vectors, topo_->num_workers());
+}
+
+Scalar LatencyModel::upload_with_retries(Rng& rng, const LinkProfile& link,
+                                         Scalar payload,
+                                         std::size_t concurrent,
+                                         std::size_t attempts) const {
+  Scalar total = 0;
+  Scalar backoff = sim_->retry_backoff_s;
+  Scalar backoff_total = 0;
+  for (std::size_t a = 1; a <= attempts; ++a) {
+    total += link.sample(rng, payload, concurrent);
+    if (a < attempts) {
+      total += backoff;
+      backoff_total += backoff;
+      backoff *= sim_->retry_backoff_mult;
+    }
+  }
+  if (attempts > 1 && obs::enabled()) {
+    static obs::Counter& retries =
+        obs::Registry::global().counter("timesim.upload_retries");
+    static obs::Counter& backoff_ms =
+        obs::Registry::global().counter("timesim.backoff_modeled_ms");
+    retries.add(attempts - 1);
+    backoff_ms.add(static_cast<std::uint64_t>(backoff_total * 1e3));
+  }
+  return total;
+}
+
+}  // namespace hfl::net

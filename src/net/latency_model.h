@@ -1,0 +1,77 @@
+// Latency/fault sampling model shared by the barrier replayer and the
+// event-driven engine.
+//
+// `TimeSimConfig` (time_simulator.h) describes a deployment: device compute
+// profiles, link profiles, per-message payload multiplicities, retry costs.
+// `LatencyModel` turns that description into the individual delay samples a
+// timeline is made of — one method per modeled action, each consuming the
+// caller's RNG stream. Callers own the streams, which is what makes both
+// consumers deterministic:
+//
+//   * `net::TimeSimulator` replays a finished run's iteration trace against
+//     the model with a single sequential stream (bit-identical to the
+//     pre-extraction implementation — asserted by the hand-computed
+//     expectations in tests/time_sim_test.cpp);
+//   * `evt::AsyncEngine` drives one forked stream per worker/edge/cloud
+//     entity, so event *arrival order* can depend on the sampled delays
+//     while each entity's delay sequence depends only on the seed.
+//
+// Which link a worker uses (WiFi to its edge vs. public Internet straight to
+// the cloud) and how many transfers contend for it follow from the config's
+// `three_tier` flag and the topology, exactly as in the barrier replayer.
+#pragma once
+
+#include "src/fl/topology.h"
+#include "src/net/profiles.h"
+
+namespace hfl::net {
+
+struct TimeSimConfig;  // src/net/time_simulator.h
+
+class LatencyModel {
+ public:
+  // `topo` and `sim` must outlive the model. Validates `sim` and the
+  // per-worker device roster against the topology.
+  LatencyModel(const fl::Topology& topo, const TimeSimConfig& sim);
+
+  // Compute time of `steps` local iterations on worker w (one device sample
+  // per step; the caller applies any straggler slowdown factor).
+  Scalar worker_compute(Rng& rng, std::size_t w, std::size_t steps) const;
+
+  // Worker w's model upload — WiFi to its edge (three-tier, contending with
+  // its edge siblings) or public Internet to the cloud (two-tier, contending
+  // with every worker). `attempts` > 1 burns failed transfers + exponential
+  // backoff (see upload_with_retries).
+  Scalar worker_upload(Rng& rng, std::size_t w, std::size_t attempts) const;
+
+  // Aggregation compute at an edge node / broadcast of the refreshed model
+  // down to edge e's workers (one transfer, shared medium).
+  Scalar edge_aggregate(Rng& rng) const;
+  Scalar edge_broadcast(Rng& rng, std::size_t e) const;
+
+  // Edge-to-cloud upload over the public Internet (three-tier only).
+  Scalar edge_upload(Rng& rng) const;
+
+  // Aggregation compute at the cloud / push-back down the tree (to edges in
+  // three-tier mode, straight to workers in two-tier mode).
+  Scalar cloud_aggregate(Rng& rng) const;
+  Scalar cloud_broadcast(Rng& rng) const;
+
+  // Cost of `attempts` tries of one upload whose clean duration is sampled
+  // per try: failed attempts burn a full (timed-out) transfer plus
+  // exponential backoff before the retry.
+  Scalar upload_with_retries(Rng& rng, const LinkProfile& link, Scalar payload,
+                             std::size_t concurrent,
+                             std::size_t attempts) const;
+
+  // Payload bytes of one model copy (params × bytes_per_param).
+  Scalar payload_bytes() const { return payload_; }
+  const TimeSimConfig& config() const { return *sim_; }
+
+ private:
+  const fl::Topology* topo_;
+  const TimeSimConfig* sim_;
+  Scalar payload_ = 0;
+};
+
+}  // namespace hfl::net

@@ -46,11 +46,8 @@ TimeSimulator::TimeSimulator(const fl::Topology& topo,
                              const fl::RunConfig& cfg, TimeSimConfig sim)
     : topo_(topo), cfg_(cfg), sim_(std::move(sim)) {
   cfg_.validate();
-  sim_.validate();
-  HFL_CHECK(sim_.worker_devices.size() == topo_.num_workers(),
-            "one device profile per worker required (" +
-                std::to_string(sim_.worker_devices.size()) + " profiles for " +
-                std::to_string(topo_.num_workers()) + " workers)");
+  // Validates sim_ and the device roster against the topology.
+  model_ = std::make_unique<LatencyModel>(topo_, sim_);
   if (sim_.fault_plan != nullptr) {
     const fl::ParticipationSchedule& s = sim_.fault_plan->schedule();
     HFL_CHECK(s.num_workers == topo_.num_workers() &&
@@ -60,35 +57,6 @@ TimeSimulator::TimeSimulator(const fl::Topology& topo,
               "fault plan covers fewer edge intervals than the run");
   }
   build_timeline();
-}
-
-// Cost of `attempts` tries of one upload whose clean duration is sampled per
-// try: failed attempts burn a full (timed-out) transfer plus exponential
-// backoff before the retry.
-Scalar TimeSimulator::upload_with_retries(Rng& rng, const LinkProfile& link,
-                                          Scalar payload,
-                                          std::size_t concurrent,
-                                          std::size_t attempts) const {
-  Scalar total = 0;
-  Scalar backoff = sim_.retry_backoff_s;
-  Scalar backoff_total = 0;
-  for (std::size_t a = 1; a <= attempts; ++a) {
-    total += link.sample(rng, payload, concurrent);
-    if (a < attempts) {
-      total += backoff;
-      backoff_total += backoff;
-      backoff *= sim_.retry_backoff_mult;
-    }
-  }
-  if (attempts > 1 && obs::enabled()) {
-    static obs::Counter& retries =
-        obs::Registry::global().counter("timesim.upload_retries");
-    static obs::Counter& backoff_ms =
-        obs::Registry::global().counter("timesim.backoff_modeled_ms");
-    retries.add(attempts - 1);
-    backoff_ms.add(static_cast<std::uint64_t>(backoff_total * 1e3));
-  }
-  return total;
 }
 
 void TimeSimulator::build_timeline() {
@@ -103,9 +71,10 @@ void TimeSimulator::build_timeline() {
   const std::size_t T = cfg_.total_iterations;
   cumulative_.assign(T + 1, 0.0);
 
-  const Scalar payload = static_cast<Scalar>(sim_.model_params) *
-                         sim_.bytes_per_param;
-
+  // All delay draws go through the shared LatencyModel with this single
+  // sequential stream — the exact sampling order of the pre-extraction
+  // implementation (asserted by the hand-computed expectations in
+  // tests/time_sim_test.cpp).
   if (sim_.three_tier) {
     // Per-edge running clock; the cloud barrier re-aligns them every π
     // intervals. Between barriers, edges progress independently.
@@ -122,16 +91,11 @@ void TimeSimulator::build_timeline() {
         bool any_upload = plan == nullptr;
         for (const std::size_t w : topo_.workers_of_edge(e)) {
           if (plan != nullptr && !plan->worker_available(k, w)) continue;
-          Scalar compute = 0;
-          for (std::size_t i = 0; i < cfg_.tau; ++i) {
-            compute += sim_.worker_devices[w].sample(rng);
-          }
+          Scalar compute = model_->worker_compute(rng, w, cfg_.tau);
           if (plan != nullptr) compute *= plan->worker_slowdown(k, w);
           // All workers of this edge share the WiFi uplink.
-          const Scalar up = upload_with_retries(
-              rng, sim_.worker_edge_link,
-              payload * sim_.worker_upload_vectors, topo_.workers_in_edge(e),
-              plan == nullptr ? 1 : plan->upload_attempts(k, w));
+          const Scalar up = model_->worker_upload(
+              rng, w, plan == nullptr ? 1 : plan->upload_attempts(k, w));
           slowest = std::max(slowest, compute + up);
           any_upload = true;
         }
@@ -142,10 +106,8 @@ void TimeSimulator::build_timeline() {
             obs::Registry::global().counter("timesim.deadline_caps").add();
           }
         }
-        const Scalar agg = sim_.edge_device.sample(rng);
-        const Scalar down = sim_.worker_edge_link.sample(
-            rng, payload * sim_.worker_download_vectors,
-            topo_.workers_in_edge(e));
+        const Scalar agg = model_->edge_aggregate(rng);
+        const Scalar down = model_->edge_broadcast(rng, e);
         edge_clock[e] += slowest + agg + down;
       }
 
@@ -173,15 +135,13 @@ void TimeSimulator::build_timeline() {
             }
             if (!survivor) continue;
           }
-          const Scalar up = sim_.edge_cloud_link.sample(
-              rng, payload * sim_.edge_upload_vectors, topo_.num_edges());
+          const Scalar up = model_->edge_upload(rng);
           slowest_edge = std::max(slowest_edge, edge_clock[e] + up);
           any_edge = true;
         }
         if (any_edge) {
-          const Scalar agg = sim_.cloud_device.sample(rng);
-          const Scalar down = sim_.edge_cloud_link.sample(
-              rng, payload * sim_.edge_download_vectors, topo_.num_edges());
+          const Scalar agg = model_->cloud_aggregate(rng);
+          const Scalar down = model_->cloud_broadcast(rng);
           now = slowest_edge + agg + down;
           // Every edge re-aligns at the barrier (dark edges rejoin here).
           std::fill(edge_clock.begin(), edge_clock.end(), now);
@@ -211,18 +171,13 @@ void TimeSimulator::build_timeline() {
       bool any_upload = plan == nullptr;
       for (std::size_t w = 0; w < topo_.num_workers(); ++w) {
         if (plan != nullptr && !plan->worker_available(r, w)) continue;
-        Scalar compute = 0;
-        for (std::size_t i = 0; i < cfg_.tau; ++i) {
-          compute += sim_.worker_devices[w].sample(rng);
-        }
+        Scalar compute = model_->worker_compute(rng, w, cfg_.tau);
         if (plan != nullptr) compute *= plan->worker_slowdown(r, w);
         // Every worker's end-to-end connection traverses the public
         // Internet and contends for the cloud's access bandwidth (Fig. 1:
         // N connections instead of L).
-        const Scalar up = upload_with_retries(
-            rng, sim_.worker_cloud_link, payload * sim_.worker_upload_vectors,
-            topo_.num_workers(),
-            plan == nullptr ? 1 : plan->upload_attempts(r, w));
+        const Scalar up = model_->worker_upload(
+            rng, w, plan == nullptr ? 1 : plan->upload_attempts(r, w));
         slowest = std::max(slowest, compute + up);
         any_upload = true;
       }
@@ -234,9 +189,8 @@ void TimeSimulator::build_timeline() {
             obs::Registry::global().counter("timesim.deadline_caps").add();
           }
         }
-        const Scalar agg = sim_.cloud_device.sample(rng);
-        const Scalar down = sim_.worker_cloud_link.sample(
-            rng, payload * sim_.worker_download_vectors, topo_.num_workers());
+        const Scalar agg = model_->cloud_aggregate(rng);
+        const Scalar down = model_->cloud_broadcast(rng);
         now = clock + slowest + agg + down;
       }
 

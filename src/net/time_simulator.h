@@ -19,9 +19,12 @@
 // + momentum; plain-averaging algorithms just the model).
 #pragma once
 
+#include <memory>
+
 #include "src/fl/config.h"
 #include "src/fl/metrics.h"
 #include "src/fl/topology.h"
+#include "src/net/latency_model.h"
 #include "src/net/profiles.h"
 
 namespace hfl::sim {
@@ -95,7 +98,12 @@ class TimeSimulator {
 
   // Sentinel returned by time_to_accuracy when the curve never reaches the
   // target (0 is a legitimate answer: the initial model may already qualify).
-  static constexpr Scalar kNeverReached = -1.0;
+  // Alias of the shared hfl::kNeverTime (src/common/types.h).
+  static constexpr Scalar kNeverReached = kNeverTime;
+
+  // The sampling model this simulator replays against (shared with the
+  // event-driven engine, which drives it with per-entity RNG streams).
+  const LatencyModel& latency_model() const { return *model_; }
 
   // Wall-clock seconds at which the run (whose accuracy curve is `result`)
   // first reaches `target` accuracy; kNeverReached if it never does.
@@ -103,13 +111,13 @@ class TimeSimulator {
 
  private:
   void build_timeline();
-  Scalar upload_with_retries(Rng& rng, const LinkProfile& link, Scalar payload,
-                             std::size_t concurrent,
-                             std::size_t attempts) const;
 
   fl::Topology topo_;
   fl::RunConfig cfg_;
   TimeSimConfig sim_;
+  // Sampling model over (topo_, sim_); delay draws happen through it so the
+  // barrier replay below and the event-driven engine share one distribution.
+  std::unique_ptr<LatencyModel> model_;
   // cumulative_[t] = completion time of iteration t (index 0 = 0.0).
   std::vector<Scalar> cumulative_;
 };

@@ -76,6 +76,15 @@ void Gauge::set(double v) {
   }
 }
 
+void Gauge::set_max(double v) {
+  if (!enabled()) return;
+  std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(cur) < v &&
+         !bits_.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
 double Gauge::value() const {
   return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
 }

@@ -60,6 +60,10 @@ class Counter {
 class Gauge {
  public:
   void set(double v);
+  // Monotone high-water mark: raises the gauge to v if v exceeds the current
+  // value (CAS loop, safe under concurrent set_max). A plain `set` can still
+  // lower it afterwards — use one style per gauge.
+  void set_max(double v);
   double value() const;
   void reset();
 

@@ -210,7 +210,9 @@ TEST(EngineTest, IterationsToAccuracyMonotoneLookup) {
   EXPECT_EQ(r.iterations_to_accuracy(0.85), 20u);
   // Reached at t = 0 and never reached are distinct answers now.
   EXPECT_EQ(r.iterations_to_accuracy(0.05), 0u);
-  EXPECT_EQ(r.iterations_to_accuracy(0.95), RunResult::npos);
+  // npos is an alias of the shared hfl::kNeverIndex sentinel.
+  static_assert(RunResult::npos == kNeverIndex);
+  EXPECT_EQ(r.iterations_to_accuracy(0.95), kNeverIndex);
   EXPECT_DOUBLE_EQ(r.best_accuracy(), 0.9);
 }
 

@@ -118,8 +118,9 @@ TEST(TimeSimulatorTest, TimeToAccuracyUsesCurve) {
   r.curve = {{0, 1.0, 0.1}, {20, 0.5, 0.7}, {40, 0.2, 0.95}};
   const Scalar t_07 = sim.time_to_accuracy(r, 0.6);
   EXPECT_DOUBLE_EQ(t_07, sim.time_at_iteration(20));
-  EXPECT_DOUBLE_EQ(sim.time_to_accuracy(r, 0.99),
-                   TimeSimulator::kNeverReached);
+  // kNeverReached is an alias of the shared hfl::kNeverTime sentinel.
+  static_assert(TimeSimulator::kNeverReached == kNeverTime);
+  EXPECT_DOUBLE_EQ(sim.time_to_accuracy(r, 0.99), kNeverTime);
   // Reached at t = 0 is a real answer (time 0), distinct from "never".
   EXPECT_DOUBLE_EQ(sim.time_to_accuracy(r, 0.05), 0.0);
 }
