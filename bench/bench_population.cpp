@@ -1,0 +1,246 @@
+// Virtualized-population bench: memory ceiling and throughput of the lazy
+// cohort store (src/pop/, DESIGN.md §13) at populations far beyond what the
+// dense engine can hold.
+//
+// Two sections, each asserting the contract it relies on:
+//   * parity — a 64-worker HierAdMo run, dense engine vs the virtualized
+//              full-cohort path, must be bit-identical (same curve, same
+//              final parameters) before any large-scale number means
+//              anything; both directions are timed so the virtualization
+//              overhead at dense-feasible scale is on record.
+//   * scale  — weighted-sampled cohorts over populations up to 1,000,000
+//              workers on 1,000 edges (the ISSUE acceptance point; scaled by
+//              HFL_BENCH_SCALE). Each row checks the memory ceiling
+//              pop.materialized_peak <= cohort_size — O(cohort), not O(N) —
+//              cross-checks the obs gauge against the store, and records
+//              slab traffic, wall time, and process peak RSS.
+//
+// The analytic column `dense_state_mb` is what the dense engine would
+// allocate for worker states alone (4 model-sized vectors per worker); at
+// 1M workers it is the number that makes dense runs infeasible and the
+// cohort store's O(cohort) footprint the point of the subsystem.
+//
+// Writes BENCH_pop.json in the working directory so the numbers ship with
+// the repo.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/algs/registry.h"
+#include "src/common/errors.h"
+#include "src/obs/registry.h"
+#include "src/pop/cohort_store.h"
+
+namespace {
+
+using namespace hfl;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool same_curve(const fl::RunResult& a, const fl::RunResult& b) {
+  if (a.final_params != b.final_params) return false;
+  if (a.curve.size() != b.curve.size()) return false;
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    if (a.curve[i].test_loss != b.curve[i].test_loss ||
+        a.curve[i].test_accuracy != b.curve[i].test_accuracy) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Peak resident set of the process so far, in MiB (Linux ru_maxrss is KiB).
+double peak_rss_mb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+// Tiny per-sample payload ({1,2,2} grids, 2 classes) so the dataset — which
+// any engine needs in full — stays small even at 1M samples, and the memory
+// story is dominated by worker state, which is what the cohort store bounds.
+data::TrainTest make_scale_dataset(std::size_t train_size, Rng& rng) {
+  data::SyntheticSpec spec;
+  spec.sample_shape = {1, 2, 2};
+  spec.num_classes = 2;
+  spec.train_size = train_size;
+  spec.test_size = 2000;
+  spec.coarse = 2;
+  return data::make_synthetic(rng, spec);
+}
+
+struct ScaleRow {
+  std::size_t population = 0;
+  std::size_t edges = 0;
+  std::size_t cohort = 0;
+  bool with_replacement = false;
+};
+
+}  // namespace
+
+int main() {
+  using namespace hfl;
+  obs::set_enabled(true);
+
+  std::FILE* json = std::fopen("BENCH_pop.json", "w");
+  HFL_CHECK(json != nullptr, "cannot open BENCH_pop.json");
+  std::fprintf(json, "{\n  \"bench_scale\": %.2f,\n",
+               static_cast<double>(bench::bench_scale()));
+
+  // -- parity: dense engine vs virtualized full cohort ----------------------
+  bench::print_heading("parity: dense vs virtualized full cohort (HierAdMo)");
+  {
+    Rng rng(7);
+    const data::TrainTest dataset = data::make_synthetic_mnist(rng);
+    const fl::Topology topo = fl::Topology::uniform(8, 8);  // 64 workers
+    const data::Partition partition =
+        data::partition_iid(dataset.train, topo.num_workers(), rng);
+    const nn::ModelFactory factory = nn::logistic_regression({1, 28, 28}, 10);
+
+    fl::RunConfig cfg;
+    cfg.total_iterations = bench::scaled_iters(40, 4);
+    cfg.tau = 2;
+    cfg.pi = 2;
+    cfg.batch_size = 8;
+    cfg.eval_max_samples = 200;
+    cfg.seed = 3;
+
+    fl::Engine dense(factory, dataset, partition, topo, cfg);
+    auto alg_dense = algs::make_algorithm("HierAdMo");
+    auto t0 = std::chrono::steady_clock::now();
+    const fl::RunResult r_dense = dense.run(*alg_dense);
+    const double dense_s = seconds_since(t0);
+
+    fl::Engine virt(factory, dataset, partition, topo, cfg);
+    pop::VirtConfig vcfg;  // cohort_size = 0: full population, lazy backing
+    pop::CohortStore store(factory, dataset, partition, topo, cfg, vcfg);
+    virt.set_cohort_provider(&store);
+    auto alg_virt = algs::make_algorithm("HierAdMo");
+    t0 = std::chrono::steady_clock::now();
+    const fl::RunResult r_virt = virt.run(*alg_virt);
+    const double virt_s = seconds_since(t0);
+
+    HFL_CHECK(same_curve(r_dense, r_virt),
+              "virtualized full-cohort run diverged from the dense engine");
+    std::printf("64 workers, T=%zu: dense %.3fs  virtualized %.3fs  "
+                "overhead %.2fx  (bit-identical: yes)\n",
+                cfg.total_iterations, dense_s, virt_s, virt_s / dense_s);
+    std::fprintf(json,
+                 "  \"parity\": {\"workers\": 64, \"T\": %zu, "
+                 "\"dense_s\": %.4f, \"virtualized_s\": %.4f, "
+                 "\"overhead\": %.3f, \"bit_identical\": true},\n",
+                 cfg.total_iterations, dense_s, virt_s, virt_s / dense_s);
+  }
+
+  // -- scale: sampled cohorts over growing populations ----------------------
+  bench::print_heading("scale: weighted-sampled cohorts, O(cohort) memory");
+  const auto scaled = [](std::size_t base) {
+    return std::max<std::size_t>(
+        64, static_cast<std::size_t>(static_cast<double>(base) *
+                                     static_cast<double>(bench::bench_scale())));
+  };
+  const std::size_t full_pop = scaled(1000000);
+  const std::size_t full_edges = scaled(1000);
+  const std::vector<ScaleRow> rows = {
+      {scaled(10000), scaled(100), 256, false},
+      {scaled(100000), scaled(1000), 256, false},
+      {full_pop, full_edges, 256, false},
+      {full_pop, full_edges, 1024, false},
+      {full_pop, full_edges, 1024, true},
+  };
+
+  std::fprintf(json, "  \"scale\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& row = rows[i];
+    obs::Registry::global().reset();
+
+    Rng rng(11);
+    const std::size_t per_edge =
+        std::max<std::size_t>(1, row.population / row.edges);
+    const fl::Topology topo = fl::Topology::uniform(row.edges, per_edge);
+    const std::size_t n = topo.num_workers();  // may round row.population down
+    const data::TrainTest dataset = make_scale_dataset(n, rng);
+    const data::Partition partition =
+        data::partition_iid(dataset.train, n, rng);
+    const nn::ModelFactory factory = nn::logistic_regression({1, 2, 2}, 2);
+
+    fl::RunConfig cfg;
+    cfg.total_iterations = 8;  // 4 edge intervals, 2 cloud rounds
+    cfg.tau = 2;
+    cfg.pi = 2;
+    cfg.batch_size = 1;  // one sample per worker at full scale
+    cfg.eval_max_samples = 500;
+    cfg.seed = 5;
+
+    pop::VirtConfig vcfg;
+    vcfg.cohort_size = row.cohort;
+    vcfg.with_replacement = row.with_replacement;
+    pop::CohortStore store(factory, dataset, partition, topo, cfg, vcfg);
+    fl::Engine engine(factory, dataset, partition, topo, cfg);
+    engine.set_cohort_provider(&store);
+    auto alg = algs::make_algorithm("HierAdMo");
+
+    auto t0 = std::chrono::steady_clock::now();
+    const fl::RunResult r = engine.run(*alg);
+    const double run_s = seconds_since(t0);
+
+    // The acceptance invariant: worker state stays O(cohort) no matter the
+    // population. (Edge/cloud states are separate and O(edges) by design.)
+    HFL_CHECK(store.peak_materialized() <= row.cohort,
+              "materialized worker states exceeded the cohort size");
+    const double gauge_peak =
+        obs::Registry::global().gauge("pop.materialized_peak").value();
+    HFL_CHECK(gauge_peak == static_cast<double>(store.peak_materialized()),
+              "pop.materialized_peak gauge disagrees with the store");
+
+    const std::uint64_t spills =
+        obs::Registry::global().counter("pop.spills").value();
+    const std::uint64_t restores =
+        obs::Registry::global().counter("pop.restores").value();
+    const std::size_t model_dim = factory()->num_params();
+    const double dense_state_mb =
+        static_cast<double>(n) *
+        static_cast<double>(4 * model_dim * sizeof(Scalar)) / (1024.0 * 1024.0);
+    const double rss_mb = peak_rss_mb();
+
+    std::printf("N=%-8zu edges=%-5zu cohort=%-5zu %s  %.2fs  "
+                "materialized peak %zu  slab %zu blobs / %.1f KiB peak  "
+                "spills %llu restores %llu  rss %.0f MiB  loss %.4f\n",
+                n, row.edges, row.cohort,
+                row.with_replacement ? "WR " : "WOR", run_s,
+                store.peak_materialized(), store.slab().num_entries(),
+                static_cast<double>(store.slab().peak_bytes()) / 1024.0,
+                static_cast<unsigned long long>(spills),
+                static_cast<unsigned long long>(restores), rss_mb,
+                r.final_loss);
+    std::fprintf(
+        json,
+        "    {\"population\": %zu, \"edges\": %zu, \"cohort\": %zu, "
+        "\"with_replacement\": %s, \"seconds\": %.4f, "
+        "\"materialized_peak\": %zu, \"slab_entries\": %zu, "
+        "\"slab_peak_bytes\": %llu, \"spills\": %llu, \"restores\": %llu, "
+        "\"dense_state_mb\": %.1f, \"peak_rss_mb\": %.1f, "
+        "\"final_loss\": %.6f, \"mean_participation\": %.6f}%s\n",
+        n, row.edges, row.cohort,
+        row.with_replacement ? "true" : "false", run_s,
+        store.peak_materialized(), store.slab().num_entries(),
+        static_cast<unsigned long long>(store.slab().peak_bytes()),
+        static_cast<unsigned long long>(spills),
+        static_cast<unsigned long long>(restores), dense_state_mb, rss_mb,
+        static_cast<double>(r.final_loss),
+        static_cast<double>(r.mean_participation_rate),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\n(measurements written to BENCH_pop.json)\n");
+  return 0;
+}

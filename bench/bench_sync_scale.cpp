@@ -134,16 +134,19 @@ int main() {
     for (auto& v : workers[i].x) v = wrng.normal();
   }
   const int reps = 20;
+  const fl::WorkerSet worker_set(&workers);
   Vec out_serial, out_parallel;
   auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < reps; ++r) {
-    fl::aggregate_global(workers, fl::worker_x, out_serial, nullptr, nullptr);
+    fl::aggregate_global(worker_set, fl::worker_x, out_serial, nullptr,
+                         nullptr);
   }
   const double red_serial_s = seconds_since(t0) / reps;
   ThreadPool pool(cores);
   t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < reps; ++r) {
-    fl::aggregate_global(workers, fl::worker_x, out_parallel, nullptr, &pool);
+    fl::aggregate_global(worker_set, fl::worker_x, out_parallel, nullptr,
+                         &pool);
   }
   const double red_parallel_s = seconds_since(t0) / reps;
   HFL_CHECK(out_serial == out_parallel,

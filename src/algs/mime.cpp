@@ -6,10 +6,14 @@ void Mime::init(fl::Context& ctx) {
   const std::size_t n = ctx.cloud->x.size();
   ctx.cloud->extra["mime_m"] = Vec(n, 0.0);
   ctx.cloud->extra["mime_g"] = Vec(n, 0.0);
-  for (fl::WorkerState& w : *ctx.workers) {
-    w.extra["mime_anchor_grad"] = Vec(n, 0.0);
-  }
   refresh_server_stats(ctx);
+}
+
+void Mime::init_worker(fl::Context& ctx, fl::WorkerState& w) {
+  // Per-worker anchor-gradient scratch, created at materialization time so
+  // the lazily-virtualized path sets up exactly the same state (it consumes
+  // no RNG, so the init-time probe sequence above is unaffected).
+  w.extra["mime_anchor_grad"] = Vec(ctx.cloud->x.size(), 0.0);
 }
 
 void Mime::refresh_server_stats(fl::Context& ctx) {

@@ -39,6 +39,7 @@ class Mime final : public fl::Algorithm {
     return !svrg_correction_;
   }
   void init(fl::Context& ctx) override;
+  void init_worker(fl::Context& ctx, fl::WorkerState& w) override;
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;
 

@@ -76,4 +76,26 @@ Rng Rng::fork(std::uint64_t tag) {
   return Rng(splitmix64(mix));
 }
 
+Rng Rng::fork_nth(std::uint64_t tag, std::uint64_t nth) const {
+  // Must mirror fork() exactly: same mix, but with the caller-supplied
+  // counter value and no mutation.
+  std::uint64_t mix =
+      s_[0] ^ rotl(s_[3], 13) ^ (tag * 0x9E3779B97F4A7C15ULL) ^ nth;
+  return Rng(splitmix64(mix));
+}
+
+RngState Rng::save_state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.fork_counter = fork_counter_;
+  return st;
+}
+
+Rng Rng::from_state(const RngState& state) {
+  Rng r(0);
+  for (int i = 0; i < 4; ++i) r.s_[i] = state.s[i];
+  r.fork_counter_ = state.fork_counter;
+  return r;
+}
+
 }  // namespace hfl

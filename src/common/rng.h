@@ -16,6 +16,14 @@
 
 namespace hfl {
 
+// Complete serialized generator state (xoshiro256** words + fork counter).
+// Round-trips through Rng::save_state / Rng::from_state bit-exactly, so a
+// spilled worker's stream resumes precisely where it left off.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  std::uint64_t fork_counter = 0;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);
@@ -42,6 +50,18 @@ class Rng {
   // successive calls) are statistically independent of the parent and of each
   // other.
   Rng fork(std::uint64_t tag);
+
+  // Stateless variant of fork(): the child that fork(tag) would return when
+  // taken as this generator's `nth` fork (nth = the post-increment value of
+  // the fork counter, i.e. 1 for the first fork). Lets a caller reproduce
+  // one entry of a recorded fork sequence without replaying the forks before
+  // it — the lazy-materialization hook of the population subsystem
+  // (src/pop/cohort_store.h) derives worker streams this way.
+  Rng fork_nth(std::uint64_t tag, std::uint64_t nth) const;
+
+  // Bit-exact checkpointing (spill/restore of worker batch streams).
+  RngState save_state() const;
+  static Rng from_state(const RngState& state);
 
   // Fisher–Yates shuffle.
   template <typename T>

@@ -18,6 +18,21 @@ Batcher::Batcher(const Dataset& dataset, std::vector<std::size_t> indices,
   rng_.shuffle(indices_);
 }
 
+Batcher::Batcher(const Dataset& dataset, const BatcherState& state,
+                 std::size_t batch_size)
+    : dataset_(&dataset),
+      indices_(state.indices),
+      batch_size_(std::min(batch_size, indices_.size())),
+      cursor_(state.cursor),
+      rng_(Rng::from_state(state.rng)) {
+  HFL_CHECK(!indices_.empty(), "batcher needs at least one sample");
+  HFL_CHECK(batch_size > 0, "batch size must be positive");
+  HFL_CHECK(cursor_ <= indices_.size(), "batcher checkpoint cursor out of range");
+  for (const std::size_t i : indices_) {
+    HFL_CHECK(i < dataset.size(), "batcher index out of dataset range");
+  }
+}
+
 void Batcher::next(Tensor& x, std::vector<std::size_t>& y) {
   batch_scratch_.clear();
   for (std::size_t b = 0; b < batch_size_; ++b) {

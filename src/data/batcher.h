@@ -11,13 +11,30 @@
 
 namespace hfl::data {
 
+// Complete serialized Batcher position: the current (shuffled) index order,
+// the cursor into it, and the shuffle RNG. Restoring via the checkpoint
+// constructor below resumes the batch sequence bit-exactly — the population
+// subsystem spills/restores worker streams through this.
+struct BatcherState {
+  std::vector<std::size_t> indices;
+  std::size_t cursor = 0;
+  RngState rng;
+};
+
 class Batcher {
  public:
   Batcher(const Dataset& dataset, std::vector<std::size_t> indices,
           std::size_t batch_size, Rng rng);
 
+  // Restore from a checkpoint: no initial shuffle, the stream continues from
+  // exactly where save_state() captured it.
+  Batcher(const Dataset& dataset, const BatcherState& state,
+          std::size_t batch_size);
+
   // Fills `x` (B, *sample_shape) and `y` with the next mini-batch.
   void next(Tensor& x, std::vector<std::size_t>& y);
+
+  BatcherState save_state() const { return {indices_, cursor_, rng_.save_state()}; }
 
   std::size_t num_samples() const { return indices_.size(); }
   std::size_t batch_size() const { return batch_size_; }

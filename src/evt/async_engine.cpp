@@ -146,8 +146,20 @@ fl::RunResult AsyncEngine::run_sync(fl::Algorithm& alg,
   const fl::ParticipationSchedule* schedule =
       plan != nullptr ? &plan->schedule() : nullptr;
 
+  // Virtualized populations ride through the same pieces fl::Engine uses:
+  // replay the dense schedule through the oracle adapter and mirror
+  // begin_virtual_interval at each interval head.
+  const bool virt = engine_.provider_ != nullptr;
+  std::unique_ptr<fl::ScheduleOracle> oracle_storage;
+  const fl::AvailabilityOracle* oracle = nullptr;
+  if (virt && schedule != nullptr && !schedule->is_noop()) {
+    schedule->validate(engine_.topo_, engine_.cfg_);
+    oracle_storage = std::make_unique<fl::ScheduleOracle>(*schedule);
+    oracle = oracle_storage.get();
+  }
+
   fl::RunState rs;
-  engine_.prepare_run(alg, schedule, rs);
+  engine_.prepare_run(alg, virt ? nullptr : schedule, oracle, rs);
   engine_.record_point(rs, 0, rs.cloud.x);
 
   const fl::RunConfig& cfg = engine_.cfg_;
@@ -205,8 +217,15 @@ fl::RunResult AsyncEngine::run_sync(fl::Algorithm& alg,
         break;
       case EventType::kWorkerReady:
         rs.ctx.t = t;
-        if (rs.part && (t - 1) % cfg.tau == 0) {
-          rs.part->begin_interval((t - 1) / cfg.tau + 1);
+        if ((t - 1) % cfg.tau == 0) {
+          const std::size_t k = (t - 1) / cfg.tau + 1;
+          if (virt) {
+            if (k > 1) {
+              engine_.begin_virtual_interval(alg, rs, k, oracle, false);
+            }
+          } else if (rs.part) {
+            rs.part->begin_interval(k);
+          }
         }
         engine_.run_local_steps(alg, rs);
         break;
@@ -694,6 +713,10 @@ void AsyncEngine::cloud_cohort_sync(fl::Algorithm& alg, EvtRun& er,
 fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
                                             const sim::FaultPlan* plan) {
   const obs::Span run_span("run:" + alg.name(), "evt");
+  HFL_CHECK(engine_.provider_ == nullptr,
+            "virtualized populations support only the sync policy: "
+            "semi-async/async aggregation mutates arbitrary workers between "
+            "cohort boundaries");
 
   EvtRun er;
   er.plan = plan;
@@ -709,7 +732,7 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
   // Training state exactly as the barrier engine would build it (same seed →
   // same initial point, same batch streams); ctx.part stays null outside
   // aggregation/absence windows, where the manual roster is swapped in.
-  engine_.prepare_run(alg, nullptr, rs);
+  engine_.prepare_run(alg, nullptr, nullptr, rs);
 
   const std::size_t W = engine_.topo_.num_workers();
   const std::size_t E = engine_.topo_.num_edges();

@@ -40,7 +40,7 @@ namespace hfl::fl {
 struct Context {
   const RunConfig* cfg = nullptr;
   const Topology* topo = nullptr;
-  std::vector<WorkerState>* workers = nullptr;
+  WorkerSet* workers = nullptr;
   std::vector<EdgeState>* edges = nullptr;
   CloudState* cloud = nullptr;
   std::size_t t = 0;  // current iteration (1-based while stepping)
@@ -58,8 +58,23 @@ class Algorithm {
   virtual bool three_tier() const = 0;
 
   // Called once before the first iteration (all states are already sized and
-  // x/y initialized to the common starting point).
+  // x/y initialized to the common starting point). Population-level setup
+  // only — per-worker setup belongs in init_worker, because the virtualized
+  // engine (src/pop/) materializes workers lazily: under cohort sampling
+  // `ctx.workers` holds just the first interval's cohort here.
   virtual void init(Context& ctx) { (void)ctx; }
+
+  // Per-worker setup hook. The dense engine calls it once per worker in
+  // ascending id order right after init(); the virtualized engine calls it
+  // when a worker is materialized for the first time (its state is exactly
+  // the dense post-init state: x = y = x0, zero accumulators, fresh
+  // streams). Must derive everything from the worker's own state/streams and
+  // population-level values — never from which other workers exist — so both
+  // call schedules produce bit-identical worker state.
+  virtual void init_worker(Context& ctx, WorkerState& w) {
+    (void)ctx;
+    (void)w;
+  }
 
   // One local iteration on worker w. Must not touch other workers.
   virtual void local_step(Context& ctx, WorkerState& w) = 0;

@@ -45,18 +45,35 @@ void ParticipationSchedule::validate(const Topology& topo,
             "absent_decay must be in [0, 1]");
 }
 
+namespace {
+
+// Shared by the WorkerSet convenience constructors: data-size masses D_i
+// read off a fully-materialized worker set, in id order — bit-identical to
+// the pre-refactor per-worker `num_samples` loop.
+std::vector<Scalar> dense_base_weights(const Topology& topo,
+                                       const WorkerSet& workers) {
+  const std::size_t n = topo.num_workers();
+  HFL_CHECK(workers.size() == n && workers.num_materialized() == n,
+            "worker states do not match the topology");
+  std::vector<Scalar> base(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base[i] = static_cast<Scalar>(workers[i].num_samples);
+  }
+  return base;
+}
+
+}  // namespace
+
 Participation::Participation(const Topology& topo,
-                             const ParticipationSchedule& schedule,
-                             const std::vector<WorkerState>& workers,
+                             const ParticipationSchedule* schedule,
+                             std::vector<Scalar> base_weights,
                              bool edge_faults)
-    : topo_(&topo), schedule_(&schedule), edge_faults_(edge_faults) {
+    : topo_(&topo), schedule_(schedule), edge_faults_(edge_faults) {
   const std::size_t n = topo.num_workers();
   const std::size_t l = topo.num_edges();
-  HFL_CHECK(workers.size() == n, "worker states do not match the topology");
-  base_weight_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    base_weight_[i] = static_cast<Scalar>(workers[i].num_samples);
-  }
+  HFL_CHECK(base_weights.size() == n,
+            "base weights do not match the topology");
+  base_weight_ = std::move(base_weights);
   mass_ = base_weight_;
   active_.assign(n, 1);
   edge_active_.assign(l, 1);
@@ -67,24 +84,15 @@ Participation::Participation(const Topology& topo,
 }
 
 Participation::Participation(const Topology& topo,
-                             const std::vector<WorkerState>& workers,
+                             const ParticipationSchedule& schedule,
+                             const WorkerSet& workers, bool edge_faults)
+    : Participation(topo, &schedule, dense_base_weights(topo, workers),
+                    edge_faults) {}
+
+Participation::Participation(const Topology& topo, const WorkerSet& workers,
                              bool edge_faults)
-    : topo_(&topo), schedule_(nullptr), edge_faults_(edge_faults) {
-  const std::size_t n = topo.num_workers();
-  const std::size_t l = topo.num_edges();
-  HFL_CHECK(workers.size() == n, "worker states do not match the topology");
-  base_weight_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    base_weight_[i] = static_cast<Scalar>(workers[i].num_samples);
-  }
-  mass_ = base_weight_;
-  active_.assign(n, 1);
-  edge_active_.assign(l, 1);
-  active_of_edge_.resize(l);
-  weight_in_edge_.assign(n, 0.0);
-  weight_global_.assign(n, 0.0);
-  edge_weight_.assign(l, 0.0);
-}
+    : Participation(topo, nullptr, dense_base_weights(topo, workers),
+                    edge_faults) {}
 
 void Participation::begin_interval(std::size_t k) {
   HFL_CHECK(schedule_ != nullptr,
@@ -163,13 +171,13 @@ void Participation::rebuild_weights() {
     auto& roster = active_of_edge_[e];
     roster.clear();
     Scalar edge_mass = 0;
-    for (const std::size_t w : topo_->workers_of_edge(e)) {
+    for (const WorkerId w : topo_->workers_of_edge(e)) {
       if (!active_[w]) continue;
       roster.push_back(w);
       edge_mass += mass_[w];
     }
     edge_active_[e] = edge_active_[e] != 0 && !roster.empty() ? 1 : 0;
-    for (const std::size_t w : roster) {
+    for (const WorkerId w : roster) {
       weight_in_edge_[w] = mass_[w] / edge_mass;
     }
     if (edge_active_[e]) global_mass += edge_mass;
@@ -187,7 +195,7 @@ void Participation::rebuild_weights() {
   }
   for (std::size_t e = 0; e < l; ++e) {
     Scalar edge_mass = 0;
-    for (const std::size_t w : active_of_edge_[e]) edge_mass += mass_[w];
+    for (const WorkerId w : active_of_edge_[e]) edge_mass += mass_[w];
     edge_weight_[e] = edge_active_[e] && global_mass > 0
                           ? edge_mass / global_mass
                           : 0.0;
@@ -202,9 +210,9 @@ bool is_edge_active(const Participation* part, std::size_t edge) {
   return part == nullptr || part->edge_active(edge);
 }
 
-const std::vector<std::size_t>& active_workers(const Participation* part,
-                                               const Topology& topo,
-                                               std::size_t edge) {
+const std::vector<WorkerId>& active_workers(const Participation* part,
+                                            const Topology& topo,
+                                            std::size_t edge) {
   if (part == nullptr) return topo.workers_of_edge(edge);
   return part->active_workers_of_edge(edge);
 }

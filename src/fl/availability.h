@@ -75,23 +75,74 @@ struct ParticipationSchedule {
   void validate(const Topology& topo, const RunConfig& cfg) const;
 };
 
+// Lazily-evaluated availability: answers per-(interval, worker) queries
+// without materializing the O(intervals × population) schedule arrays a
+// `ParticipationSchedule` carries — the fault interface of the virtualized
+// engine path, where only the sampled cohort is ever queried. Implementations
+// must be pure functions of their construction inputs, so the answer for a
+// given (k, id) never depends on which other slots were queried or in what
+// order (`sim::SparseFaultPlan` replays per-entity forked RNG streams to get
+// this). Queries arrive from the engine's serial sampling pass only — no
+// thread-safety requirement.
+class AvailabilityOracle {
+ public:
+  virtual ~AvailabilityOracle() = default;
+  virtual bool worker_available(std::size_t k, std::size_t worker) const = 0;
+  virtual bool edge_available(std::size_t k, std::size_t edge) const = 0;
+  virtual AbsentPolicy absent_policy() const { return AbsentPolicy::kHold; }
+  virtual Scalar absent_decay() const { return 0.5; }
+};
+
+// Adapter: expose a dense ParticipationSchedule through the oracle
+// interface. Intervals past the schedule horizon report everything up. Used
+// by parity tests to drive the virtualized sampled path and the dense path
+// from the same fault trace.
+class ScheduleOracle final : public AvailabilityOracle {
+ public:
+  explicit ScheduleOracle(const ParticipationSchedule& schedule)
+      : schedule_(&schedule) {}
+
+  bool worker_available(std::size_t k, std::size_t worker) const override {
+    return k > schedule_->num_intervals ||
+           schedule_->worker_available(k, worker);
+  }
+  bool edge_available(std::size_t k, std::size_t edge) const override {
+    return k > schedule_->num_intervals || schedule_->edge_available(k, edge);
+  }
+  AbsentPolicy absent_policy() const override {
+    return schedule_->absent_policy;
+  }
+  Scalar absent_decay() const override { return schedule_->absent_decay; }
+
+ private:
+  const ParticipationSchedule* schedule_;
+};
+
 // Runtime view of one interval of a schedule: surviving rosters and
 // renormalized aggregation weights. Owned by the engine; algorithms access
 // it through `Context::part` and the null-tolerant helpers below.
 class Participation {
  public:
-  // `workers` supplies the data-size weights to renormalize. When
-  // `edge_faults` is false (two-tier runs, where workers talk straight to
-  // the cloud), edge outages in the schedule are ignored.
-  Participation(const Topology& topo, const ParticipationSchedule& schedule,
-                const std::vector<WorkerState>& workers, bool edge_faults);
+  // Primary constructor: `base_weights` supplies each worker's data-size
+  // mass D_i to renormalize (the population subsystem passes its descriptor
+  // weights; the convenience overloads below read `num_samples` from
+  // materialized worker states). A null `schedule` selects manual-roster
+  // mode. When `edge_faults` is false (two-tier runs, where workers talk
+  // straight to the cloud), edge outages are ignored.
+  Participation(const Topology& topo, const ParticipationSchedule* schedule,
+                std::vector<Scalar> base_weights, bool edge_faults);
 
-  // Manual-roster mode (evt::AsyncEngine): no schedule backs the view —
-  // the caller composes each roster via set_roster() instead of interval
-  // replay, typically the per-round admitted cohort of an asynchronous
-  // aggregation. begin_interval()/slowdown() are unavailable in this mode;
-  // absent policy defaults to kHold until set_absent_policy().
-  Participation(const Topology& topo, const std::vector<WorkerState>& workers,
+  // Schedule-backed view over a dense worker set.
+  Participation(const Topology& topo, const ParticipationSchedule& schedule,
+                const WorkerSet& workers, bool edge_faults);
+
+  // Manual-roster mode (evt::AsyncEngine, virtualized cohort dispatch): no
+  // schedule backs the view — the caller composes each roster via
+  // set_roster() instead of interval replay, typically the per-round
+  // admitted cohort of an asynchronous aggregation.
+  // begin_interval()/slowdown() are unavailable in this mode; absent policy
+  // defaults to kHold until set_absent_policy().
+  Participation(const Topology& topo, const WorkerSet& workers,
                 bool edge_faults);
 
   // Materialize interval k (1-based). Must be called before the first local
@@ -119,8 +170,7 @@ class Participation {
   bool edge_active(std::size_t edge) const { return edge_active_[edge] != 0; }
 
   // Surviving workers of `edge`, ascending ids (empty if the edge is down).
-  const std::vector<std::size_t>& active_workers_of_edge(
-      std::size_t edge) const {
+  const std::vector<WorkerId>& active_workers_of_edge(std::size_t edge) const {
     return active_of_edge_[edge];
   }
 
@@ -164,7 +214,7 @@ class Participation {
   std::vector<Scalar> mass_;         // effective mass this roster (D_i·scale)
   std::vector<std::uint8_t> active_;
   std::vector<std::uint8_t> edge_active_;
-  std::vector<std::vector<std::size_t>> active_of_edge_;
+  std::vector<std::vector<WorkerId>> active_of_edge_;
   std::vector<Scalar> weight_in_edge_;
   std::vector<Scalar> weight_global_;
   std::vector<Scalar> edge_weight_;
@@ -181,9 +231,9 @@ bool is_active(const Participation* part, std::size_t worker);
 bool is_edge_active(const Participation* part, std::size_t edge);
 
 // Surviving workers of `edge`; the full roster when part is null.
-const std::vector<std::size_t>& active_workers(const Participation* part,
-                                               const Topology& topo,
-                                               std::size_t edge);
+const std::vector<WorkerId>& active_workers(const Participation* part,
+                                            const Topology& topo,
+                                            std::size_t edge);
 
 Scalar active_weight_in_edge(const Participation* part, const WorkerState& w);
 Scalar active_weight_global(const Participation* part, const WorkerState& w);

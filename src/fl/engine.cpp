@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <numeric>
 
 #include "src/common/logging.h"
 #include "src/fl/comm_model.h"
@@ -52,7 +53,7 @@ Engine::Engine(nn::ModelFactory factory, const data::TrainTest& data,
 }
 
 void Engine::prefetch_cohort_gradients(Algorithm& alg, Context& ctx,
-                                       std::vector<WorkerState>& workers) {
+                                       WorkerSet& workers) {
   cohort_items_.clear();
   cohort_ids_.clear();
   for (WorkerState& w : workers) {
@@ -85,8 +86,7 @@ void Engine::prefetch_cohort_gradients(Algorithm& alg, Context& ctx,
   }
 }
 
-void Engine::build_states(Algorithm& alg, std::vector<WorkerState>& workers,
-                          std::vector<EdgeState>& edges, CloudState& cloud) {
+void Engine::build_states(Algorithm& alg, RunState& rs) {
   Rng root(cfg_.seed);
   Rng init_rng = root.fork(0x1217);
 
@@ -94,7 +94,6 @@ void Engine::build_states(Algorithm& alg, std::vector<WorkerState>& workers,
   auto init_model = factory_();
   init_model->init_params(init_rng);
   const Vec x0 = init_model->get_params();
-  const std::size_t n = x0.size();
 
   // Data-size weights.
   std::size_t total_samples = 0;
@@ -104,11 +103,58 @@ void Engine::build_states(Algorithm& alg, std::vector<WorkerState>& workers,
     edge_samples[topo_.edge_of_worker(w)] += partition_[w].size();
   }
 
+  if (provider_ != nullptr) {
+    // Virtualized run: the provider owns worker-state lifetime; the engine
+    // keeps only the id-addressed view (its internal pointers track the
+    // provider's containers across cohort changes). Algorithm::init and
+    // init_worker are deferred to begin_virtual_interval — they need the
+    // first cohort materialized.
+    provider_->begin_run(x0);
+    rs.worker_pool.clear();
+    rs.workers = provider_->workers();
+  } else {
+    build_dense_workers(rs, x0, edge_samples, total_samples);
+  }
+
+  std::vector<EdgeState>& edges = rs.edges;
+  edges.clear();
+  edges.resize(topo_.num_edges());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    EdgeState& es = edges[e];
+    es.id = e;
+    es.weight_global = static_cast<Scalar>(edge_samples[e]) /
+                       static_cast<Scalar>(total_samples);
+    es.x_plus = x0;
+    es.y_plus = x0;
+    es.y_minus = x0;
+    es.gamma_edge = cfg_.gamma_edge;
+  }
+
+  rs.cloud.x = x0;
+  rs.cloud.y = x0;
+  rs.cloud.extra.clear();
+
+  if (provider_ == nullptr) {
+    Context ctx{&cfg_, &topo_, &rs.workers, &rs.edges, &rs.cloud, 0, nullptr,
+                pool_.get()};
+    alg.init(ctx);
+    for (WorkerState& w : rs.worker_pool) alg.init_worker(ctx, w);
+  }
+}
+
+void Engine::build_dense_workers(RunState& rs, const Vec& x0,
+                                 const std::vector<std::size_t>& edge_samples,
+                                 std::size_t total_samples) {
+  const std::size_t n = x0.size();
+  Rng root(cfg_.seed);
+  root.fork(0x1217);  // skip the init-model stream: workers are forks 2+i
+
+  std::vector<WorkerState>& workers = rs.worker_pool;
   workers.clear();
   workers.resize(topo_.num_workers());
   for (std::size_t i = 0; i < workers.size(); ++i) {
     WorkerState& w = workers[i];
-    w.id = i;
+    w.id = static_cast<WorkerId>(i);
     w.edge = topo_.edge_of_worker(i);
     w.num_samples = partition_[i].size();
     w.weight_in_edge = static_cast<Scalar>(w.num_samples) /
@@ -123,33 +169,16 @@ void Engine::build_states(Algorithm& alg, std::vector<WorkerState>& workers,
     w.sum_y.assign(n, 0.0);
     w.sum_v.assign(n, 0.0);
     w.model = factory_();
+    // The lazy materializer (src/pop/cohort_store.cpp) reproduces this exact
+    // stream derivation via fork_nth: worker i's fork is the (2+i)-th taken
+    // from root (fork 1 is the init-model stream). Keep the two in lockstep.
     Rng wrng = root.fork(1000 + i);
     w.batcher = std::make_unique<data::Batcher>(
         data_->train, partition_[i], cfg_.batch_size, wrng.fork(1));
     w.aux_batcher = std::make_unique<data::Batcher>(
         data_->train, partition_[i], cfg_.batch_size, wrng.fork(2));
   }
-
-  edges.clear();
-  edges.resize(topo_.num_edges());
-  for (std::size_t e = 0; e < edges.size(); ++e) {
-    EdgeState& es = edges[e];
-    es.id = e;
-    es.weight_global = static_cast<Scalar>(edge_samples[e]) /
-                       static_cast<Scalar>(total_samples);
-    es.x_plus = x0;
-    es.y_plus = x0;
-    es.y_minus = x0;
-    es.gamma_edge = cfg_.gamma_edge;
-  }
-
-  cloud.x = x0;
-  cloud.y = x0;
-  cloud.extra.clear();
-
-  Context ctx{&cfg_, &topo_, &workers, &edges, &cloud, 0, nullptr,
-              pool_.get()};
-  alg.init(ctx);
+  rs.workers = WorkerSet(&rs.worker_pool);
 }
 
 nn::EvalResult Engine::evaluate(const Vec& params) {
@@ -217,7 +246,7 @@ nn::EvalResult Engine::evaluate(const Vec& params) {
 }
 
 void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
-                         RunState& rs) {
+                         const AvailabilityOracle* oracle, RunState& rs) {
   if (!alg.three_tier()) {
     HFL_CHECK(cfg_.pi == 1,
               "two-tier algorithms require pi == 1 (use tau as the global "
@@ -225,7 +254,7 @@ void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
   }
   rs.start = std::chrono::steady_clock::now();
 
-  build_states(alg, rs.workers, rs.edges, rs.cloud);
+  build_states(alg, rs);
 
   // Logical synchronization payloads (obs/comm.h). Everything recorded from
   // these is derived from state the simulation already computed; telemetry
@@ -242,9 +271,38 @@ void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
   rs.edge_up_bytes = payload(comm_profile.edge_upload_vectors);
   rs.edge_down_bytes = payload(comm_profile.edge_download_vectors);
 
-  // A null or no-op schedule takes the pre-fault code path, byte for byte:
-  // `part` stays null and every helper reduces to the full roster.
-  if (schedule != nullptr && !schedule->is_noop()) {
+  if (provider_ != nullptr) {
+    HFL_CHECK(schedule == nullptr,
+              "virtualized runs take availability from an oracle, not a "
+              "dense schedule");
+    if (provider_->sampling()) {
+      const std::size_t global_period = cfg_.tau * cfg_.pi;
+      HFL_CHECK(cfg_.eval_every == 0 || cfg_.eval_every % global_period == 0,
+                "sampled virtualized runs evaluate only at cloud rounds "
+                "(eval_every must be 0 or a multiple of tau*pi): the "
+                "mid-interval virtual global model would need every worker "
+                "materialized");
+      HFL_CHECK(oracle == nullptr ||
+                    oracle->absent_policy() == AbsentPolicy::kHold,
+                "sampled virtualized runs support only the kHold absent "
+                "policy: kReset/kDecay mutate workers that are not "
+                "materialized");
+    }
+    // Sampling and oracle faults both flow through a manual-roster
+    // Participation over the whole population; neither active → part stays
+    // null and the run is the exact full-participation path.
+    if (provider_->sampling() || oracle != nullptr) {
+      rs.part = std::make_unique<Participation>(topo_, nullptr,
+                                                provider_->base_weights(),
+                                                /*edge_faults=*/alg.three_tier());
+      if (oracle != nullptr) {
+        rs.part->set_absent_policy(oracle->absent_policy(),
+                                   oracle->absent_decay());
+      }
+    }
+  } else if (schedule != nullptr && !schedule->is_noop()) {
+    // A null or no-op schedule takes the pre-fault code path, byte for byte:
+    // `part` stays null and every helper reduces to the full roster.
     schedule->validate(topo_, cfg_);
     rs.part = std::make_unique<Participation>(topo_, *schedule, rs.workers,
                                               /*edge_faults=*/alg.three_tier());
@@ -255,6 +313,67 @@ void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
 
   rs.result.algorithm = alg.name();
   if (rs.part) rs.result.worker_miss_counts.assign(rs.workers.size(), 0);
+
+  if (provider_ != nullptr) {
+    begin_virtual_interval(alg, rs, 1, oracle, /*first_interval=*/true);
+  }
+}
+
+void Engine::begin_virtual_interval(Algorithm& alg, RunState& rs,
+                                    std::size_t k,
+                                    const AvailabilityOracle* oracle,
+                                    bool first_interval) {
+  const std::size_t population = provider_->population();
+  std::vector<WorkerId> fresh;
+  if (provider_->sampling()) {
+    provider_->sample_cohort(k, rs.cohort_ids, rs.cohort_mult);
+    fresh = provider_->set_cohort(rs.cohort_ids);
+  } else if (first_interval) {
+    // Full-cohort mode: materialize everyone once; later intervals reuse
+    // the pool untouched (and rs.cohort_ids keeps describing it).
+    rs.cohort_ids.resize(population);
+    std::iota(rs.cohort_ids.begin(), rs.cohort_ids.end(), WorkerId{0});
+    rs.cohort_mult.assign(population, 1.0);
+    fresh = provider_->set_cohort(rs.cohort_ids);
+  }
+
+  if (rs.part != nullptr) {
+    // Compose interval k's roster: cohort members are up unless the oracle
+    // says otherwise; everyone outside the cohort is absent. Multiplicity
+    // (> 1 only for with-replacement draws) scales aggregation mass so the
+    // cohort estimator stays unbiased.
+    rs.roster_up.assign(population, 0);
+    bool scaled = false;
+    for (std::size_t i = 0; i < rs.cohort_ids.size(); ++i) {
+      const WorkerId id = rs.cohort_ids[i];
+      rs.roster_up[id] =
+          (oracle == nullptr || oracle->worker_available(k, id)) ? 1 : 0;
+      if (rs.cohort_mult[i] != 1.0) scaled = true;
+    }
+    rs.roster_edge_up.assign(topo_.num_edges(), 1);
+    if (oracle != nullptr) {
+      for (std::size_t e = 0; e < topo_.num_edges(); ++e) {
+        rs.roster_edge_up[e] = oracle->edge_available(k, e) ? 1 : 0;
+      }
+    }
+    const std::vector<Scalar>* scale = nullptr;
+    if (scaled) {
+      rs.roster_scale.assign(population, 1.0);
+      for (std::size_t i = 0; i < rs.cohort_ids.size(); ++i) {
+        rs.roster_scale[rs.cohort_ids[i]] = rs.cohort_mult[i];
+      }
+      scale = &rs.roster_scale;
+    }
+    rs.part->set_roster(rs.roster_up, rs.roster_edge_up, scale);
+  }
+
+  // Algorithm init runs against a participation-free context — exactly the
+  // context dense build_states hands to init/init_worker (Mime's anchor
+  // probe must see the full materialized cohort, not the interval roster).
+  Context init_ctx = rs.ctx;
+  init_ctx.part = nullptr;
+  if (first_interval) alg.init(init_ctx);
+  for (const WorkerId id : fresh) alg.init_worker(init_ctx, rs.workers[id]);
 }
 
 void Engine::record_point(RunState& rs, std::size_t t, const Vec& params,
@@ -274,11 +393,15 @@ void Engine::run_local_steps(Algorithm& alg, RunState& rs) {
     const std::size_t active = part ? part->num_active() : rs.workers.size();
     obs::Registry::global().counter("engine.cohort.fallback_grads").add(active);
   }
-  pool_->parallel_for(rs.workers.size(), [&](std::size_t i) {
+  // Dispatch over the materialized pool (== every worker in dense runs, the
+  // sampled cohort in virtualized ones); slot order is ascending-id order,
+  // so the dense dispatch is the exact pre-refactor schedule.
+  pool_->parallel_for(rs.workers.num_materialized(), [&](std::size_t s) {
+    WorkerState& w = rs.workers.slot(s);
     // A worker that will miss this interval's synchronization is offline:
     // it computes nothing and its batch stream does not advance.
-    if (part && !part->worker_active(i)) return;
-    alg.local_step(rs.ctx, rs.workers[i]);
+    if (part && !part->worker_active(w.id)) return;
+    alg.local_step(rs.ctx, w);
   });
 }
 
@@ -373,10 +496,17 @@ void Engine::finish_interval(Algorithm& alg, RunState& rs, std::size_t k) {
     for (const EdgeState& e : rs.edges) {
       if (part->edge_active(e.id)) ++active_edges;
     }
+    // absent_sync visits materialized absent workers (== every absent worker
+    // in dense runs). Unmaterialized workers hold their spilled state, which
+    // is exactly the kHold policy — prepare_run rejects other policies for
+    // sampled runs.
     for (WorkerState& w : rs.workers) {
       if (part->worker_active(w.id)) continue;
       alg.absent_sync(rs.ctx, w, k);
-      ++rs.result.worker_miss_counts[w.id];
+    }
+    // Miss counts cover the whole population, materialized or not.
+    for (std::size_t w = 0; w < part->num_workers(); ++w) {
+      if (!part->worker_active(w)) ++rs.result.worker_miss_counts[w];
     }
     rs.result.participation.push_back(
         {k, part->num_active(), rs.workers.size(), active_edges,
@@ -410,18 +540,55 @@ void Engine::finalize_run(Algorithm& alg, RunState& rs) {
           .count();
 }
 
+void Engine::set_cohort_provider(CohortProvider* provider) {
+  if (provider != nullptr) {
+    HFL_CHECK(provider->population() == topo_.num_workers(),
+              "cohort provider population must match the topology");
+  }
+  provider_ = provider;
+}
+
 RunResult Engine::run(Algorithm& alg, const ParticipationSchedule* schedule) {
+  if (provider_ != nullptr) {
+    // Virtualized engines replay dense schedules through the oracle
+    // adapter, so one fault trace drives both code paths bit-identically.
+    if (schedule != nullptr && !schedule->is_noop()) {
+      schedule->validate(topo_, cfg_);
+      const ScheduleOracle oracle(*schedule);
+      return run_impl(alg, nullptr, &oracle);
+    }
+    return run_impl(alg, nullptr, nullptr);
+  }
+  return run_impl(alg, schedule, nullptr);
+}
+
+RunResult Engine::run_with_oracle(Algorithm& alg,
+                                  const AvailabilityOracle* oracle) {
+  HFL_CHECK(provider_ != nullptr,
+            "run_with_oracle requires an attached cohort provider "
+            "(set_cohort_provider)");
+  return run_impl(alg, nullptr, oracle);
+}
+
+RunResult Engine::run_impl(Algorithm& alg,
+                           const ParticipationSchedule* schedule,
+                           const AvailabilityOracle* oracle) {
   const obs::Span run_span("run:" + alg.name(), "engine");
 
   RunState rs;
-  prepare_run(alg, schedule, rs);
+  prepare_run(alg, schedule, oracle, rs);
   record_point(rs, 0, rs.cloud.x);
 
   const std::size_t global_period = cfg_.tau * cfg_.pi;
   for (std::size_t t = 1; t <= cfg_.total_iterations; ++t) {
     rs.ctx.t = t;
-    if (rs.part && (t - 1) % cfg_.tau == 0) {
-      rs.part->begin_interval((t - 1) / cfg_.tau + 1);
+    if ((t - 1) % cfg_.tau == 0) {
+      const std::size_t k = (t - 1) / cfg_.tau + 1;
+      if (provider_ != nullptr) {
+        if (k > 1) begin_virtual_interval(alg, rs, k, oracle, false);
+      } else if (rs.part) {
+        rs.part->begin_interval(k);
+      }
     }
     run_local_steps(alg, rs);
 

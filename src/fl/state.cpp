@@ -103,13 +103,13 @@ void weighted_sum_dispatch(std::span<const Vec* const> vecs,
 }  // namespace
 
 void aggregate_edge(const Topology& topo, std::size_t edge,
-                    const std::vector<WorkerState>& workers,
-                    WorkerVecAccessor acc, Vec& out) {
+                    const WorkerSet& workers, WorkerVecAccessor acc,
+                    Vec& out) {
   const auto& ids = topo.workers_of_edge(edge);
   HFL_CHECK(!ids.empty(), "edge has no workers");
   tl_agg_vecs.clear();
   tl_agg_weights.clear();
-  for (const std::size_t id : ids) {
+  for (const WorkerId id : ids) {
     const WorkerState& w = workers[id];
     tl_agg_vecs.push_back(&acc(w));
     tl_agg_weights.push_back(w.weight_in_edge);
@@ -119,9 +119,9 @@ void aggregate_edge(const Topology& topo, std::size_t edge,
                     out);
 }
 
-void aggregate_global(const std::vector<WorkerState>& workers,
-                      WorkerVecAccessor acc, Vec& out) {
-  HFL_CHECK(!workers.empty(), "no workers to aggregate");
+void aggregate_global(const WorkerSet& workers, WorkerVecAccessor acc,
+                      Vec& out) {
+  HFL_CHECK(workers.num_materialized() > 0, "no workers to aggregate");
   tl_agg_vecs.clear();
   tl_agg_weights.clear();
   for (const WorkerState& w : workers) {
@@ -133,8 +133,7 @@ void aggregate_global(const std::vector<WorkerState>& workers,
 }
 
 void aggregate_edge(const Topology& topo, std::size_t edge,
-                    const std::vector<WorkerState>& workers,
-                    WorkerVecAccessor acc, Vec& out,
+                    const WorkerSet& workers, WorkerVecAccessor acc, Vec& out,
                     const Participation* part) {
   if (part == nullptr) {
     aggregate_edge(topo, edge, workers, acc, out);
@@ -144,7 +143,7 @@ void aggregate_edge(const Topology& topo, std::size_t edge,
   HFL_CHECK(!ids.empty(), "edge has no participating workers this interval");
   tl_agg_vecs.clear();
   tl_agg_weights.clear();
-  for (const std::size_t id : ids) {
+  for (const WorkerId id : ids) {
     tl_agg_vecs.push_back(&acc(workers[id]));
     tl_agg_weights.push_back(part->weight_in_edge(id));
   }
@@ -152,19 +151,21 @@ void aggregate_edge(const Topology& topo, std::size_t edge,
                     out);
 }
 
-void aggregate_global(const std::vector<WorkerState>& workers,
-                      WorkerVecAccessor acc, Vec& out,
-                      const Participation* part) {
+void aggregate_global(const WorkerSet& workers, WorkerVecAccessor acc,
+                      Vec& out, const Participation* part) {
   aggregate_global(workers, acc, out, part, nullptr);
 }
 
-void aggregate_global(const std::vector<WorkerState>& workers,
-                      WorkerVecAccessor acc, Vec& out,
-                      const Participation* part, ThreadPool* pool) {
-  HFL_CHECK(!workers.empty(), "no workers to aggregate");
+void aggregate_global(const WorkerSet& workers, WorkerVecAccessor acc,
+                      Vec& out, const Participation* part, ThreadPool* pool) {
+  HFL_CHECK(workers.num_materialized() > 0, "no workers to aggregate");
   if (part != nullptr) {
     HFL_CHECK(part->num_active() > 0, "no participating workers this round");
   }
+  // Iterates the materialized states only (ascending id, the dense engine's
+  // exact order): with a roster every active worker is materialized, so the
+  // gather — and therefore the FP summation order — is identical across the
+  // dense and virtualized layouts.
   tl_agg_vecs.clear();
   tl_agg_weights.clear();
   for (const WorkerState& w : workers) {

@@ -13,10 +13,12 @@
 // their server momenta without widening this struct per algorithm.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "src/common/errors.h"
 #include "src/common/vec_ops.h"
 #include "src/data/batcher.h"
 #include "src/fl/topology.h"
@@ -31,7 +33,7 @@ class ThreadPool;  // src/common/thread_pool.h
 namespace hfl::fl {
 
 struct WorkerState {
-  std::size_t id = 0;
+  WorkerId id = 0;
   std::size_t edge = 0;
   Scalar weight_in_edge = 0;  // D_{i,ℓ} / D_ℓ
   Scalar weight_global = 0;   // D_{i,ℓ} / D
@@ -115,6 +117,74 @@ struct CloudState {
   std::map<std::string, Vec> extra;
 };
 
+// Index-based view over the materialized WorkerStates of a run. The classic
+// dense engine materializes every worker, so pool slot i holds worker id i;
+// the virtualized engine (src/pop/cohort_store.h) materializes only the
+// sampled cohort and supplies a population-sized id → slot table. Algorithms
+// address workers by GLOBAL id (operator[]) or iterate the materialized
+// states in ascending-id order (begin/end); both patterns behave identically
+// across the two layouts, which is what keeps the dense and virtualized
+// paths bit-identical (tests/pop_parity_test.cpp). Addressing a worker that
+// is not materialized fails loudly — it means engine-side roster logic and
+// the cohort store disagree.
+class WorkerSet {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  WorkerSet() = default;
+  // Dense view: pool slot i holds worker id i. The pool must outlive the
+  // view (the view tracks the vector object, not its buffer).
+  explicit WorkerSet(std::vector<WorkerState>* pool) : pool_(pool) {}
+  // Sparse view over an ascending-id cohort. `slot_of_id` has one entry per
+  // population id (kNoSlot = not materialized) and must outlive the view.
+  WorkerSet(std::vector<WorkerState>* pool, std::size_t population,
+            const std::vector<std::uint32_t>* slot_of_id)
+      : pool_(pool), population_(population), slot_of_id_(slot_of_id) {}
+
+  // Population size (== materialized count for dense views).
+  std::size_t size() const {
+    return slot_of_id_ != nullptr ? population_ : pool_->size();
+  }
+  std::size_t num_materialized() const { return pool_->size(); }
+  bool is_materialized(std::size_t id) const {
+    return slot_of_id_ == nullptr ? id < pool_->size()
+                                  : (*slot_of_id_)[id] != kNoSlot;
+  }
+
+  WorkerState& operator[](std::size_t id) {
+    return (*pool_)[slot_of(id)];
+  }
+  const WorkerState& operator[](std::size_t id) const {
+    return (*pool_)[slot_of(id)];
+  }
+
+  // Materialized states by pool slot (ascending worker id).
+  WorkerState& slot(std::size_t s) { return (*pool_)[s]; }
+  const WorkerState& slot(std::size_t s) const { return (*pool_)[s]; }
+
+  // Iterate the materialized states in ascending-id order.
+  std::vector<WorkerState>::iterator begin() { return pool_->begin(); }
+  std::vector<WorkerState>::iterator end() { return pool_->end(); }
+  std::vector<WorkerState>::const_iterator begin() const {
+    return pool_->begin();
+  }
+  std::vector<WorkerState>::const_iterator end() const { return pool_->end(); }
+
+ private:
+  std::size_t slot_of(std::size_t id) const {
+    if (slot_of_id_ == nullptr) return id;
+    const std::uint32_t s = (*slot_of_id_)[id];
+    HFL_CHECK(s != kNoSlot,
+              "worker " + std::to_string(id) +
+                  " is not materialized — roster and cohort store disagree");
+    return s;
+  }
+
+  std::vector<WorkerState>* pool_ = nullptr;
+  std::size_t population_ = 0;
+  const std::vector<std::uint32_t>* slot_of_id_ = nullptr;  // null = dense
+};
+
 // Weighted aggregation helpers. The accessor receives a worker/edge and
 // returns the vector to aggregate; weights are the paper's D-ratios.
 using WorkerVecAccessor = const Vec& (*)(const WorkerState&);
@@ -122,14 +192,15 @@ using EdgeVecAccessor = const Vec& (*)(const EdgeState&);
 
 class Participation;  // src/fl/availability.h
 
-// out = Σ_{i ∈ edge ℓ} (D_{i,ℓ}/D_ℓ) · acc(worker_i)
+// out = Σ_{i ∈ edge ℓ} (D_{i,ℓ}/D_ℓ) · acc(worker_i). Requires every worker
+// of the edge to be materialized (full-participation aggregation).
 void aggregate_edge(const Topology& topo, std::size_t edge,
-                    const std::vector<WorkerState>& workers,
-                    WorkerVecAccessor acc, Vec& out);
+                    const WorkerSet& workers, WorkerVecAccessor acc, Vec& out);
 
-// out = Σ_i (D_{i,ℓ}/D) · acc(worker_i) over all workers.
-void aggregate_global(const std::vector<WorkerState>& workers,
-                      WorkerVecAccessor acc, Vec& out);
+// out = Σ_i (D_{i,ℓ}/D) · acc(worker_i) over all materialized workers
+// (== all workers in the dense engine).
+void aggregate_global(const WorkerSet& workers, WorkerVecAccessor acc,
+                      Vec& out);
 
 // Partial-participation overloads: only surviving workers contribute, with
 // their data weights renormalized over the survivors. A null `part` takes
@@ -137,11 +208,10 @@ void aggregate_global(const std::vector<WorkerState>& workers,
 // participating set must be non-empty (the engine skips syncs for tiers
 // with no survivors).
 void aggregate_edge(const Topology& topo, std::size_t edge,
-                    const std::vector<WorkerState>& workers,
-                    WorkerVecAccessor acc, Vec& out, const Participation* part);
-void aggregate_global(const std::vector<WorkerState>& workers,
-                      WorkerVecAccessor acc, Vec& out,
-                      const Participation* part);
+                    const WorkerSet& workers, WorkerVecAccessor acc, Vec& out,
+                    const Participation* part);
+void aggregate_global(const WorkerSet& workers, WorkerVecAccessor acc,
+                      Vec& out, const Participation* part);
 
 // Deterministic parallel reduction: the element range of `out` is split
 // across the pool's threads and each element is accumulated over the inputs
@@ -149,9 +219,8 @@ void aggregate_global(const std::vector<WorkerState>& workers,
 // bit-identical to the serial overloads for every thread count and partition
 // shape. A null pool (or a small problem) takes the serial path — same bits
 // either way. Algorithms reach the pool through `Context::pool`.
-void aggregate_global(const std::vector<WorkerState>& workers,
-                      WorkerVecAccessor acc, Vec& out,
-                      const Participation* part, ThreadPool* pool);
+void aggregate_global(const WorkerSet& workers, WorkerVecAccessor acc,
+                      Vec& out, const Participation* part, ThreadPool* pool);
 
 // Cloud-tier edge aggregation: out = Σ_{reachable edges ℓ} w_ℓ · acc(edge_ℓ)
 // with the weights renormalized over the survivors (full roster when `part`

@@ -12,8 +12,10 @@ Topology::Topology(std::vector<std::size_t> workers_per_edge)
     HFL_CHECK(workers_per_edge_[e] > 0,
               "every edge must serve at least one worker");
     for (std::size_t i = 0; i < workers_per_edge_[e]; ++i) {
-      workers_of_edge_[e].push_back(num_workers_);
-      edge_of_worker_.push_back(e);
+      // Strictly below the WorkerSet::kNoSlot sentinel (0xFFFFFFFF).
+      HFL_CHECK(num_workers_ < 0xFFFFFFFFull, "worker ids are 32-bit");
+      workers_of_edge_[e].push_back(static_cast<WorkerId>(num_workers_));
+      edge_of_worker_.push_back(static_cast<std::uint32_t>(e));
       ++num_workers_;
     }
   }
@@ -37,7 +39,7 @@ std::size_t Topology::edge_of_worker(std::size_t worker) const {
   return edge_of_worker_[worker];
 }
 
-const std::vector<std::size_t>& Topology::workers_of_edge(
+const std::vector<WorkerId>& Topology::workers_of_edge(
     std::size_t edge) const {
   HFL_CHECK(edge < workers_of_edge_.size(), "edge index out of range");
   return workers_of_edge_[edge];

@@ -7,9 +7,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace hfl::fl {
+
+// Global worker identifier. Compact on purpose: the population subsystem
+// (src/pop/) keeps million-worker descriptor and roster arrays, so worker
+// ids are 32-bit throughout — `std::size_t` stays reserved for counts and
+// indices into local arrays. 4B workers is plenty of headroom.
+using WorkerId = std::uint32_t;
 
 class Topology {
  public:
@@ -26,12 +33,12 @@ class Topology {
 
   std::size_t edge_of_worker(std::size_t worker) const;
   // Global ids of the workers served by `edge`, in ascending order.
-  const std::vector<std::size_t>& workers_of_edge(std::size_t edge) const;
+  const std::vector<WorkerId>& workers_of_edge(std::size_t edge) const;
 
  private:
   std::vector<std::size_t> workers_per_edge_;
-  std::vector<std::size_t> edge_of_worker_;
-  std::vector<std::vector<std::size_t>> workers_of_edge_;
+  std::vector<std::uint32_t> edge_of_worker_;
+  std::vector<std::vector<WorkerId>> workers_of_edge_;
   std::size_t num_workers_ = 0;
 };
 

@@ -1,0 +1,313 @@
+#include "src/pop/cohort_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "src/common/errors.h"
+#include "src/obs/registry.h"
+
+namespace hfl::pop {
+
+namespace {
+
+// Per-round sampling streams: child = root.fork_nth(kCohortSampleTag, k).
+// The tag keeps cohort draws disjoint from the worker streams
+// (fork_nth(1000 + i, 2 + i)) and the init stream (fork(0x1217)).
+constexpr std::uint64_t kCohortSampleTag = 0xC0480A17ull;
+
+// ---- spill blob encoding (little-endian host layout, memcpy'd) ----------
+
+void put_bytes(std::vector<char>& b, const void* p, std::size_t n) {
+  const char* c = static_cast<const char*>(p);
+  b.insert(b.end(), c, c + n);
+}
+
+void put_u64(std::vector<char>& b, std::uint64_t v) {
+  put_bytes(b, &v, sizeof v);
+}
+
+void put_scalar(std::vector<char>& b, Scalar v) {
+  put_bytes(b, &v, sizeof v);
+}
+
+void put_vec(std::vector<char>& b, const Vec& v) {
+  put_u64(b, v.size());
+  if (!v.empty()) put_bytes(b, v.data(), v.size() * sizeof(Scalar));
+}
+
+void put_rng(std::vector<char>& b, const RngState& s) {
+  for (const std::uint64_t word : s.s) put_u64(b, word);
+  put_u64(b, s.fork_counter);
+}
+
+void put_batcher(std::vector<char>& b, const data::BatcherState& s) {
+  put_u64(b, s.cursor);
+  put_rng(b, s.rng);
+  put_u64(b, s.indices.size());
+  for (const std::size_t i : s.indices) {
+    put_u64(b, static_cast<std::uint64_t>(i));
+  }
+}
+
+struct Reader {
+  const char* p;
+  const char* end;
+
+  void take(void* out, std::size_t n) {
+    HFL_CHECK(n <= static_cast<std::size_t>(end - p),
+              "truncated worker spill blob");
+    std::memcpy(out, p, n);
+    p += n;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  Scalar scalar() {
+    Scalar v;
+    take(&v, sizeof v);
+    return v;
+  }
+  void vec(Vec& v) {
+    v.resize(u64());
+    if (!v.empty()) take(v.data(), v.size() * sizeof(Scalar));
+  }
+  RngState rng() {
+    RngState s;
+    for (std::uint64_t& word : s.s) word = u64();
+    s.fork_counter = u64();
+    return s;
+  }
+  data::BatcherState batcher() {
+    data::BatcherState s;
+    s.cursor = u64();
+    s.rng = rng();
+    s.indices.resize(u64());
+    for (std::size_t& i : s.indices) i = u64();
+    return s;
+  }
+};
+
+}  // namespace
+
+CohortStore::CohortStore(nn::ModelFactory factory, const data::TrainTest& data,
+                         const data::Partition& partition,
+                         const fl::Topology& topo, const fl::RunConfig& run,
+                         VirtConfig cfg)
+    : factory_(std::move(factory)),
+      data_(&data),
+      partition_(&partition),
+      topo_(&topo),
+      run_(run),
+      cfg_(std::move(cfg)),
+      pop_(topo, partition),
+      root_(run.seed),
+      slab_(cfg_.slab),
+      alias_(pop_.base_weights()),
+      fenwick_(pop_.base_weights()),
+      view_(&pool_, pop_.num_workers(), &slot_of_id_) {
+  HFL_CHECK(cfg_.cohort_size <= pop_.num_workers(),
+            "cohort size exceeds the population");
+  slot_of_id_.assign(pop_.num_workers(), fl::WorkerSet::kNoSlot);
+}
+
+void CohortStore::begin_run(const Vec& x0) {
+  x0_ = x0;
+  pool_.clear();
+  slot_of_id_.assign(pop_.num_workers(), fl::WorkerSet::kNoSlot);
+  slab_.clear();
+  peak_materialized_ = 0;
+  publish_gauges();
+}
+
+void CohortStore::sample_cohort(std::size_t k, std::vector<fl::WorkerId>& ids,
+                                std::vector<Scalar>& multiplicity) {
+  HFL_CHECK(sampling(), "sample_cohort on a full-population store");
+  Rng round = root_.fork_nth(kCohortSampleTag, k);
+  ids.clear();
+  multiplicity.clear();
+  if (cfg_.with_replacement) {
+    // m_i draws of worker i contribute mass m_i · D_i to the round's
+    // aggregation (the roster scale), keeping the estimator unbiased.
+    std::vector<fl::WorkerId> draws(cfg_.cohort_size);
+    for (fl::WorkerId& d : draws) {
+      d = static_cast<fl::WorkerId>(alias_.draw(round));
+    }
+    std::sort(draws.begin(), draws.end());
+    for (std::size_t i = 0; i < draws.size();) {
+      std::size_t j = i;
+      while (j < draws.size() && draws[j] == draws[i]) ++j;
+      ids.push_back(draws[i]);
+      multiplicity.push_back(static_cast<Scalar>(j - i));
+      i = j;
+    }
+  } else {
+    std::vector<std::uint32_t> draws = fenwick_.sample(cfg_.cohort_size, round);
+    std::sort(draws.begin(), draws.end());
+    ids.assign(draws.begin(), draws.end());
+    multiplicity.assign(ids.size(), 1.0);
+  }
+}
+
+std::vector<fl::WorkerId> CohortStore::set_cohort(
+    const std::vector<fl::WorkerId>& ids) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    HFL_CHECK(ids[i] < pop_.num_workers(), "cohort id out of range");
+    HFL_CHECK(i == 0 || ids[i - 1] < ids[i],
+              "cohort ids must be ascending and unique");
+  }
+
+  // Spill every current worker that is not in the new cohort (both lists
+  // are ascending, so one merge pass finds the departures).
+  std::size_t j = 0;
+  for (const fl::WorkerState& w : pool_) {
+    while (j < ids.size() && ids[j] < w.id) ++j;
+    if (j == ids.size() || ids[j] != w.id) spill(w);
+  }
+
+  // Assemble the new cohort: keep stayers (move), restore returnees,
+  // create first-timers.
+  std::vector<fl::WorkerState> next;
+  next.reserve(ids.size());
+  std::vector<fl::WorkerId> fresh;
+  for (const fl::WorkerId id : ids) {
+    const std::uint32_t slot = slot_of_id_[id];
+    if (slot != fl::WorkerSet::kNoSlot) {
+      next.push_back(std::move(pool_[slot]));
+      continue;
+    }
+    fl::WorkerState w;
+    if (slab_.contains(id)) {
+      restore(w, id);
+    } else {
+      materialize_fresh(w, id);
+      fresh.push_back(id);
+    }
+    next.push_back(std::move(w));
+  }
+
+  for (const fl::WorkerState& w : pool_) {
+    slot_of_id_[w.id] = fl::WorkerSet::kNoSlot;
+  }
+  pool_ = std::move(next);
+  for (std::size_t s = 0; s < pool_.size(); ++s) {
+    slot_of_id_[pool_[s].id] = static_cast<std::uint32_t>(s);
+  }
+  peak_materialized_ = std::max(peak_materialized_, pool_.size());
+  publish_gauges();
+  return fresh;
+}
+
+void CohortStore::materialize_fresh(fl::WorkerState& w, fl::WorkerId id) {
+  HFL_CHECK(!x0_.empty(), "set_cohort before begin_run");
+  const std::size_t n = x0_.size();
+  const std::size_t i = id;
+  w.id = id;
+  w.edge = pop_.edge_of(i);
+  w.num_samples = pop_.num_samples(i);
+  w.weight_in_edge = pop_.weight_in_edge(i);
+  w.weight_global = pop_.weight_global(i);
+  w.x = x0_;
+  w.y = x0_;
+  w.v.assign(n, 0.0);
+  w.grad.assign(n, 0.0);
+  w.sum_grad.assign(n, 0.0);
+  w.sum_y.assign(n, 0.0);
+  w.sum_v.assign(n, 0.0);
+  w.model = factory_();
+  // Stream lockstep with the dense engine: worker i's stream is the
+  // (2 + i)-th fork of the run root (fork 1 is the init-model stream) —
+  // see Engine::build_states.
+  Rng wrng = root_.fork_nth(1000 + i, 2 + i);
+  w.batcher = std::make_unique<data::Batcher>(
+      data_->train, (*partition_)[i], run_.batch_size, wrng.fork(1));
+  w.aux_batcher = std::make_unique<data::Batcher>(
+      data_->train, (*partition_)[i], run_.batch_size, wrng.fork(2));
+  if (obs::enabled()) {
+    obs::Registry::global().counter("pop.materializations").add();
+  }
+}
+
+void CohortStore::spill(const fl::WorkerState& w) {
+  blob_.clear();
+  put_vec(blob_, w.x);
+  put_vec(blob_, w.y);
+  put_vec(blob_, w.v);
+  put_vec(blob_, w.grad);
+  put_scalar(blob_, w.last_loss);
+  put_vec(blob_, w.sum_grad);
+  put_vec(blob_, w.sum_y);
+  put_vec(blob_, w.sum_v);
+  put_u64(blob_, w.extra.size());
+  for (const auto& [name, vec] : w.extra) {  // std::map: sorted, stable
+    put_u64(blob_, name.size());
+    put_bytes(blob_, name.data(), name.size());
+    put_vec(blob_, vec);
+  }
+  put_batcher(blob_, w.batcher->save_state());
+  put_batcher(blob_, w.aux_batcher->save_state());
+  slab_.put(w.id, blob_);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("pop.spills").add();
+    reg.counter("pop.spill_bytes").add(blob_.size());
+  }
+}
+
+void CohortStore::restore(fl::WorkerState& w, fl::WorkerId id) {
+  // Descriptor fields and the scratch model are rebuilt (the model holds no
+  // cross-batch state); everything mutable comes back byte for byte.
+  const std::size_t i = id;
+  w.id = id;
+  w.edge = pop_.edge_of(i);
+  w.num_samples = pop_.num_samples(i);
+  w.weight_in_edge = pop_.weight_in_edge(i);
+  w.weight_global = pop_.weight_global(i);
+  w.model = factory_();
+
+  slab_.get(id, blob_);
+  Reader r{blob_.data(), blob_.data() + blob_.size()};
+  r.vec(w.x);
+  r.vec(w.y);
+  r.vec(w.v);
+  r.vec(w.grad);
+  w.last_loss = r.scalar();
+  r.vec(w.sum_grad);
+  r.vec(w.sum_y);
+  r.vec(w.sum_v);
+  const std::uint64_t extras = r.u64();
+  w.extra.clear();
+  for (std::uint64_t e = 0; e < extras; ++e) {
+    std::string name(r.u64(), '\0');
+    r.take(name.data(), name.size());
+    r.vec(w.extra[name]);
+  }
+  w.batcher = std::make_unique<data::Batcher>(data_->train, r.batcher(),
+                                              run_.batch_size);
+  w.aux_batcher = std::make_unique<data::Batcher>(data_->train, r.batcher(),
+                                                  run_.batch_size);
+  HFL_CHECK(r.p == r.end, "worker spill blob has trailing bytes");
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("pop.restores").add();
+    reg.counter("pop.restore_bytes").add(blob_.size());
+  }
+}
+
+void CohortStore::publish_gauges() {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("pop.population").set(static_cast<double>(pop_.num_workers()));
+  reg.gauge("pop.cohort_size").set(static_cast<double>(cfg_.cohort_size));
+  reg.gauge("pop.materialized_workers")
+      .set(static_cast<double>(pool_.size()));
+  reg.gauge("pop.materialized_peak")
+      .set_max(static_cast<double>(peak_materialized_));
+  reg.gauge("pop.slab.bytes").set(static_cast<double>(slab_.bytes()));
+  reg.gauge("pop.slab.peak_bytes")
+      .set_max(static_cast<double>(slab_.peak_bytes()));
+}
+
+}  // namespace hfl::pop

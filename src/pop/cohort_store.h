@@ -1,0 +1,114 @@
+// Lazy cohort materialization over a virtualized worker population.
+//
+// `CohortStore` is the pop-side implementation of `fl::CohortProvider`: the
+// engine keeps addressing workers by global id through an `fl::WorkerSet`,
+// but only the current cohort is backed by real `fl::WorkerState`s. Three
+// lifecycle paths, all bit-identical to the dense engine:
+//
+//   * first materialization — rebuilds exactly the state dense
+//     Engine::build_states would have given the worker: same descriptor
+//     weights (src/pop/population.h), same x0, and the same RNG stream
+//     derivation. The dense loop takes worker i's stream as the (2+i)-th
+//     fork of the run root (fork 1 is the init-model stream), so the lazy
+//     path derives it statelessly with Rng::fork_nth(1000 + i, 2 + i) —
+//     keep in lockstep with src/fl/engine.cpp.
+//   * spill — a worker leaving the cohort serializes every mutable field
+//     (x, y, v, grad, accumulators, `extra`, both batch-stream
+//     checkpoints) into the slab; the scratch model is dropped (it holds
+//     no cross-batch state) and rebuilt from the factory on restore.
+//   * restore — byte-exact resurrection: the worker resumes mid-run as if
+//     it had stayed materialized the whole time (asserted by
+//     tests/pop_test.cpp round-trip and tests/pop_parity_test.cpp).
+//
+// Cohort selection: exact weighted sampling by data mass D_i —
+// without-replacement via the Fenwick sampler, or with-replacement via the
+// alias table, in which case a worker drawn m times carries multiplicity m
+// into the engine's roster scale. Every round forks its own child stream
+// from the run seed (fork_nth keyed on the round), so cohorts are
+// deterministic at any thread count.
+//
+// Telemetry (obs gauges/counters): pop.population, pop.cohort_size,
+// pop.materialized_workers, pop.materialized_peak, pop.spills, pop.restores,
+// pop.spill_bytes, pop.restore_bytes, pop.slab.bytes, pop.slab.peak_bytes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/partitioner.h"
+#include "src/fl/engine.h"
+#include "src/pop/population.h"
+#include "src/pop/sampler.h"
+#include "src/pop/slab.h"
+
+namespace hfl::pop {
+
+struct VirtConfig {
+  // Workers per cohort. 0 = materialize the full population (virtualized
+  // bookkeeping, dense coverage — the parity-test configuration).
+  std::size_t cohort_size = 0;
+  // With-replacement (alias-table) draws instead of the default exact
+  // without-replacement sampling.
+  bool with_replacement = false;
+  SlabConfig slab;
+};
+
+class CohortStore final : public fl::CohortProvider {
+ public:
+  // `data` and `partition` must outlive the store (pass the same objects
+  // the engine was built from — the store replays their batch streams).
+  CohortStore(nn::ModelFactory factory, const data::TrainTest& data,
+              const data::Partition& partition, const fl::Topology& topo,
+              const fl::RunConfig& run, VirtConfig cfg);
+
+  // fl::CohortProvider ------------------------------------------------------
+  std::size_t population() const override { return pop_.num_workers(); }
+  bool sampling() const override {
+    return cfg_.cohort_size > 0 && cfg_.cohort_size < pop_.num_workers();
+  }
+  std::vector<Scalar> base_weights() const override {
+    return pop_.base_weights();
+  }
+  void begin_run(const Vec& x0) override;
+  void sample_cohort(std::size_t k, std::vector<fl::WorkerId>& ids,
+                     std::vector<Scalar>& multiplicity) override;
+  std::vector<fl::WorkerId> set_cohort(
+      const std::vector<fl::WorkerId>& ids) override;
+  fl::WorkerSet& workers() override { return view_; }
+
+  // Introspection (tests, bench) -------------------------------------------
+  const Population& descriptors() const { return pop_; }
+  const VirtConfig& config() const { return cfg_; }
+  std::size_t num_materialized() const { return pool_.size(); }
+  std::size_t peak_materialized() const { return peak_materialized_; }
+  const Slab& slab() const { return slab_; }
+
+ private:
+  void materialize_fresh(fl::WorkerState& w, fl::WorkerId id);
+  void spill(const fl::WorkerState& w);
+  void restore(fl::WorkerState& w, fl::WorkerId id);
+  void publish_gauges();
+
+  nn::ModelFactory factory_;
+  const data::TrainTest* data_;
+  const data::Partition* partition_;
+  const fl::Topology* topo_;
+  fl::RunConfig run_;
+  VirtConfig cfg_;
+  Population pop_;
+
+  Rng root_;       // Rng(run.seed): fork_nth source for worker streams
+  Vec x0_;         // shared initial point of the current run
+  Slab slab_;
+  AliasSampler alias_;
+  FenwickSampler fenwick_;
+
+  std::vector<fl::WorkerState> pool_;       // cohort states, ascending id
+  std::vector<std::uint32_t> slot_of_id_;   // population-sized id → slot
+  fl::WorkerSet view_;
+  std::size_t peak_materialized_ = 0;
+  std::vector<char> blob_;                  // (de)serialization scratch
+};
+
+}  // namespace hfl::pop

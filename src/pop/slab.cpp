@@ -1,0 +1,72 @@
+#include "src/pop/slab.h"
+
+#include <cstdio>
+
+#include "src/common/errors.h"
+
+namespace hfl::pop {
+
+Slab::Slab(SlabConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.backend == SlabConfig::Backend::kFile) {
+    HFL_CHECK(!cfg_.path.empty(), "file slab needs a path");
+    open_file();
+  }
+}
+
+void Slab::open_file() {
+  if (file_.is_open()) file_.close();
+  // Truncate: a slab never outlives the run that filled it.
+  file_.open(cfg_.path, std::ios::binary | std::ios::in | std::ios::out |
+                            std::ios::trunc);
+  HFL_CHECK(file_.is_open(), "cannot open slab spill file " + cfg_.path);
+  file_end_ = 0;
+}
+
+void Slab::clear() {
+  index_.clear();
+  blobs_.clear();
+  if (cfg_.backend == SlabConfig::Backend::kFile) open_file();
+  bytes_ = 0;
+  peak_bytes_ = 0;
+  bytes_written_ = 0;
+  bytes_read_ = 0;
+}
+
+void Slab::put(std::uint32_t id, const std::vector<char>& blob) {
+  bytes_written_ += blob.size();
+  if (cfg_.backend == SlabConfig::Backend::kMemory) {
+    auto& slot = blobs_[id];
+    bytes_ -= slot.size();
+    slot = blob;
+    bytes_ += slot.size();
+    index_[id] = {0, static_cast<std::uint64_t>(blob.size())};
+  } else {
+    // Append-only: a rewrite abandons the old extent (dead space is the
+    // cost of never seeking backwards on the write path).
+    file_.seekp(static_cast<std::streamoff>(file_end_));
+    file_.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    HFL_CHECK(file_.good(), "slab spill write failed: " + cfg_.path);
+    index_[id] = {file_end_, static_cast<std::uint64_t>(blob.size())};
+    file_end_ += blob.size();
+    bytes_ = file_end_;
+  }
+  if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
+}
+
+void Slab::get(std::uint32_t id, std::vector<char>& out) {
+  const auto it = index_.find(id);
+  HFL_CHECK(it != index_.end(),
+            "worker " + std::to_string(id) + " has no spilled state");
+  out.resize(it->second.length);
+  bytes_read_ += it->second.length;
+  if (cfg_.backend == SlabConfig::Backend::kMemory) {
+    const auto& blob = blobs_.at(id);
+    out.assign(blob.begin(), blob.end());
+  } else {
+    file_.seekg(static_cast<std::streamoff>(it->second.offset));
+    file_.read(out.data(), static_cast<std::streamsize>(out.size()));
+    HFL_CHECK(file_.good(), "slab spill read failed: " + cfg_.path);
+  }
+}
+
+}  // namespace hfl::pop

@@ -1,0 +1,83 @@
+// Spill storage for evicted worker states.
+//
+// When a sampled cohort rotates, the workers leaving the cohort serialize
+// their mutable state (momentum vectors, interval accumulators, algorithm
+// extras, batch-stream checkpoints) into the slab; a worker re-entering a
+// later cohort restores the exact bytes and resumes bit-identically. Two
+// backends:
+//
+//   * kMemory — an id-keyed blob map. Fast; bounded by the number of
+//     DISTINCT workers ever sampled (not the population — never-sampled
+//     workers cost nothing).
+//   * kFile   — append-only spill file with an in-memory (id → offset,
+//     length) index. A revisited worker's new spill appends and the index
+//     moves on, so the file grows monotonically; peak_bytes reports the
+//     high-water mark for the memory/telemetry study (EXPERIMENTS.md E18).
+//
+// The slab is a dumb byte store: serialization lives in cohort_store.cpp,
+// telemetry (pop.slab.* gauges) is updated by the owner from the byte
+// counters here.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hfl::pop {
+
+struct SlabConfig {
+  enum class Backend { kMemory, kFile };
+  Backend backend = Backend::kMemory;
+  // kFile only: spill-file path (created/truncated on first use).
+  std::string path = "hfl_pop_slab.bin";
+};
+
+class Slab {
+ public:
+  explicit Slab(SlabConfig cfg);
+
+  // Drop every blob (a new run starts with an empty slab). Byte counters
+  // reset; the file backend truncates.
+  void clear();
+
+  bool contains(std::uint32_t id) const {
+    return index_.find(id) != index_.end();
+  }
+
+  // Store `blob` for `id`, replacing any previous spill of the same worker.
+  void put(std::uint32_t id, const std::vector<char>& blob);
+
+  // Fetch `id`'s blob into `out`. The id must be present.
+  void get(std::uint32_t id, std::vector<char>& out);
+
+  std::size_t num_entries() const { return index_.size(); }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  // Current live footprint: blob bytes (memory) or file size (file).
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  struct Extent {
+    std::uint64_t offset = 0;  // kFile only
+    std::uint64_t length = 0;
+  };
+
+  void open_file();
+
+  SlabConfig cfg_;
+  std::unordered_map<std::uint32_t, Extent> index_;
+  // kMemory: one owned blob per spilled worker (replacement frees the old
+  // bytes, so `bytes()` is the live footprint).
+  std::unordered_map<std::uint32_t, std::vector<char>> blobs_;
+  std::fstream file_;  // kFile
+  std::uint64_t file_end_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace hfl::pop

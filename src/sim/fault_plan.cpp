@@ -6,12 +6,11 @@
 
 namespace hfl::sim {
 
-namespace {
+using detail::kEdgeStreamBase;
+using detail::kStragglerAssign;
+using detail::kWorkerStreamBase;
 
-// Fork tags: keep every stream's derivation explicit and collision-free.
-constexpr std::uint64_t kWorkerStreamBase = 0x5EED0000;
-constexpr std::uint64_t kEdgeStreamBase = 0xED6E0000;
-constexpr std::uint64_t kStragglerAssign = 0x57A60001;
+namespace {
 
 bool in_unit(Scalar p) { return p >= 0.0 && p <= 1.0; }
 

@@ -41,6 +41,15 @@
 
 namespace hfl::sim {
 
+namespace detail {
+// Fork tags of the per-entity fault streams, shared by FaultPlan (eager
+// materialization) and SparseFaultPlan (lazy replay) so both derive
+// bit-identical traces from the same FaultConfig.
+inline constexpr std::uint64_t kWorkerStreamBase = 0x5EED0000;
+inline constexpr std::uint64_t kEdgeStreamBase = 0xED6E0000;
+inline constexpr std::uint64_t kStragglerAssign = 0x57A60001;
+}  // namespace detail
+
 // One availability flip extracted from a schedule: entity `id` (worker, or
 // edge when `is_edge`) changes to state `up` at the start of edge interval
 // `interval` (1-based). The event-driven engine replays these as

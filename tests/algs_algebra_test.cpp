@@ -16,6 +16,7 @@ struct TwoEdgeSetup {
   fl::Topology topo{std::vector<std::size_t>{1, 1}};
   fl::RunConfig cfg;
   std::vector<fl::WorkerState> workers;
+  fl::WorkerSet worker_set{&workers};
   std::vector<fl::EdgeState> edges;
   fl::CloudState cloud;
 
@@ -39,7 +40,7 @@ struct TwoEdgeSetup {
   }
 
   fl::Context context() {
-    return fl::Context{&cfg, &topo, &workers, &edges, &cloud, 0};
+    return fl::Context{&cfg, &topo, &worker_set, &edges, &cloud, 0};
   }
 };
 
@@ -86,7 +87,8 @@ TEST(HierFavgTest, EdgeSyncAveragesWithinEdgeOnly) {
   edges[0].x_plus = {0, 0};
   edges[1].x_plus = {7, 7};
   fl::CloudState cloud;
-  fl::Context ctx{&cfg, &topo, &workers, &edges, &cloud, 0};
+  fl::WorkerSet worker_set{&workers};
+  fl::Context ctx{&cfg, &topo, &worker_set, &edges, &cloud, 0};
 
   auto alg = make_algorithm("HierFAVG");
   alg->edge_sync(ctx, edges[0], 1);
@@ -143,7 +145,8 @@ TEST(CflTest, FullParticipationMatchesHierFavgAlgebra) {
   edges[0].id = 0;
   edges[0].x_plus = {0, 0};
   fl::CloudState cloud;
-  fl::Context ctx{&cfg, &topo, &workers, &edges, &cloud, 0};
+  fl::WorkerSet worker_set{&workers};
+  fl::Context ctx{&cfg, &topo, &worker_set, &edges, &cloud, 0};
 
   Cfl alg(1.0);
   alg.init(ctx);
@@ -172,7 +175,8 @@ TEST(CflTest, PartialParticipationLeavesStragglersAlone) {
   edges[0].id = 0;
   edges[0].x_plus = {0, 0};
   fl::CloudState cloud;
-  fl::Context ctx{&cfg, &topo, &workers, &edges, &cloud, 0};
+  fl::WorkerSet worker_set{&workers};
+  fl::Context ctx{&cfg, &topo, &worker_set, &edges, &cloud, 0};
 
   Cfl alg(1e-9);
   alg.init(ctx);

@@ -17,7 +17,7 @@ namespace {
 // Captures the state the engine hands to init().
 class InitSpy final : public Algorithm {
  public:
-  std::vector<WorkerState>* workers = nullptr;
+  WorkerSet* workers = nullptr;
   std::vector<EdgeState>* edges = nullptr;
   CloudState* cloud = nullptr;
   bool init_called = false;
@@ -113,7 +113,7 @@ TEST(EngineWeightsTest, InitialStateSatisfiesAlgorithmOneLines1And2) {
   InitSpy spy;
   spy.on_init = [&spy] {
     const auto& workers = *spy.workers;
-    const Vec& x0 = workers.front().x;
+    const Vec& x0 = workers.slot(0).x;
     for (const auto& w : workers) {
       EXPECT_EQ(w.x, x0);   // common initial model (line 1)
       EXPECT_EQ(w.y, x0);   // y0 = x0 (line 1)
@@ -155,13 +155,13 @@ TEST(EngineWeightsTest, SameSeedSameInitialPointAcrossEngines) {
   {
     Engine engine(nn::mlp({1, 2, 2}, 4, 2), dataset, partition, topo, cfg);
     InitSpy spy;
-    spy.on_init = [&spy, &x0_a] { x0_a = spy.workers->front().x; };
+    spy.on_init = [&spy, &x0_a] { x0_a = spy.workers->slot(0).x; };
     engine.run(spy);
   }
   {
     Engine engine(nn::mlp({1, 2, 2}, 4, 2), dataset, partition, topo, cfg);
     InitSpy spy;
-    spy.on_init = [&spy, &x0_b] { x0_b = spy.workers->front().x; };
+    spy.on_init = [&spy, &x0_b] { x0_b = spy.workers->slot(0).x; };
     engine.run(spy);
   }
   EXPECT_EQ(x0_a, x0_b);

@@ -23,14 +23,14 @@ TEST(TopologyTest, UniformLayout) {
   EXPECT_EQ(t.edge_of_worker(0), 0u);
   EXPECT_EQ(t.edge_of_worker(4), 1u);
   EXPECT_EQ(t.edge_of_worker(11), 2u);
-  EXPECT_EQ(t.workers_of_edge(1), (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(t.workers_of_edge(1), (std::vector<WorkerId>{4, 5, 6, 7}));
 }
 
 TEST(TopologyTest, HeterogeneousEdges) {
   const Topology t({1, 3, 2});
   EXPECT_EQ(t.num_workers(), 6u);
-  EXPECT_EQ(t.workers_of_edge(0), (std::vector<std::size_t>{0}));
-  EXPECT_EQ(t.workers_of_edge(2), (std::vector<std::size_t>{4, 5}));
+  EXPECT_EQ(t.workers_of_edge(0), (std::vector<WorkerId>{0}));
+  EXPECT_EQ(t.workers_of_edge(2), (std::vector<WorkerId>{4, 5}));
 }
 
 TEST(TopologyTest, RejectsInvalid) {
@@ -55,9 +55,10 @@ TEST(StateTest, EdgeAggregationWeights) {
   workers[1].x = {0, 4};
   workers[2].x = {1, 1};
   Vec out;
-  aggregate_edge(topo, 0, workers, worker_x, out);
+  const WorkerSet view(&workers);
+  aggregate_edge(topo, 0, view, worker_x, out);
   EXPECT_EQ(out, (Vec{1.0, 3.0}));
-  aggregate_edge(topo, 1, workers, worker_x, out);
+  aggregate_edge(topo, 1, view, worker_x, out);
   EXPECT_EQ(out, (Vec{1.0, 1.0}));
 }
 
@@ -68,7 +69,8 @@ TEST(StateTest, GlobalAggregationUsesGlobalWeights) {
   workers[0].y = {2, 0};
   workers[1].y = {0, 2};
   Vec out;
-  aggregate_global(workers, worker_y, out);
+  const WorkerSet view(&workers);
+  aggregate_global(view, worker_y, out);
   EXPECT_EQ(out, (Vec{1.0, 1.0}));
 }
 

@@ -42,6 +42,7 @@ struct FakeSetup {
   fl::Topology topo{std::vector<std::size_t>{2}};  // one edge, two workers
   fl::RunConfig cfg;
   std::vector<fl::WorkerState> workers;
+  fl::WorkerSet worker_set{&workers};
   std::vector<fl::EdgeState> edges;
   fl::CloudState cloud;
 
@@ -59,7 +60,7 @@ struct FakeSetup {
   }
 
   fl::Context context() {
-    return fl::Context{&cfg, &topo, &workers, &edges, &cloud, 0};
+    return fl::Context{&cfg, &topo, &worker_set, &edges, &cloud, 0};
   }
 };
 

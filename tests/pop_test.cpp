@@ -1,0 +1,532 @@
+// Unit coverage for the population subsystem (src/pop) and its RNG/replay
+// foundations:
+//
+//   * Rng::fork_nth reproduces the mutating fork sequence statelessly, and
+//     save_state/from_state round-trips mid-stream — the primitives behind
+//     lazy worker materialization and spill/restore.
+//   * AliasSampler draws match the weight distribution (frequency test) and
+//     are deterministic in the stream.
+//   * FenwickSampler matches a naive sequential weighted-WOR reference draw
+//     for draw (integer weights keep every partial sum exact in double, so
+//     tree-order and linear-order prefix sums are bit-equal), restores its
+//     weights after every cohort, and its set frequencies match the exact
+//     enumeration probabilities.
+//   * Slab round-trips blobs on both backends and keeps honest byte
+//     accounting.
+//   * Population descriptors reproduce the dense engine's weight arithmetic.
+//   * SparseFaultPlan answers every (interval, entity) query bit-identically
+//     to the dense FaultPlan built from the same config, in any query order.
+//   * CohortStore: deterministic cohort draws, spill → restore round-trips
+//     every mutable field (including batch-stream checkpoints) bit-exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/errors.h"
+#include "src/common/rng.h"
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+#include "src/nn/models.h"
+#include "src/pop/cohort_store.h"
+#include "src/pop/population.h"
+#include "src/pop/sampler.h"
+#include "src/pop/slab.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/sparse_fault_plan.h"
+
+namespace hfl {
+namespace {
+
+TEST(RngCheckpointTest, ForkNthMatchesForkSequence) {
+  Rng parent(99);
+  std::vector<std::uint64_t> tags = {0x1217, 1000, 1001, 0xC0FFEE};
+  std::vector<std::uint64_t> probes;
+  for (const std::uint64_t tag : tags) {
+    Rng child = parent.fork(tag);
+    probes.push_back(child.next_u64());
+  }
+  // fork() mutates only the counter, so a fresh Rng with the same seed can
+  // re-derive any fork in the sequence by (tag, ordinal).
+  const Rng fresh(99);
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    Rng child = fresh.fork_nth(tags[i], i + 1);
+    EXPECT_EQ(child.next_u64(), probes[i]) << "fork #" << (i + 1);
+  }
+}
+
+TEST(RngCheckpointTest, SaveRestoreMidStream) {
+  Rng rng(7);
+  for (int i = 0; i < 17; ++i) rng.uniform();
+  rng.fork(3);  // counter state must round-trip too
+  const RngState snap = rng.save_state();
+  std::vector<Scalar> expect;
+  for (int i = 0; i < 8; ++i) expect.push_back(rng.uniform());
+  Rng child = rng.fork(9);
+  const Scalar child_probe = child.uniform();
+
+  Rng back = Rng::from_state(snap);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(back.uniform(), expect[i]);
+  Rng back_child = back.fork(9);
+  EXPECT_EQ(back_child.uniform(), child_probe);
+}
+
+TEST(AliasSamplerTest, FrequenciesMatchWeights) {
+  const std::vector<Scalar> weights = {1.0, 2.0, 3.0, 4.0};
+  const pop::AliasSampler sampler(weights);
+  Rng rng(11);
+  const std::size_t draws = 200000;
+  std::vector<std::size_t> count(weights.size(), 0);
+  for (std::size_t d = 0; d < draws; ++d) ++count[sampler.draw(rng)];
+  const Scalar total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const Scalar expected = weights[i] / total;
+    const Scalar observed =
+        static_cast<Scalar>(count[i]) / static_cast<Scalar>(draws);
+    EXPECT_NEAR(observed, expected, 0.01) << "index " << i;
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverDrawn) {
+  const pop::AliasSampler sampler({2.0, 0.0, 1.0, 0.0});
+  Rng rng(5);
+  for (int d = 0; d < 5000; ++d) {
+    const std::size_t i = sampler.draw(rng);
+    EXPECT_TRUE(i == 0 || i == 2);
+  }
+}
+
+TEST(AliasSamplerTest, RejectsDegenerateWeights) {
+  EXPECT_THROW(pop::AliasSampler({}), Error);
+  EXPECT_THROW(pop::AliasSampler({0.0, 0.0}), Error);
+  EXPECT_THROW(pop::AliasSampler({1.0, -0.5}), Error);
+}
+
+// Naive sequential weighted draw without replacement: same uniforms, linear
+// prefix scan. Integer-valued weights keep every partial sum exact, so the
+// Fenwick tree's differently-associated sums are bit-equal and the two
+// implementations must agree index for index.
+std::vector<std::uint32_t> naive_wor(std::vector<Scalar> w, std::size_t k,
+                                     Rng& rng) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t d = 0; d < k; ++d) {
+    Scalar total = 0.0;
+    for (const Scalar x : w) total += x;
+    const Scalar target = rng.uniform() * total;
+    Scalar acc = 0.0;
+    std::size_t pick = w.size();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (w[i] <= 0.0) continue;
+      acc += w[i];
+      if (target < acc) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == w.size()) {  // FP edge: target == total
+      for (std::size_t i = w.size(); i-- > 0;) {
+        if (w[i] > 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    out.push_back(static_cast<std::uint32_t>(pick));
+    w[pick] = 0.0;
+  }
+  return out;
+}
+
+TEST(FenwickSamplerTest, MatchesNaiveReferenceDrawForDraw) {
+  Rng meta(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + meta.uniform_index(40);
+    std::vector<Scalar> weights(n);
+    std::size_t positive = 0;
+    for (Scalar& w : weights) {
+      w = static_cast<Scalar>(meta.uniform_index(8));  // integers, some zero
+      if (w > 0.0) ++positive;
+    }
+    if (positive == 0) {
+      weights[0] = 3.0;
+      positive = 1;
+    }
+    const std::size_t k = 1 + meta.uniform_index(positive);
+    pop::FenwickSampler sampler(weights);
+    Rng a(1000 + trial), b(1000 + trial);
+    EXPECT_EQ(sampler.sample(k, a), naive_wor(weights, k, b))
+        << "trial " << trial << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(FenwickSamplerTest, RestoresWeightsBetweenCohorts) {
+  pop::FenwickSampler sampler({1.0, 2.0, 3.0, 4.0, 5.0});
+  Rng a(3), b(3);
+  const auto first = sampler.sample(3, a);
+  const auto second = sampler.sample(3, b);  // same stream → same cohort
+  EXPECT_EQ(first, second);
+}
+
+TEST(FenwickSamplerTest, SetFrequenciesMatchEnumeration) {
+  // P({a,b}) = P(a)P(b | not a) + P(b)P(a | not b), enumerated exactly.
+  const std::vector<Scalar> w = {1.0, 2.0, 3.0};
+  const Scalar total = 6.0;
+  std::map<std::pair<int, int>, Scalar> exact;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      const std::pair<int, int> key{std::min(a, b), std::max(a, b)};
+      exact[key] += (w[a] / total) * (w[b] / (total - w[a]));
+    }
+  }
+  pop::FenwickSampler sampler(w);
+  Rng rng(17);
+  const std::size_t trials = 60000;
+  std::map<std::pair<int, int>, std::size_t> count;
+  for (std::size_t t = 0; t < trials; ++t) {
+    auto ids = sampler.sample(2, rng);
+    const int a = static_cast<int>(ids[0]), b = static_cast<int>(ids[1]);
+    ++count[{std::min(a, b), std::max(a, b)}];
+  }
+  for (const auto& [key, p] : exact) {
+    const Scalar observed =
+        static_cast<Scalar>(count[key]) / static_cast<Scalar>(trials);
+    EXPECT_NEAR(observed, p, 0.01)
+        << "{" << key.first << "," << key.second << "}";
+  }
+}
+
+TEST(FenwickSamplerTest, RejectsOversizedCohort) {
+  pop::FenwickSampler sampler({1.0, 0.0, 2.0});
+  Rng rng(1);
+  EXPECT_NO_THROW(sampler.sample(2, rng));
+  EXPECT_THROW(sampler.sample(3, rng), Error);  // only 2 positive weights
+}
+
+void slab_round_trip(pop::SlabConfig cfg) {
+  pop::Slab slab(cfg);
+  const std::vector<char> a = {'a', 'b', 'c'};
+  const std::vector<char> b(1000, 'x');
+  slab.put(7, a);
+  slab.put(42, b);
+  EXPECT_TRUE(slab.contains(7));
+  EXPECT_FALSE(slab.contains(8));
+  std::vector<char> out;
+  slab.get(7, out);
+  EXPECT_EQ(out, a);
+  slab.get(42, out);
+  EXPECT_EQ(out, b);
+
+  const std::vector<char> a2 = {'z', 'z'};
+  slab.put(7, a2);  // rewrite
+  slab.get(7, out);
+  EXPECT_EQ(out, a2);
+  EXPECT_EQ(slab.num_entries(), 2u);
+  EXPECT_GE(slab.peak_bytes(), slab.bytes() > 0 ? 1u : 0u);
+  EXPECT_EQ(slab.bytes_written(), a.size() + b.size() + a2.size());
+  slab.clear();
+  EXPECT_EQ(slab.num_entries(), 0u);
+  EXPECT_FALSE(slab.contains(7));
+}
+
+TEST(SlabTest, MemoryBackendRoundTrip) {
+  slab_round_trip(pop::SlabConfig{});
+}
+
+TEST(SlabTest, FileBackendRoundTrip) {
+  pop::SlabConfig cfg;
+  cfg.backend = pop::SlabConfig::Backend::kFile;
+  cfg.path = ::testing::TempDir() + "hfl_pop_slab_test.bin";
+  slab_round_trip(cfg);
+  std::remove(cfg.path.c_str());
+}
+
+struct PopFixture {
+  data::TrainTest dataset;
+  fl::Topology topo{fl::Topology::uniform(2, 4)};  // 2 edges × 4 workers
+  data::Partition partition;
+  nn::ModelFactory factory;
+  fl::RunConfig cfg;
+
+  PopFixture() {
+    Rng rng(3);
+    data::SyntheticSpec spec;
+    spec.sample_shape = {1, 2, 2};
+    spec.num_classes = 2;
+    spec.train_size = 64;
+    spec.test_size = 16;
+    dataset = data::make_synthetic(rng, spec);
+    partition = data::partition_iid(dataset.train, topo.num_workers(), rng);
+    factory = nn::logistic_regression({1, 2, 2}, 2);
+    cfg.total_iterations = 8;
+    cfg.tau = 2;
+    cfg.pi = 2;
+    cfg.batch_size = 4;
+    cfg.seed = 5;
+  }
+};
+
+TEST(PopulationTest, DescriptorsMatchDenseArithmetic) {
+  PopFixture f;
+  const pop::Population pop(f.topo, f.partition);
+  ASSERT_EQ(pop.num_workers(), f.topo.num_workers());
+  std::size_t total = 0;
+  std::vector<std::size_t> per_edge(f.topo.num_edges(), 0);
+  for (std::size_t w = 0; w < f.topo.num_workers(); ++w) {
+    total += f.partition[w].size();
+    per_edge[f.topo.edge_of_worker(w)] += f.partition[w].size();
+  }
+  for (std::size_t w = 0; w < pop.num_workers(); ++w) {
+    EXPECT_EQ(pop.edge_of(w), f.topo.edge_of_worker(w));
+    EXPECT_EQ(pop.num_samples(w), f.partition[w].size());
+    EXPECT_EQ(pop.weight_in_edge(w),
+              static_cast<Scalar>(f.partition[w].size()) /
+                  static_cast<Scalar>(per_edge[f.topo.edge_of_worker(w)]));
+    EXPECT_EQ(pop.weight_global(w),
+              static_cast<Scalar>(f.partition[w].size()) /
+                  static_cast<Scalar>(total));
+  }
+  const std::vector<Scalar> base = pop.base_weights();
+  ASSERT_EQ(base.size(), pop.num_workers());
+  for (std::size_t w = 0; w < base.size(); ++w) {
+    EXPECT_EQ(base[w], static_cast<Scalar>(f.partition[w].size()));
+  }
+}
+
+sim::FaultConfig zoo_config(int which) {
+  sim::FaultConfig fc;
+  fc.seed = 100 + which;
+  switch (which) {
+    case 0:
+      fc.dropout.prob = 0.3;
+      break;
+    case 1:
+      fc.churn.p_fail = 0.2;
+      fc.churn.p_recover = 0.6;
+      fc.churn.p_start_down = 0.25;
+      break;
+    case 2:
+      fc.straggler.fraction = 0.4;
+      fc.straggler.slowdown = 2.0;
+      fc.straggler.jitter = 0.5;
+      fc.straggler.deadline_slowdown = 2.5;
+      break;
+    case 3:
+      fc.link.loss_prob = 0.35;
+      fc.link.max_retries = 2;
+      break;
+    case 4:
+      fc.edge_outage.prob = 0.3;
+      break;
+    default:  // everything at once
+      fc.dropout.prob = 0.15;
+      fc.churn.p_fail = 0.1;
+      fc.churn.p_recover = 0.7;
+      fc.churn.p_start_down = 0.1;
+      fc.straggler.fraction = 0.3;
+      fc.straggler.slowdown = 1.8;
+      fc.straggler.jitter = 0.4;
+      fc.straggler.deadline_slowdown = 2.2;
+      fc.link.loss_prob = 0.2;
+      fc.link.max_retries = 3;
+      fc.edge_outage.prob = 0.2;
+      break;
+  }
+  return fc;
+}
+
+TEST(SparseFaultPlanTest, MatchesDensePlanOverModelZoo) {
+  PopFixture f;
+  fl::RunConfig cfg = f.cfg;
+  cfg.total_iterations = 12;  // 6 intervals
+  for (int which = 0; which < 6; ++which) {
+    const sim::FaultConfig fc = zoo_config(which);
+    const sim::FaultPlan dense(f.topo, cfg, fc);
+    const sim::SparseFaultPlan sparse(f.topo.num_workers(),
+                                      f.topo.num_edges(), fc);
+    for (std::size_t k = 1; k <= dense.num_intervals(); ++k) {
+      for (std::size_t w = 0; w < f.topo.num_workers(); ++w) {
+        EXPECT_EQ(sparse.worker_available(k, w), dense.worker_available(k, w))
+            << "zoo " << which << " k=" << k << " w=" << w;
+      }
+      for (std::size_t e = 0; e < f.topo.num_edges(); ++e) {
+        EXPECT_EQ(sparse.edge_available(k, e), dense.edge_available(k, e))
+            << "zoo " << which << " k=" << k << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(SparseFaultPlanTest, QueryOrderIndependent) {
+  PopFixture f;
+  fl::RunConfig cfg = f.cfg;
+  cfg.total_iterations = 12;
+  const sim::FaultConfig fc = zoo_config(5);
+  const sim::FaultPlan dense(f.topo, cfg, fc);
+  const sim::SparseFaultPlan sparse(f.topo.num_workers(), f.topo.num_edges(),
+                                    fc);
+  // Scrambled and backward queries must replay to the same answers.
+  Rng order(9);
+  for (int q = 0; q < 400; ++q) {
+    const std::size_t k = 1 + order.uniform_index(dense.num_intervals());
+    const std::size_t w = order.uniform_index(f.topo.num_workers());
+    EXPECT_EQ(sparse.worker_available(k, w), dense.worker_available(k, w))
+        << "k=" << k << " w=" << w;
+  }
+  for (int q = 0; q < 100; ++q) {
+    const std::size_t k = 1 + order.uniform_index(dense.num_intervals());
+    const std::size_t e = order.uniform_index(f.topo.num_edges());
+    EXPECT_EQ(sparse.edge_available(k, e), dense.edge_available(k, e));
+  }
+}
+
+TEST(SparseFaultPlanTest, ReportsAbsentPolicy) {
+  sim::FaultConfig fc;
+  fc.dropout.prob = 0.2;
+  fc.absent_policy = fl::AbsentPolicy::kDecay;
+  fc.absent_decay = 0.25;
+  const sim::SparseFaultPlan sparse(4, 2, fc);
+  EXPECT_EQ(sparse.absent_policy(), fl::AbsentPolicy::kDecay);
+  EXPECT_EQ(sparse.absent_decay(), 0.25);
+}
+
+pop::CohortStore make_store(const PopFixture& f, std::size_t cohort,
+                            bool with_replacement = false) {
+  pop::VirtConfig vc;
+  vc.cohort_size = cohort;
+  vc.with_replacement = with_replacement;
+  return pop::CohortStore(f.factory, f.dataset, f.partition, f.topo, f.cfg,
+                          vc);
+}
+
+TEST(CohortStoreTest, CohortDrawsDeterministicPerRound) {
+  PopFixture f;
+  auto a = make_store(f, 3);
+  auto b = make_store(f, 3);
+  std::vector<fl::WorkerId> ids_a, ids_b;
+  std::vector<Scalar> mult_a, mult_b;
+  // Query rounds out of order on one store: draws depend on (seed, k) only.
+  for (const std::size_t k : {3u, 1u, 2u}) {
+    a.sample_cohort(k, ids_a, mult_a);
+    const auto first = ids_a;
+    b.sample_cohort(k, ids_b, mult_b);
+    EXPECT_EQ(ids_a, ids_b) << "k=" << k;
+    a.sample_cohort(k, ids_a, mult_a);
+    EXPECT_EQ(ids_a, first) << "re-draw k=" << k;
+    EXPECT_TRUE(std::is_sorted(ids_a.begin(), ids_a.end()));
+    EXPECT_EQ(std::adjacent_find(ids_a.begin(), ids_a.end()), ids_a.end());
+    EXPECT_EQ(ids_a.size(), 3u);  // WOR: exactly cohort_size distinct ids
+    for (const Scalar m : mult_a) EXPECT_EQ(m, 1.0);
+  }
+}
+
+TEST(CohortStoreTest, WithReplacementMultiplicitiesSumToCohortSize) {
+  PopFixture f;
+  auto store = make_store(f, 6, /*with_replacement=*/true);
+  std::vector<fl::WorkerId> ids;
+  std::vector<Scalar> mult;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    store.sample_cohort(k, ids, mult);
+    ASSERT_EQ(ids.size(), mult.size());
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    Scalar total = 0.0;
+    for (const Scalar m : mult) {
+      EXPECT_GE(m, 1.0);
+      total += m;
+    }
+    EXPECT_EQ(total, 6.0);
+  }
+}
+
+TEST(CohortStoreTest, SpillRestoreRoundTripsEveryMutableField) {
+  PopFixture f;
+  auto rotated = make_store(f, 2);
+  auto pinned = make_store(f, 2);
+  const Vec x0(8, 0.5);
+  rotated.begin_run(x0);
+  pinned.begin_run(x0);
+  rotated.set_cohort({0, 2});
+  pinned.set_cohort({0, 2});
+
+  // Identical mutations on both stores' worker 0: momentum-ish vectors,
+  // algorithm extras, and consumed batch draws.
+  const auto mutate = [](fl::WorkerState& w) {
+    const Tensor* bx = nullptr;
+    const std::vector<std::size_t>* by = nullptr;
+    for (int d = 0; d < 3; ++d) w.draw_batch(bx, by);
+    for (std::size_t i = 0; i < w.x.size(); ++i) {
+      w.x[i] += 0.25 * static_cast<Scalar>(i);
+      w.v[i] = 1.0 / static_cast<Scalar>(i + 1);
+      w.sum_grad[i] = -0.125 * static_cast<Scalar>(i);
+    }
+    w.last_loss = 0.625;
+    w.extra["anchor"] = Vec{1.0, 2.0, 3.0};
+    w.extra["momentum_aux"] = Vec(5, -0.5);
+  };
+  mutate(rotated.workers()[0]);
+  mutate(pinned.workers()[0]);
+
+  rotated.set_cohort({2});     // spill worker 0
+  EXPECT_FALSE(rotated.workers().is_materialized(0));
+  EXPECT_EQ(rotated.num_materialized(), 1u);
+  rotated.set_cohort({0, 2});  // restore it
+  ASSERT_TRUE(rotated.workers().is_materialized(0));
+
+  fl::WorkerState& a = rotated.workers()[0];
+  fl::WorkerState& b = pinned.workers()[0];
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.v, b.v);
+  EXPECT_EQ(a.grad, b.grad);
+  EXPECT_EQ(a.last_loss, b.last_loss);
+  EXPECT_EQ(a.sum_grad, b.sum_grad);
+  EXPECT_EQ(a.sum_y, b.sum_y);
+  EXPECT_EQ(a.sum_v, b.sum_v);
+  EXPECT_EQ(a.extra, b.extra);
+  EXPECT_EQ(a.weight_in_edge, b.weight_in_edge);
+  EXPECT_EQ(a.weight_global, b.weight_global);
+
+  // Batch streams resume exactly where the spilled worker left off.
+  const data::BatcherState sa = a.batcher->save_state();
+  const data::BatcherState sb = b.batcher->save_state();
+  EXPECT_EQ(sa.indices, sb.indices);
+  EXPECT_EQ(sa.cursor, sb.cursor);
+  EXPECT_TRUE(std::equal(std::begin(sa.rng.s), std::end(sa.rng.s),
+                         std::begin(sb.rng.s)));
+  EXPECT_EQ(sa.rng.fork_counter, sb.rng.fork_counter);
+  const Tensor *ax = nullptr, *bx = nullptr;
+  const std::vector<std::size_t>*ay = nullptr, *by = nullptr;
+  for (int d = 0; d < 4; ++d) {
+    a.draw_batch(ax, ay);
+    b.draw_batch(bx, by);
+    EXPECT_EQ(*ay, *by) << "post-restore draw " << d;
+  }
+}
+
+TEST(CohortStoreTest, FreshMaterializationMatchesAcrossStores) {
+  PopFixture f;
+  auto a = make_store(f, 2);
+  auto b = make_store(f, 2);
+  const Vec x0(8, 0.125);
+  a.begin_run(x0);
+  b.begin_run(x0);
+  a.set_cohort({1, 3});
+  // Materialization order must not matter: store b meets worker 3 first.
+  b.set_cohort({3});
+  b.set_cohort({1, 3});
+  for (const fl::WorkerId id : {1u, 3u}) {
+    const data::BatcherState sa = a.workers()[id].batcher->save_state();
+    const data::BatcherState sb = b.workers()[id].batcher->save_state();
+    EXPECT_EQ(sa.indices, sb.indices) << "worker " << id;
+    EXPECT_TRUE(std::equal(std::begin(sa.rng.s), std::end(sa.rng.s),
+                           std::begin(sb.rng.s)))
+        << "worker " << id;
+  }
+}
+
+}  // namespace
+}  // namespace hfl
