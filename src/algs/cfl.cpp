@@ -35,18 +35,26 @@ void Cfl::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) {
     participants.push_back(ids[rng.uniform_index(ids.size())]);
   }
 
-  // Aggregate participants with renormalized data weights.
+  // Aggregate participants with renormalized data weights via the fused
+  // multi-source sum (one pass over the participant set instead of an axpy
+  // sweep per participant), directly into the edge state.
   Scalar total_weight = 0;
   for (const std::size_t id : participants) {
     total_weight += (*ctx.workers)[id].weight_in_edge;
   }
-  thread_local Vec scratch;  // not a member: edge_syncs run concurrently
-  scratch.assign(e.x_plus.size(), 0.0);
+  // thread_local, not members: edge_syncs run concurrently.
+  thread_local std::vector<const Vec*> agg_vecs;
+  thread_local std::vector<Scalar> agg_weights;
+  agg_vecs.clear();
+  agg_weights.clear();
   for (const std::size_t id : participants) {
     const fl::WorkerState& w = (*ctx.workers)[id];
-    vec::axpy(w.weight_in_edge / total_weight, w.x, scratch);
+    agg_vecs.push_back(&w.x);
+    agg_weights.push_back(w.weight_in_edge / total_weight);
   }
-  e.x_plus = scratch;
+  vec::weighted_sum(
+      std::span<const Vec* const>(agg_vecs.data(), agg_vecs.size()),
+      agg_weights, e.x_plus);
 
   // Only participants receive the fresh edge model; stragglers keep training
   // on their local models until the cloud round.

@@ -15,20 +15,17 @@ void FastSlowMo::local_step(fl::Context& ctx, fl::WorkerState& w) {
 void FastSlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
   fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
                        ctx.pool);
-  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_, ctx.part,
+  // ȳ_p lands directly in the cloud state (no aliasing with worker vectors).
+  fl::aggregate_global(*ctx.workers, fl::worker_y, ctx.cloud->y, ctx.part,
                        ctx.pool);
   Vec& m = ctx.cloud->extra.at("slow_m");
   Vec& x = ctx.cloud->x;
-  const Scalar beta = ctx.cfg->gamma_edge;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    m[i] = beta * m[i] + (x[i] - x_scratch_[i]);
-    x[i] -= m[i];
-  }
-  ctx.cloud->y = y_scratch_;
+  // m = β m + (x_{p−1} − x̄_p); x −= m (SlowMo fold at α = 1), one pass.
+  vec::slowmo_step(x, x_scratch_, m, ctx.cfg->gamma_edge, /*lr=*/1.0);
   for (fl::WorkerState& w : *ctx.workers) {
     if (!fl::is_active(ctx.part, w.id)) continue;
     w.x = x;
-    w.y = y_scratch_;
+    w.y = ctx.cloud->y;
   }
 }
 

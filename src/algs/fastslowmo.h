@@ -24,7 +24,7 @@ class FastSlowMo final : public fl::Algorithm {
   void cloud_sync(fl::Context& ctx, std::size_t p) override;
 
  private:
-  Vec x_scratch_, y_scratch_;
+  Vec x_scratch_;
 };
 
 }  // namespace hfl::algs

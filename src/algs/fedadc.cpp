@@ -9,11 +9,8 @@ void FedAdc::init(fl::Context& ctx) {
 void FedAdc::local_step(fl::Context& ctx, fl::WorkerState& w) {
   w.compute_gradient(w.x);
   const Vec& u = ctx.cloud->extra.at("drift_u");  // read-only across workers
-  const Scalar eta = ctx.cfg->eta;
-  const Scalar beta = ctx.cfg->gamma;
-  for (std::size_t i = 0; i < w.x.size(); ++i) {
-    w.x[i] -= eta * (w.grad[i] + beta * u[i]);
-  }
+  // x ← x − η (∇F + β u), fused drift-corrected descent.
+  vec::descent_drift(w.x, w.grad, u, ctx.cfg->eta, ctx.cfg->gamma);
 }
 
 void FedAdc::cloud_sync(fl::Context& ctx, std::size_t) {
@@ -21,14 +18,10 @@ void FedAdc::cloud_sync(fl::Context& ctx, std::size_t) {
                        ctx.pool);
   Vec& u = ctx.cloud->extra.at("drift_u");
   Vec& x = ctx.cloud->x;
-  const Scalar beta = ctx.cfg->gamma_edge;
   const Scalar inv_step =
       1.0 / (static_cast<Scalar>(ctx.cfg->tau) * ctx.cfg->eta);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const Scalar pseudo_grad = (x[i] - x_scratch_[i]) * inv_step;
-    u[i] = beta * u[i] + (1.0 - beta) * pseudo_grad;
-    x[i] = x_scratch_[i];
-  }
+  // u ← β u + (1−β)(x − x̄)/(τη); x ← x̄, one fused pass.
+  vec::adc_server_update(x, x_scratch_, u, ctx.cfg->gamma_edge, inv_step);
   for (fl::WorkerState& w : *ctx.workers) {
     if (fl::is_active(ctx.part, w.id)) w.x = x;
   }

@@ -9,11 +9,13 @@ void FedAvg::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedAvg::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, scratch_, ctx.part,
+  // Aggregate straight into the cloud model (workers' x vectors are distinct
+  // storage, so the reduction output never aliases an input) — the former
+  // member-scratch round-trip was a full extra parameter-vector copy.
+  fl::aggregate_global(*ctx.workers, fl::worker_x, ctx.cloud->x, ctx.part,
                        ctx.pool);
-  ctx.cloud->x = scratch_;
   for (fl::WorkerState& w : *ctx.workers) {
-    if (fl::is_active(ctx.part, w.id)) w.x = scratch_;
+    if (fl::is_active(ctx.part, w.id)) w.x = ctx.cloud->x;
   }
 }
 

@@ -16,9 +16,6 @@ class FedAvg final : public fl::Algorithm {
   bool local_gradient_prefetchable() const override { return true; }
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;
   void cloud_sync(fl::Context& ctx, std::size_t p) override;
-
- private:
-  Vec scratch_;
 };
 
 }  // namespace hfl::algs

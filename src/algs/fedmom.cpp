@@ -16,14 +16,10 @@ void FedMom::cloud_sync(fl::Context& ctx, std::size_t) {
   fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
                        ctx.pool);
   Vec& y_prev = ctx.cloud->extra.at("server_y");
-  const Scalar gs = ctx.cfg->gamma_edge;
-
+  // y_p = x̄_p; x_p = y_p + γs (y_p − y_{p−1}); y_{p−1} ← y_p — one fused
+  // pass over the three vectors.
   Vec& x = ctx.cloud->x;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const Scalar y_new = x_scratch_[i];
-    x[i] = y_new + gs * (y_new - y_prev[i]);
-    y_prev[i] = y_new;
-  }
+  vec::extrapolate_update(x_scratch_, y_prev, ctx.cfg->gamma_edge, x);
   for (fl::WorkerState& w : *ctx.workers) {
     if (fl::is_active(ctx.part, w.id)) w.x = x;
   }

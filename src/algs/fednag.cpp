@@ -9,16 +9,16 @@ void FedNag::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void FedNag::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
+  // Both reductions land directly in the cloud state (no aliasing: worker
+  // vectors are distinct storage), skipping the member-scratch copies.
+  fl::aggregate_global(*ctx.workers, fl::worker_x, ctx.cloud->x, ctx.part,
                        ctx.pool);
-  fl::aggregate_global(*ctx.workers, fl::worker_y, y_scratch_, ctx.part,
+  fl::aggregate_global(*ctx.workers, fl::worker_y, ctx.cloud->y, ctx.part,
                        ctx.pool);
-  ctx.cloud->x = x_scratch_;
-  ctx.cloud->y = y_scratch_;
   for (fl::WorkerState& w : *ctx.workers) {
     if (!fl::is_active(ctx.part, w.id)) continue;
-    w.x = x_scratch_;
-    w.y = y_scratch_;
+    w.x = ctx.cloud->x;
+    w.y = ctx.cloud->y;
   }
 }
 

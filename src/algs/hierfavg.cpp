@@ -9,11 +9,11 @@ void HierFavg::local_step(fl::Context& ctx, fl::WorkerState& w) {
 }
 
 void HierFavg::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
-  // thread_local, not a member: edge_sync runs concurrently across edges.
-  thread_local Vec scratch;
-  fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, scratch,
+  // The edge average lands directly in the edge state — worker x vectors are
+  // distinct storage, so the reduction output never aliases an input, and
+  // the former scratch round-trip cost a full extra parameter-vector copy.
+  fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, e.x_plus,
                      ctx.part);
-  e.x_plus = scratch;
   for (const std::size_t id : fl::active_workers(ctx.part, *ctx.topo, e.id)) {
     (*ctx.workers)[id].x = e.x_plus;
   }

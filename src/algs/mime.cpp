@@ -34,9 +34,7 @@ void Mime::refresh_server_stats(fl::Context& ctx) {
   // m ← (1−β) ĝ + β m.
   Vec& m = ctx.cloud->extra.at("mime_m");
   const Scalar beta = ctx.cfg->gamma;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    m[i] = (1.0 - beta) * g_hat[i] + beta * m[i];
-  }
+  vec::axpby(1.0 - beta, g_hat, beta, m);
 }
 
 void Mime::local_step(fl::Context& ctx, fl::WorkerState& w) {
@@ -48,27 +46,23 @@ void Mime::local_step(fl::Context& ctx, fl::WorkerState& w) {
   if (svrg_correction_) {
     // Paired SVRG evaluation: ∇F_B(x) and ∇F_B(x_server) on the SAME batch,
     // so their difference carries only the drift x − x_server, not sampling
-    // noise. g̃ = ∇F_B(x) − ∇F_B(x_server) + ĝ.
+    // noise. g̃ = ∇F_B(x) − ∇F_B(x_server) + ĝ, folded into the descent in
+    // one fused pass (no corrected-gradient temporary).
     Vec& anchor_grad = w.extra.at("mime_anchor_grad");
     w.compute_gradient_pair(w.x, ctx.cloud->x, anchor_grad);
-    for (std::size_t i = 0; i < w.x.size(); ++i) {
-      const Scalar corrected = w.grad[i] - anchor_grad[i] + g_hat[i];
-      w.x[i] -= eta * ((1.0 - beta) * corrected + beta * m[i]);
-    }
+    vec::descent_svrg(w.x, w.grad, anchor_grad, g_hat, m, eta, beta);
   } else {
     w.compute_gradient(w.x);
-    for (std::size_t i = 0; i < w.x.size(); ++i) {
-      w.x[i] -= eta * ((1.0 - beta) * w.grad[i] + beta * m[i]);
-    }
+    vec::descent_blend(w.x, w.grad, m, eta, beta);
   }
 }
 
 void Mime::cloud_sync(fl::Context& ctx, std::size_t) {
-  fl::aggregate_global(*ctx.workers, fl::worker_x, x_scratch_, ctx.part,
+  // Aggregate straight into the cloud model (no aliasing with worker x's).
+  fl::aggregate_global(*ctx.workers, fl::worker_x, ctx.cloud->x, ctx.part,
                        ctx.pool);
-  ctx.cloud->x = x_scratch_;
   for (fl::WorkerState& w : *ctx.workers) {
-    if (fl::is_active(ctx.part, w.id)) w.x = x_scratch_;
+    if (fl::is_active(ctx.part, w.id)) w.x = ctx.cloud->x;
   }
   refresh_server_stats(ctx);
 }

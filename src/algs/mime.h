@@ -50,7 +50,6 @@ class Mime final : public fl::Algorithm {
 
   bool svrg_correction_;
   Scalar lr_scale_;
-  Vec x_scratch_;
 };
 
 }  // namespace hfl::algs

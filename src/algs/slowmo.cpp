@@ -17,12 +17,8 @@ void SlowMo::cloud_sync(fl::Context& ctx, std::size_t) {
                        ctx.pool);
   Vec& m = ctx.cloud->extra.at("slow_m");
   Vec& x = ctx.cloud->x;
-  const Scalar beta = ctx.cfg->gamma_edge;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const Scalar delta = x[i] - x_scratch_[i];
-    m[i] = beta * m[i] + delta;
-    x[i] -= slow_lr_ * m[i];
-  }
+  // m = β m + (x_{p−1} − x̄_p); x −= α m, fused into one pass.
+  vec::slowmo_step(x, x_scratch_, m, ctx.cfg->gamma_edge, slow_lr_);
   for (fl::WorkerState& w : *ctx.workers) {
     if (fl::is_active(ctx.part, w.id)) w.x = x;
   }

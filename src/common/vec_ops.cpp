@@ -5,6 +5,11 @@
 
 #include "src/common/errors.h"
 
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define HFL_VEC_AVX2 1
+#endif
+
 namespace hfl::vec {
 
 void axpy(Scalar a, std::span<const Scalar> x, std::span<Scalar> y) {
@@ -140,6 +145,300 @@ Scalar max_abs_diff(std::span<const Scalar> x, std::span<const Scalar> y) {
     m = std::max(m, std::abs(x[i] - y[i]));
   }
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Fused parameter-plane kernels. Every kernel pairs a 4-wide AVX2+FMA body
+// with a scalar tail built from std::fma so the tail reproduces the vector
+// lanes' rounding exactly; without AVX2 the std::fma loop is the whole
+// kernel. All are elementwise (no reductions), hence partition-invariant.
+// ---------------------------------------------------------------------------
+
+void axpby(Scalar a, std::span<const Scalar> x, Scalar b,
+           std::span<Scalar> y) {
+  HFL_CHECK(x.size() == y.size(), "axpby size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d va = _mm256_set1_pd(a);
+  const __m256d vb = _mm256_set1_pd(b);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x.data() + i);
+    const __m256d vy = _mm256_loadu_pd(y.data() + i);
+    _mm256_storeu_pd(y.data() + i,
+                     _mm256_fmadd_pd(va, vx, _mm256_mul_pd(vb, vy)));
+  }
+#endif
+  for (; i < x.size(); ++i) y[i] = std::fma(a, x[i], b * y[i]);
+}
+
+void scale_add_scale(std::span<Scalar> x, Scalar a,
+                     std::span<const Scalar> y, Scalar b) {
+  // FP addition is commutative bitwise, so b*y + a*x == a*x + b*y.
+  axpby(b, y, a, x);
+}
+
+void momentum_step(std::span<Scalar> m, std::span<const Scalar> g,
+                   Scalar gamma, std::span<Scalar> p, Scalar eta) {
+  HFL_CHECK(m.size() == g.size() && m.size() == p.size(),
+            "momentum_step size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vgamma = _mm256_set1_pd(gamma);
+  const __m256d vneta = _mm256_set1_pd(-eta);
+  for (; i + 4 <= m.size(); i += 4) {
+    const __m256d vm = _mm256_fmadd_pd(vgamma, _mm256_loadu_pd(m.data() + i),
+                                       _mm256_loadu_pd(g.data() + i));
+    _mm256_storeu_pd(m.data() + i, vm);
+    _mm256_storeu_pd(p.data() + i,
+                     _mm256_fmadd_pd(vneta, vm, _mm256_loadu_pd(p.data() + i)));
+  }
+#endif
+  for (; i < m.size(); ++i) {
+    const Scalar mi = std::fma(gamma, m[i], g[i]);
+    m[i] = mi;
+    p[i] = std::fma(-eta, mi, p[i]);
+  }
+}
+
+void decay_toward(std::span<Scalar> y, std::span<const Scalar> x, Scalar d) {
+  HFL_CHECK(x.size() == y.size(), "decay_toward size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vd = _mm256_set1_pd(d);
+  for (; i + 4 <= y.size(); i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x.data() + i);
+    const __m256d vy = _mm256_loadu_pd(y.data() + i);
+    _mm256_storeu_pd(y.data() + i,
+                     _mm256_fmadd_pd(vd, _mm256_sub_pd(vy, vx), vx));
+  }
+#endif
+  for (; i < y.size(); ++i) y[i] = std::fma(d, y[i] - x[i], x[i]);
+}
+
+void extrapolate_update(std::span<const Scalar> cur, std::span<Scalar> prev,
+                        Scalar gamma, std::span<Scalar> out) {
+  HFL_CHECK(cur.size() == prev.size() && cur.size() == out.size(),
+            "extrapolate_update size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vgamma = _mm256_set1_pd(gamma);
+  for (; i + 4 <= cur.size(); i += 4) {
+    const __m256d vc = _mm256_loadu_pd(cur.data() + i);
+    const __m256d vp = _mm256_loadu_pd(prev.data() + i);
+    _mm256_storeu_pd(out.data() + i,
+                     _mm256_fmadd_pd(vgamma, _mm256_sub_pd(vc, vp), vc));
+    _mm256_storeu_pd(prev.data() + i, vc);
+  }
+#endif
+  for (; i < cur.size(); ++i) {
+    const Scalar c = cur[i];
+    out[i] = std::fma(gamma, c - prev[i], c);
+    prev[i] = c;
+  }
+}
+
+void nag_step(std::span<Scalar> x, std::span<Scalar> y, std::span<Scalar> v,
+              std::span<const Scalar> grad, Scalar eta, Scalar gamma) {
+  HFL_CHECK(x.size() == y.size() && x.size() == v.size() &&
+                x.size() == grad.size(),
+            "nag_step size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vneta = _mm256_set1_pd(-eta);
+  const __m256d vgamma = _mm256_set1_pd(gamma);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vyn = _mm256_fmadd_pd(vneta, _mm256_loadu_pd(grad.data() + i),
+                                        _mm256_loadu_pd(x.data() + i));
+    const __m256d vvn = _mm256_sub_pd(vyn, _mm256_loadu_pd(y.data() + i));
+    _mm256_storeu_pd(y.data() + i, vyn);
+    _mm256_storeu_pd(v.data() + i, vvn);
+    _mm256_storeu_pd(x.data() + i, _mm256_fmadd_pd(vgamma, vvn, vyn));
+  }
+#endif
+  for (; i < x.size(); ++i) {
+    const Scalar y_new = std::fma(-eta, grad[i], x[i]);
+    const Scalar v_new = y_new - y[i];
+    y[i] = y_new;
+    v[i] = v_new;
+    x[i] = std::fma(gamma, v_new, y_new);
+  }
+}
+
+void nag_step_accumulate(std::span<Scalar> x, std::span<Scalar> y,
+                         std::span<Scalar> v, std::span<const Scalar> grad,
+                         Scalar eta, Scalar gamma, std::span<Scalar> sum_grad,
+                         std::span<Scalar> sum_y, std::span<Scalar> sum_v) {
+  HFL_CHECK(x.size() == y.size() && x.size() == v.size() &&
+                x.size() == grad.size() && x.size() == sum_grad.size() &&
+                x.size() == sum_y.size() && x.size() == sum_v.size(),
+            "nag_step_accumulate size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vneta = _mm256_set1_pd(-eta);
+  const __m256d vgamma = _mm256_set1_pd(gamma);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vg = _mm256_loadu_pd(grad.data() + i);
+    const __m256d vy = _mm256_loadu_pd(y.data() + i);
+    _mm256_storeu_pd(sum_grad.data() + i,
+                     _mm256_add_pd(_mm256_loadu_pd(sum_grad.data() + i), vg));
+    _mm256_storeu_pd(sum_y.data() + i,
+                     _mm256_add_pd(_mm256_loadu_pd(sum_y.data() + i), vy));
+    const __m256d vyn = _mm256_fmadd_pd(vneta, vg,
+                                        _mm256_loadu_pd(x.data() + i));
+    const __m256d vvn = _mm256_sub_pd(vyn, vy);
+    _mm256_storeu_pd(y.data() + i, vyn);
+    _mm256_storeu_pd(v.data() + i, vvn);
+    _mm256_storeu_pd(x.data() + i, _mm256_fmadd_pd(vgamma, vvn, vyn));
+    _mm256_storeu_pd(sum_v.data() + i,
+                     _mm256_add_pd(_mm256_loadu_pd(sum_v.data() + i), vvn));
+  }
+#endif
+  for (; i < x.size(); ++i) {
+    sum_grad[i] += grad[i];
+    sum_y[i] += y[i];  // pre-update y, matching the unfused pass order
+    const Scalar y_new = std::fma(-eta, grad[i], x[i]);
+    const Scalar v_new = y_new - y[i];
+    y[i] = y_new;
+    v[i] = v_new;
+    x[i] = std::fma(gamma, v_new, y_new);
+    sum_v[i] += v_new;
+  }
+}
+
+void slowmo_step(std::span<Scalar> x, std::span<const Scalar> agg,
+                 std::span<Scalar> m, Scalar beta, Scalar lr) {
+  HFL_CHECK(x.size() == agg.size() && x.size() == m.size(),
+            "slowmo_step size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vbeta = _mm256_set1_pd(beta);
+  const __m256d vnlr = _mm256_set1_pd(-lr);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x.data() + i);
+    const __m256d vdelta = _mm256_sub_pd(vx, _mm256_loadu_pd(agg.data() + i));
+    const __m256d vm =
+        _mm256_fmadd_pd(vbeta, _mm256_loadu_pd(m.data() + i), vdelta);
+    _mm256_storeu_pd(m.data() + i, vm);
+    _mm256_storeu_pd(x.data() + i, _mm256_fmadd_pd(vnlr, vm, vx));
+  }
+#endif
+  for (; i < x.size(); ++i) {
+    const Scalar mi = std::fma(beta, m[i], x[i] - agg[i]);
+    m[i] = mi;
+    x[i] = std::fma(-lr, mi, x[i]);
+  }
+}
+
+void descent_drift(std::span<Scalar> x, std::span<const Scalar> g,
+                   std::span<const Scalar> u, Scalar eta, Scalar beta) {
+  HFL_CHECK(x.size() == g.size() && x.size() == u.size(),
+            "descent_drift size mismatch");
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vbeta = _mm256_set1_pd(beta);
+  const __m256d vneta = _mm256_set1_pd(-eta);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vd = _mm256_fmadd_pd(vbeta, _mm256_loadu_pd(u.data() + i),
+                                       _mm256_loadu_pd(g.data() + i));
+    _mm256_storeu_pd(x.data() + i,
+                     _mm256_fmadd_pd(vneta, vd, _mm256_loadu_pd(x.data() + i)));
+  }
+#endif
+  for (; i < x.size(); ++i) {
+    const Scalar d = std::fma(beta, u[i], g[i]);
+    x[i] = std::fma(-eta, d, x[i]);
+  }
+}
+
+void descent_blend(std::span<Scalar> x, std::span<const Scalar> g,
+                   std::span<const Scalar> m, Scalar eta, Scalar beta) {
+  HFL_CHECK(x.size() == g.size() && x.size() == m.size(),
+            "descent_blend size mismatch");
+  const Scalar keep = 1.0 - beta;
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vkeep = _mm256_set1_pd(keep);
+  const __m256d vbeta = _mm256_set1_pd(beta);
+  const __m256d vneta = _mm256_set1_pd(-eta);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vd = _mm256_fmadd_pd(
+        vbeta, _mm256_loadu_pd(m.data() + i),
+        _mm256_mul_pd(vkeep, _mm256_loadu_pd(g.data() + i)));
+    _mm256_storeu_pd(x.data() + i,
+                     _mm256_fmadd_pd(vneta, vd, _mm256_loadu_pd(x.data() + i)));
+  }
+#endif
+  for (; i < x.size(); ++i) {
+    const Scalar d = std::fma(beta, m[i], keep * g[i]);
+    x[i] = std::fma(-eta, d, x[i]);
+  }
+}
+
+void descent_svrg(std::span<Scalar> x, std::span<const Scalar> gb,
+                  std::span<const Scalar> ga, std::span<const Scalar> ghat,
+                  std::span<const Scalar> m, Scalar eta, Scalar beta) {
+  HFL_CHECK(x.size() == gb.size() && x.size() == ga.size() &&
+                x.size() == ghat.size() && x.size() == m.size(),
+            "descent_svrg size mismatch");
+  const Scalar keep = 1.0 - beta;
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vkeep = _mm256_set1_pd(keep);
+  const __m256d vbeta = _mm256_set1_pd(beta);
+  const __m256d vneta = _mm256_set1_pd(-eta);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vc = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(gb.data() + i),
+                      _mm256_loadu_pd(ga.data() + i)),
+        _mm256_loadu_pd(ghat.data() + i));
+    const __m256d vd = _mm256_fmadd_pd(vbeta, _mm256_loadu_pd(m.data() + i),
+                                       _mm256_mul_pd(vkeep, vc));
+    _mm256_storeu_pd(x.data() + i,
+                     _mm256_fmadd_pd(vneta, vd, _mm256_loadu_pd(x.data() + i)));
+  }
+#endif
+  for (; i < x.size(); ++i) {
+    const Scalar c = gb[i] - ga[i] + ghat[i];
+    const Scalar d = std::fma(beta, m[i], keep * c);
+    x[i] = std::fma(-eta, d, x[i]);
+  }
+}
+
+void adc_server_update(std::span<Scalar> x, std::span<const Scalar> agg,
+                       std::span<Scalar> u, Scalar beta, Scalar inv_step) {
+  HFL_CHECK(x.size() == agg.size() && x.size() == u.size(),
+            "adc_server_update size mismatch");
+  const Scalar keep = 1.0 - beta;
+  std::size_t i = 0;
+#ifdef HFL_VEC_AVX2
+  const __m256d vbeta = _mm256_set1_pd(beta);
+  const __m256d vkeep = _mm256_set1_pd(keep);
+  const __m256d vinv = _mm256_set1_pd(inv_step);
+  for (; i + 4 <= x.size(); i += 4) {
+    const __m256d vagg = _mm256_loadu_pd(agg.data() + i);
+    const __m256d vpseudo = _mm256_mul_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(x.data() + i), vagg), vinv);
+    _mm256_storeu_pd(
+        u.data() + i,
+        _mm256_fmadd_pd(vbeta, _mm256_loadu_pd(u.data() + i),
+                        _mm256_mul_pd(vkeep, vpseudo)));
+    _mm256_storeu_pd(x.data() + i, vagg);
+  }
+#endif
+  for (; i < x.size(); ++i) {
+    const Scalar pseudo = (x[i] - agg[i]) * inv_step;
+    u[i] = std::fma(beta, u[i], keep * pseudo);
+    x[i] = agg[i];
+  }
+}
+
+Scalar cosine_neg(std::span<const Scalar> x, std::span<const Scalar> y) {
+  const Scalar nx = norm(x);
+  const Scalar ny = norm(y);
+  constexpr Scalar kEps = 1e-12;
+  if (nx < kEps || ny < kEps) return 0.0;
+  const Scalar c = -(dot(x, y) / (nx * ny));
+  return std::clamp(c, Scalar{-1}, Scalar{1});
 }
 
 }  // namespace hfl::vec

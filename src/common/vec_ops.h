@@ -66,4 +66,88 @@ void fill(std::span<Scalar> x, Scalar value);
 // max_i |x_i - y_i|
 Scalar max_abs_diff(std::span<const Scalar> x, std::span<const Scalar> y);
 
+// ---------------------------------------------------------------------------
+// Fused parameter-plane kernels.
+//
+// Each kernel below collapses a sequence of axpy/scale/copy passes that the
+// momentum algebra used to run as separate loops into ONE pass over the
+// vectors, with an AVX2+FMA body and a scalar tail that computes the exact
+// same per-element expression (std::fma mirrors the vector fmadd, so the
+// tail and the SIMD body agree bitwise).
+//
+// Contract: element i's result depends only on index-i inputs — no cross-
+// element reductions — so the kernels are trivially invariant to any thread
+// partition of the index range. Per-element values may differ from the
+// previously composed loops by the usual FMA-contraction rounding (≤1 ulp
+// per fused multiply-add); every caller was moved in the same change, so the
+// within-binary parity oracles (serial-vs-parallel, batched-vs-per-worker,
+// virtualized-vs-dense) compare paths running identical kernels.
+// ---------------------------------------------------------------------------
+
+// y = a*x + b*y (extended BLAS axpby).
+void axpby(Scalar a, std::span<const Scalar> x, Scalar b, std::span<Scalar> y);
+
+// x = a*x + b*y — axpby with the in-place operand first. Same per-element
+// expression (FP addition is commutative bitwise), kept as a named entry
+// point for callers whose natural reading is "scale, then add scaled".
+void scale_add_scale(std::span<Scalar> x, Scalar a,
+                     std::span<const Scalar> y, Scalar b);
+
+// Classical momentum step, fused: m = gamma*m + g; p -= eta*m.
+void momentum_step(std::span<Scalar> m, std::span<const Scalar> g,
+                   Scalar gamma, std::span<Scalar> p, Scalar eta);
+
+// Pull y toward x: y = x + d*(y - x). This is the absent-worker momentum
+// decay algebra (fl::Participation kDecay) — d = 1 holds, d = 0 resets.
+void decay_toward(std::span<Scalar> y, std::span<const Scalar> x, Scalar d);
+
+// Momentum extrapolation with state update, fused:
+//   out = cur + gamma*(cur - prev);  prev = cur.
+// This is the aggregator-Nesterov pattern shared by HierAdMo's edge blend
+// (x_plus from the fresh edge average vs. the previous round's) and FedMom's
+// server step. `out` may alias neither input; `cur` and `prev` must differ.
+void extrapolate_update(std::span<const Scalar> cur, std::span<Scalar> prev,
+                        Scalar gamma, std::span<Scalar> out);
+
+// Fused NAG local step (core/nag.cpp algebra), one pass:
+//   y_new = x - eta*grad;  v = y_new - y;  y = y_new;  x = y_new + gamma*v.
+void nag_step(std::span<Scalar> x, std::span<Scalar> y, std::span<Scalar> v,
+              std::span<const Scalar> grad, Scalar eta, Scalar gamma);
+
+// nag_step plus the HierAdMo accumulators, still one pass:
+//   sum_grad += grad;  sum_y += y (pre-update);  ...step...;  sum_v += v (new).
+void nag_step_accumulate(std::span<Scalar> x, std::span<Scalar> y,
+                         std::span<Scalar> v, std::span<const Scalar> grad,
+                         Scalar eta, Scalar gamma, std::span<Scalar> sum_grad,
+                         std::span<Scalar> sum_y, std::span<Scalar> sum_v);
+
+// SlowMo-style server fold, fused: m = beta*m + (x - agg); x -= lr*m.
+void slowmo_step(std::span<Scalar> x, std::span<const Scalar> agg,
+                 std::span<Scalar> m, Scalar beta, Scalar lr);
+
+// Drift-corrected descent (FedADC local step): x -= eta*(g + beta*u).
+void descent_drift(std::span<Scalar> x, std::span<const Scalar> g,
+                   std::span<const Scalar> u, Scalar eta, Scalar beta);
+
+// Mime's blended descent: x -= eta*((1-beta)*g + beta*m).
+void descent_blend(std::span<Scalar> x, std::span<const Scalar> g,
+                   std::span<const Scalar> m, Scalar eta, Scalar beta);
+
+// Mime's SVRG-corrected descent: the blended step with the paired correction
+// g_b - g_a + ghat in place of g, evaluated inline (no corrected-gradient
+// temporary): x -= eta*((1-beta)*(gb - ga + ghat) + beta*m).
+void descent_svrg(std::span<Scalar> x, std::span<const Scalar> gb,
+                  std::span<const Scalar> ga, std::span<const Scalar> ghat,
+                  std::span<const Scalar> m, Scalar eta, Scalar beta);
+
+// FedADC server update, fused:
+//   u = beta*u + (1-beta)*((x - agg)*inv_step);  x = agg.
+void adc_server_update(std::span<Scalar> x, std::span<const Scalar> agg,
+                       std::span<Scalar> u, Scalar beta, Scalar inv_step);
+
+// cosine(-x, y) without materializing the negated vector. Bit-identical to
+// negating x first: IEEE multiplication and addition are sign-symmetric, so
+// dot(-x, y) == -dot(x, y) and norm(-x) == norm(x) exactly.
+Scalar cosine_neg(std::span<const Scalar> x, std::span<const Scalar> y);
+
 }  // namespace hfl::vec

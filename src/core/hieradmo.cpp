@@ -58,16 +58,16 @@ Scalar HierAdMo::compute_cos_theta(const fl::Context& ctx,
     return cos_theta;
   }
 
-  Vec neg_grad;
   for (const std::size_t id : ids) {
     const fl::WorkerState& w = (*ctx.workers)[id];
-    neg_grad = w.sum_grad;
-    vec::scale(neg_grad, -1.0);
     const Vec& momentum_signal =
         options_.signal == HierAdMoOptions::Signal::kVelocity ? w.sum_v
                                                               : w.sum_y;
+    // cosine(−Σg, signal) without materializing the negated accumulator —
+    // bit-identical (IEEE sign symmetry), and drops an n-vector copy+scale
+    // per active worker per edge round.
     cos_theta += fl::active_weight_in_edge(ctx.part, w) *
-                 vec::cosine(neg_grad, momentum_signal);
+                 vec::cosine_neg(w.sum_grad, momentum_signal);
   }
   return cos_theta;
 }
@@ -116,26 +116,24 @@ void HierAdMo::edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t) {
   // Aggregation scratch is thread_local, never a member: the engine invokes
   // edge_sync for distinct edges concurrently, and member scratch would race
   // (the pre-parallel-tier latent bug this layout fixes).
-  thread_local Vec y_minus_scratch, y_plus_scratch;
+  thread_local Vec y_plus_scratch;
 
-  // Line 11: worker momentum edge aggregation y_{ℓ−} = Σ w_i y_i.
-  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_y, y_minus_scratch,
+  // Line 11: worker momentum edge aggregation y_{ℓ−} = Σ w_i y_i. The sum
+  // lands directly in the edge state (the workers' y vectors are distinct
+  // storage, so no aliasing) — no scratch round-trip.
+  fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_y, e.y_minus,
                      ctx.part);
-  e.y_minus = y_minus_scratch;
 
   // Line 12: y_{ℓ+} = x_{ℓ+}^{(k−1)τ} − Σ w_i (x_{ℓ+}^{(k−1)τ} − x_i^{kτ}),
   // which simplifies to the data-weighted worker model average Σ w_i x_i.
+  // Scratch is needed here: line 13 blends against the PREVIOUS y_{ℓ+}.
   fl::aggregate_edge(*ctx.topo, e.id, workers, fl::worker_x, y_plus_scratch,
                      ctx.part);
 
-  // Line 13: x_{ℓ+} = y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}).
-  Vec& x_plus = e.x_plus;
-  x_plus.resize(y_plus_scratch.size());
-  for (std::size_t i = 0; i < x_plus.size(); ++i) {
-    x_plus[i] = y_plus_scratch[i] +
-                e.gamma_edge * (y_plus_scratch[i] - e.y_plus[i]);
-  }
-  e.y_plus = y_plus_scratch;
+  // Line 13: x_{ℓ+} = y_{ℓ+} + γℓ (y_{ℓ+} − y_{ℓ+}^{(k−1)τ}), fused with the
+  // y_{ℓ+} state rollover in one pass.
+  e.x_plus.resize(y_plus_scratch.size());
+  vec::extrapolate_update(y_plus_scratch, e.y_plus, e.gamma_edge, e.x_plus);
 
   // Lines 14–15: re-distribute y_{ℓ−} and x_{ℓ+} to the edge's workers (only
   // the survivors receive; absent workers keep local state per the absent

@@ -6,23 +6,15 @@ Scalar nag_local_step(fl::WorkerState& w, Scalar eta, Scalar gamma,
                       bool accumulate) {
   const Scalar loss = w.compute_gradient(w.x);  // grad = ∇F_i(x_{t−1})
 
-  if (accumulate) {
-    // Sums over t = (k−1)τ … kτ−1 use the gradient position and the
-    // pre-update momentum parameter (Algorithm 1, line 9).
-    vec::axpy(1.0, w.grad, w.sum_grad);
-    vec::axpy(1.0, w.y, w.sum_y);
-  }
-
   // y_t = x_{t−1} − η g;  v_t = y_t − y_{t−1};  x_t = y_t + γ v_t.
-  for (std::size_t i = 0; i < w.x.size(); ++i) {
-    const Scalar y_new = w.x[i] - eta * w.grad[i];
-    w.v[i] = y_new - w.y[i];
-    w.y[i] = y_new;
-    w.x[i] = y_new + gamma * w.v[i];
-  }
-
+  // One fused pass; with `accumulate` the HierAdMo sums over
+  // t = (k−1)τ … kτ−1 ride along in the same pass, reading the gradient
+  // position and the pre-update momentum parameter (Algorithm 1, line 9).
   if (accumulate) {
-    vec::axpy(1.0, w.v, w.sum_v);
+    vec::nag_step_accumulate(w.x, w.y, w.v, w.grad, eta, gamma, w.sum_grad,
+                             w.sum_y, w.sum_v);
+  } else {
+    vec::nag_step(w.x, w.y, w.v, w.grad, eta, gamma);
   }
   return loss;
 }

@@ -45,4 +45,19 @@ void Batcher::next(Tensor& x, std::vector<std::size_t>& y) {
   dataset_->gather(batch_scratch_, x, y);
 }
 
+void Batcher::next_rows(std::vector<const Scalar*>& rows,
+                        std::vector<std::size_t>& y) {
+  rows.clear();
+  y.clear();
+  for (std::size_t b = 0; b < batch_size_; ++b) {
+    if (cursor_ == indices_.size()) {
+      rng_.shuffle(indices_);
+      cursor_ = 0;
+    }
+    const std::size_t idx = indices_[cursor_++];
+    rows.push_back(dataset_->features(idx).data());
+    y.push_back(dataset_->label(idx));
+  }
+}
+
 }  // namespace hfl::data

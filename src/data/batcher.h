@@ -34,6 +34,13 @@ class Batcher {
   // Fills `x` (B, *sample_shape) and `y` with the next mini-batch.
   void next(Tensor& x, std::vector<std::size_t>& y);
 
+  // Zero-copy variant: fills `rows` with one pointer per sample into the
+  // dataset's contiguous storage instead of gathering into `x`. Advances the
+  // cursor/shuffle stream exactly like next() — the two forms are
+  // interchangeable draw-for-draw. Pointers stay valid for the dataset's
+  // lifetime.
+  void next_rows(std::vector<const Scalar*>& rows, std::vector<std::size_t>& y);
+
   BatcherState save_state() const { return {indices_, cursor_, rng_.save_state()}; }
 
   std::size_t num_samples() const { return indices_.size(); }

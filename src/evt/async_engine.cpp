@@ -8,6 +8,7 @@
 
 #include "src/common/errors.h"
 #include "src/common/rng.h"
+#include "src/common/vec_ops.h"
 #include "src/evt/event_queue.h"
 #include "src/fl/state.h"
 #include "src/net/profiles.h"
@@ -40,8 +41,7 @@ fl::RunConfig toolbox_config(fl::RunConfig cfg) {
 // resized (algorithm-specific scratch appearing mid-run) are kept as-is.
 void damp(Vec& v, const Vec& pre, Scalar alpha) {
   if (alpha >= 1.0 || v.size() != pre.size()) return;
-  const Scalar keep = 1.0 - alpha;
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] = keep * pre[i] + alpha * v[i];
+  vec::axpby(1.0 - alpha, pre, alpha, v);  // fused (1−α)·pre + α·v
 }
 
 // s(τ) = staleness_decay^τ.

@@ -101,6 +101,7 @@ void Participation::begin_interval(std::size_t k) {
   HFL_CHECK(k >= 1 && k <= schedule_->num_intervals,
             "interval index out of the schedule's range");
   k_ = k;
+  sparse_mode_ = false;
   const std::size_t n = active_.size();
   const std::size_t l = edge_active_.size();
 
@@ -131,6 +132,7 @@ void Participation::set_roster(const std::vector<std::uint8_t>& worker_up,
                 std::to_string(n) + " / " + std::to_string(l) + " expected)");
   HFL_CHECK(scale == nullptr || scale->size() == n,
             "set_roster scale vector does not match the worker count");
+  sparse_mode_ = false;
 
   num_active_ = 0;
   for (std::size_t w = 0; w < n; ++w) {
@@ -147,6 +149,100 @@ void Participation::set_roster(const std::vector<std::uint8_t>& worker_up,
   }
 
   rebuild_weights();
+}
+
+void Participation::set_cohort_roster(const std::vector<WorkerId>& cohort_ids,
+                                      const std::vector<std::uint8_t>& cohort_up,
+                                      const std::vector<std::uint8_t>& edge_up,
+                                      const std::vector<Scalar>* cohort_scale) {
+  const std::size_t n = active_.size();
+  const std::size_t l = edge_active_.size();
+  HFL_CHECK(schedule_ == nullptr,
+            "set_cohort_roster is manual-roster only; schedule-backed "
+            "Participation replays intervals via begin_interval");
+  HFL_CHECK(cohort_up.size() == cohort_ids.size(),
+            "cohort_up must align with cohort_ids");
+  HFL_CHECK(edge_up.size() == l,
+            "set_cohort_roster edge array does not match the topology");
+  HFL_CHECK(cohort_scale == nullptr ||
+                cohort_scale->size() == cohort_ids.size(),
+            "cohort scale vector does not match the cohort size");
+
+  if (!sparse_mode_) {
+    // One-time O(population): the constructor (and any interleaved dense
+    // call) leaves everyone marked active with arbitrary weights. Drop to
+    // the all-absent baseline the incremental path maintains between calls.
+    std::fill(active_.begin(), active_.end(), std::uint8_t{0});
+    std::fill(weight_in_edge_.begin(), weight_in_edge_.end(), 0.0);
+    std::fill(weight_global_.begin(), weight_global_.end(), 0.0);
+    sparse_mode_ = true;
+  } else {
+    // Clear only last interval's cohort marks — every other worker already
+    // sits at the baseline.
+    for (const WorkerId w : prev_cohort_ids_) {
+      active_[w] = 0;
+      weight_in_edge_[w] = 0.0;
+      weight_global_[w] = 0.0;
+    }
+  }
+  for (std::size_t e = 0; e < l; ++e) {
+    active_of_edge_[e].clear();
+    edge_active_[e] = 0;
+    edge_weight_[e] = 0.0;
+  }
+
+  // Activity bits, effective masses, and per-edge rosters in one ascending
+  // pass. Ascending cohort ids make each per-edge roster the ascending
+  // subsequence the dense rebuild reads off workers_of_edge.
+  num_active_ = 0;
+  for (std::size_t i = 0; i < cohort_ids.size(); ++i) {
+    const WorkerId w = cohort_ids[i];
+    HFL_CHECK(w < n, "cohort id out of range");
+    HFL_CHECK(i == 0 || cohort_ids[i - 1] < w,
+              "cohort ids must be ascending and unique");
+    const std::size_t e = topo_->edge_of_worker(w);
+    const bool edge_ok = !edge_faults_ || edge_up[e] != 0;
+    active_[w] = (cohort_up[i] != 0 && edge_ok) ? 1 : 0;
+    num_active_ += active_[w];
+    mass_[w] = base_weight_[w] *
+               (cohort_scale == nullptr ? 1.0 : (*cohort_scale)[i]);
+    if (active_[w]) active_of_edge_[e].push_back(w);
+  }
+
+  // The same three renormalization sums rebuild_weights computes, restricted
+  // to the cohort and walked in identical order: edges ascending for the
+  // edge/global masses, cohort (= active superset) ascending for the
+  // worker-level mass.
+  Scalar global_mass = 0;
+  for (std::size_t e = 0; e < l; ++e) {
+    const auto& roster = active_of_edge_[e];
+    Scalar edge_mass = 0;
+    for (const WorkerId w : roster) edge_mass += mass_[w];
+    edge_active_[e] =
+        (!edge_faults_ || edge_up[e] != 0) && !roster.empty() ? 1 : 0;
+    for (const WorkerId w : roster) {
+      weight_in_edge_[w] = mass_[w] / edge_mass;
+    }
+    if (edge_active_[e]) global_mass += edge_mass;
+  }
+
+  Scalar active_mass = 0;
+  for (const WorkerId w : cohort_ids) {
+    if (active_[w]) active_mass += mass_[w];
+  }
+  for (const WorkerId w : cohort_ids) {
+    weight_global_[w] =
+        active_[w] && active_mass > 0 ? mass_[w] / active_mass : 0.0;
+  }
+  for (std::size_t e = 0; e < l; ++e) {
+    Scalar edge_mass = 0;
+    for (const WorkerId w : active_of_edge_[e]) edge_mass += mass_[w];
+    edge_weight_[e] = edge_active_[e] && global_mass > 0
+                          ? edge_mass / global_mass
+                          : 0.0;
+  }
+
+  prev_cohort_ids_ = cohort_ids;
 }
 
 void Participation::set_absent_policy(AbsentPolicy policy, Scalar decay) {
@@ -239,9 +335,7 @@ void apply_absent_policy(WorkerState& w, AbsentPolicy policy, Scalar decay) {
       w.reset_interval_accumulators();
       break;
     case AbsentPolicy::kDecay:
-      for (std::size_t i = 0; i < w.y.size(); ++i) {
-        w.y[i] = w.x[i] + decay * (w.y[i] - w.x[i]);
-      }
+      vec::decay_toward(w.y, w.x, decay);
       vec::scale(w.v, decay);
       vec::scale(w.sum_grad, decay);
       vec::scale(w.sum_y, decay);

@@ -159,6 +159,22 @@ class Participation {
                   const std::vector<std::uint8_t>& edge_up,
                   const std::vector<Scalar>* scale = nullptr);
 
+  // Manual-roster mode, sparse form: exactly `cohort_ids` (ascending,
+  // unique) may be up — cohort member i is up iff cohort_up[i]; everyone
+  // outside the cohort is absent. `cohort_scale`, when non-null, is aligned
+  // with cohort_ids (multiplicity of with-replacement draws). Costs
+  // O(cohort + edges) per call after a one-time O(population) baseline
+  // clear, versus set_roster's O(population) every interval, and is
+  // bit-identical to passing the equivalent population-sized arrays to
+  // set_roster: every floating-point mass sum visits the same members in
+  // the same ascending-id / ascending-edge order (workers_of_edge lists
+  // ascending ids, so a per-edge roster built from the ascending cohort is
+  // the same subsequence the dense rebuild walks).
+  void set_cohort_roster(const std::vector<WorkerId>& cohort_ids,
+                         const std::vector<std::uint8_t>& cohort_up,
+                         const std::vector<std::uint8_t>& edge_up,
+                         const std::vector<Scalar>* cohort_scale = nullptr);
+
   // Manual-roster mode: absent-momentum policy reported to absent_sync.
   void set_absent_policy(AbsentPolicy policy, Scalar decay);
 
@@ -219,6 +235,11 @@ class Participation {
   std::vector<Scalar> weight_global_;
   std::vector<Scalar> edge_weight_;
   std::size_t num_active_ = 0;
+  // Sparse-roster bookkeeping: while true, only prev_cohort_ids_ may carry
+  // nonzero active bits / weights (the all-absent baseline holds everywhere
+  // else). Dense entry points reset it so the two forms can interleave.
+  bool sparse_mode_ = false;
+  std::vector<WorkerId> prev_cohort_ids_;
 };
 
 // ---- Null-tolerant helpers (part == nullptr ⇒ full participation). ----

@@ -56,13 +56,23 @@ void Engine::prefetch_cohort_gradients(Algorithm& alg, Context& ctx,
                                        WorkerSet& workers) {
   cohort_items_.clear();
   cohort_ids_.clear();
+  // Zero-copy draws when the plan reads flat sample rows in place (MLPs /
+  // logistic models at full precision): the batch is never gathered into a
+  // tensor, the GEMMs read dataset rows directly. Bit-identical to the
+  // gathered path (same draws, same products — see nn::CohortModel).
+  const bool row_gather =
+      cohort_->supports_row_gather() && !cfg_.mixed_precision;
   for (WorkerState& w : workers) {
     if (ctx.part && !ctx.part->worker_active(w.id)) continue;
     nn::CohortItem item;
     // Engine-side draw advances the worker's stream exactly like the
     // compute_gradient it replaces; streams are worker-owned, so serial
     // draws here see the same sequence the parallel local_steps would.
-    w.draw_batch(item.x, item.y);
+    if (row_gather) {
+      w.draw_batch_rows(item.x_rows, item.y);
+    } else {
+      w.draw_batch(item.x, item.y);
+    }
     item.params = alg.local_gradient_point(w).data();
     item.grad = w.grad.data();
     cohort_items_.push_back(item);
@@ -282,11 +292,14 @@ void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
                 "(eval_every must be 0 or a multiple of tau*pi): the "
                 "mid-interval virtual global model would need every worker "
                 "materialized");
-      HFL_CHECK(oracle == nullptr ||
-                    oracle->absent_policy() == AbsentPolicy::kHold,
-                "sampled virtualized runs support only the kHold absent "
-                "policy: kReset/kDecay mutate workers that are not "
-                "materialized");
+    }
+    if (oracle != nullptr) {
+      // Unmaterialized workers receive the policy lazily: the provider
+      // stamps each spill with the interval clock and replays the policy
+      // once per missed interval at restore (bit-identical to a
+      // materialized worker receiving absent_sync every interval).
+      provider_->set_absent_replay(oracle->absent_policy(),
+                                   oracle->absent_decay());
     }
     // Sampling and oracle faults both flow through a manual-roster
     // Participation over the whole population; neither active → part stays
@@ -312,7 +325,11 @@ void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
                    &rs.cloud, 0,             rs.part.get(), pool_.get()};
 
   rs.result.algorithm = alg.name();
-  if (rs.part) rs.result.worker_miss_counts.assign(rs.workers.size(), 0);
+  if (rs.part) {
+    rs.result.worker_miss_counts.assign(rs.workers.size(), 0);
+    rs.participation_counts.assign(rs.workers.size(), 0);
+    rs.num_part_intervals = 0;
+  }
 
   if (provider_ != nullptr) {
     begin_virtual_interval(alg, rs, 1, oracle, /*first_interval=*/true);
@@ -324,6 +341,7 @@ void Engine::begin_virtual_interval(Algorithm& alg, RunState& rs,
                                     const AvailabilityOracle* oracle,
                                     bool first_interval) {
   const std::size_t population = provider_->population();
+  provider_->begin_interval(k);
   std::vector<WorkerId> fresh;
   if (provider_->sampling()) {
     provider_->sample_cohort(k, rs.cohort_ids, rs.cohort_mult);
@@ -342,11 +360,11 @@ void Engine::begin_virtual_interval(Algorithm& alg, RunState& rs,
     // says otherwise; everyone outside the cohort is absent. Multiplicity
     // (> 1 only for with-replacement draws) scales aggregation mass so the
     // cohort estimator stays unbiased.
-    rs.roster_up.assign(population, 0);
     bool scaled = false;
+    rs.cohort_up.resize(rs.cohort_ids.size());
     for (std::size_t i = 0; i < rs.cohort_ids.size(); ++i) {
       const WorkerId id = rs.cohort_ids[i];
-      rs.roster_up[id] =
+      rs.cohort_up[i] =
           (oracle == nullptr || oracle->worker_available(k, id)) ? 1 : 0;
       if (rs.cohort_mult[i] != 1.0) scaled = true;
     }
@@ -356,15 +374,29 @@ void Engine::begin_virtual_interval(Algorithm& alg, RunState& rs,
         rs.roster_edge_up[e] = oracle->edge_available(k, e) ? 1 : 0;
       }
     }
-    const std::vector<Scalar>* scale = nullptr;
-    if (scaled) {
-      rs.roster_scale.assign(population, 1.0);
+    if (provider_->sampling()) {
+      // Sparse form: O(cohort + edges) per interval instead of rebuilding
+      // population-sized arrays — at N = 1M workers the dense form dominated
+      // every interval's cost. Bit-identical to set_roster on the expanded
+      // arrays (asserted by tests/pop_parity_test.cpp).
+      rs.part->set_cohort_roster(rs.cohort_ids, rs.cohort_up,
+                                 rs.roster_edge_up,
+                                 scaled ? &rs.cohort_mult : nullptr);
+    } else {
+      rs.roster_up.assign(population, 0);
       for (std::size_t i = 0; i < rs.cohort_ids.size(); ++i) {
-        rs.roster_scale[rs.cohort_ids[i]] = rs.cohort_mult[i];
+        rs.roster_up[rs.cohort_ids[i]] = rs.cohort_up[i];
       }
-      scale = &rs.roster_scale;
+      const std::vector<Scalar>* scale = nullptr;
+      if (scaled) {
+        rs.roster_scale.assign(population, 1.0);
+        for (std::size_t i = 0; i < rs.cohort_ids.size(); ++i) {
+          rs.roster_scale[rs.cohort_ids[i]] = rs.cohort_mult[i];
+        }
+        scale = &rs.roster_scale;
+      }
+      rs.part->set_roster(rs.roster_up, rs.roster_edge_up, scale);
     }
-    rs.part->set_roster(rs.roster_up, rs.roster_edge_up, scale);
   }
 
   // Algorithm init runs against a participation-free context — exactly the
@@ -504,9 +536,19 @@ void Engine::finish_interval(Algorithm& alg, RunState& rs, std::size_t k) {
       if (part->worker_active(w.id)) continue;
       alg.absent_sync(rs.ctx, w, k);
     }
-    // Miss counts cover the whole population, materialized or not.
-    for (std::size_t w = 0; w < part->num_workers(); ++w) {
-      if (!part->worker_active(w)) ++rs.result.worker_miss_counts[w];
+    // Miss counts cover the whole population, materialized or not. Count
+    // participation (misses fall out at finalize as intervals − hits): the
+    // participants are enumerable in O(cohort) for sampled runs, where the
+    // old per-interval O(population) absence sweep dominated at N = 1M.
+    ++rs.num_part_intervals;
+    if (provider_ != nullptr && provider_->sampling()) {
+      for (const WorkerId id : rs.cohort_ids) {
+        if (part->worker_active(id)) ++rs.participation_counts[id];
+      }
+    } else {
+      for (std::size_t w = 0; w < part->num_workers(); ++w) {
+        if (part->worker_active(w)) ++rs.participation_counts[w];
+      }
     }
     rs.result.participation.push_back(
         {k, part->num_active(), rs.workers.size(), active_edges,
@@ -518,6 +560,15 @@ void Engine::finish_interval(Algorithm& alg, RunState& rs, std::size_t k) {
 
 void Engine::finalize_run(Algorithm& alg, RunState& rs) {
   RunResult& result = rs.result;
+  // Derive miss counts from the per-interval participation tallies
+  // (finish_interval). Empty tallies mean another accounting path owns the
+  // counts (evt's event-driven clock increments them per missed event).
+  if (!rs.participation_counts.empty()) {
+    for (std::size_t w = 0; w < result.worker_miss_counts.size(); ++w) {
+      result.worker_miss_counts[w] =
+          rs.num_part_intervals - rs.participation_counts[w];
+    }
+  }
   if (!result.participation.empty()) {
     Scalar sum = 0;
     for (const ParticipationPoint& p : result.participation) sum += p.rate;
@@ -544,6 +595,7 @@ void Engine::set_cohort_provider(CohortProvider* provider) {
   if (provider != nullptr) {
     HFL_CHECK(provider->population() == topo_.num_workers(),
               "cohort provider population must match the topology");
+    provider->attach_pool(pool_.get());
   }
   provider_ = provider;
 }

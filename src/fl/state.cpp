@@ -34,6 +34,16 @@ void WorkerState::draw_batch(const Tensor*& x,
   y = &batch_y_;
 }
 
+void WorkerState::draw_batch_rows(const Scalar* const*& rows,
+                                  const std::vector<std::size_t>*& y) {
+  HFL_CHECK(model && batcher, "worker state not initialized");
+  HFL_CHECK(pending_grad_at_ == nullptr,
+            "draw_batch with an unconsumed prefetched gradient");
+  batcher->next_rows(batch_rows_, batch_y_);
+  rows = batch_rows_.data();
+  y = &batch_y_;
+}
+
 void WorkerState::deposit_gradient(const Vec& at) {
   pending_grad_at_ = at.data();
 }

@@ -74,6 +74,12 @@ struct WorkerState {
   // the cohort executor) as the precomputed result for the parameter vector
   // `at`, to be consumed by the next compute_gradient call.
   void draw_batch(const Tensor*& x, const std::vector<std::size_t>*& y);
+  // Zero-copy draw for row-gather cohort execution (nn::CohortModel): same
+  // stream advancement as draw_batch, but exposes per-sample row pointers
+  // into the dataset instead of a gathered tensor. The two draw forms are
+  // interchangeable draw-for-draw; the batch size is y->size().
+  void draw_batch_rows(const Scalar* const*& rows,
+                       const std::vector<std::size_t>*& y);
   void deposit_gradient(const Vec& at);
 
   // Draw ONE mini-batch and evaluate the gradient at two parameter points on
@@ -92,6 +98,7 @@ struct WorkerState {
  private:
   Tensor batch_x_;
   std::vector<std::size_t> batch_y_;
+  std::vector<const Scalar*> batch_rows_;  // draw_batch_rows scratch
   // Non-null while a prefetched gradient awaits its compute_gradient call;
   // points at the Vec the gradient was evaluated at.
   const Scalar* pending_grad_at_ = nullptr;

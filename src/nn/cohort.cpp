@@ -43,6 +43,11 @@ CohortModel::~CohortModel() = default;
 
 std::size_t CohortModel::num_params() const { return probe_->num_params(); }
 
+bool CohortModel::supports_row_gather() const {
+  return direct_input_ && first_param_ < stages_.size() &&
+         stages_[first_param_].kind == Stage::Kind::kDense;
+}
+
 std::unique_ptr<CohortModel> CohortModel::create(const ModelFactory& factory) {
   auto probe = factory();
   Sequential& net = probe->net();
@@ -165,10 +170,19 @@ void CohortModel::dense_forward(const Stage& st, const Tensor* in, Tensor& out,
   const auto gemm1 = mixed ? ops::gemm_mixed : ops::gemm;
   for (std::size_t i = ilo; i < ihi; ++i) {
     const std::size_t row = row_off_[i] - base;
-    const Scalar* a =
-        in != nullptr ? in->raw() + row * nin : items[i].x->raw();
-    gemm1(false, true, batch_of(i), nout, nin, a, nin,
-          items[i].params + st.w_off, nin, 0.0, out.raw() + row * nout, nout);
+    if (in == nullptr && items[i].x_rows != nullptr) {
+      // Row-gather mode: the A operand is read row-by-row straight from the
+      // dataset — bit-identical to the gathered-tensor product below.
+      ops::gemm_rows_a(batch_of(i), nout, nin, items[i].x_rows,
+                       /*trans_b=*/true, items[i].params + st.w_off, nin, 0.0,
+                       out.raw() + row * nout, nout);
+    } else {
+      const Scalar* a =
+          in != nullptr ? in->raw() + row * nin : items[i].x->raw();
+      gemm1(false, true, batch_of(i), nout, nin, a, nin,
+            items[i].params + st.w_off, nin, 0.0, out.raw() + row * nout,
+            nout);
+    }
     // Bias rows, replicating ops::add_row_bias on the segment.
     const Scalar* pb = items[i].params + st.b_off;
     Scalar* py = out.raw() + row * nout;
@@ -199,12 +213,20 @@ void CohortModel::dense_backward(const Stage& st, const Tensor* in,
   thread_local Vec db;
   for (std::size_t i = ilo; i < ihi; ++i) {
     const std::size_t row = row_off_[i] - base;
-    const Scalar* a =
-        in != nullptr ? in->raw() + row * nin : items[i].x->raw();
     // dW_i = g_segᵀ · x_seg (matmul_transpose_a shape conventions) into
-    // scratch, then += into the zeroed flat grad.
-    gemm1(true, false, nout, nin, batch_of(i), gout.raw() + row * nout, nout,
-          a, nin, 0.0, dw.data(), nin);
+    // scratch, then += into the zeroed flat grad. In row-gather mode the B
+    // operand (the mini-batch) is read row-by-row from the dataset —
+    // bit-identical to the gathered-tensor product.
+    if (in == nullptr && items[i].x_rows != nullptr) {
+      ops::gemm_rows_b(/*trans_a=*/true, nout, nin, batch_of(i),
+                       gout.raw() + row * nout, nout, items[i].x_rows, 0.0,
+                       dw.data(), nin);
+    } else {
+      const Scalar* a =
+          in != nullptr ? in->raw() + row * nin : items[i].x->raw();
+      gemm1(true, false, nout, nin, batch_of(i), gout.raw() + row * nout,
+            nout, a, nin, 0.0, dw.data(), nin);
+    }
     Scalar* gw = items[i].grad + st.w_off;
     for (std::size_t e = 0; e < nout * nin; ++e) gw[e] += dw[e];
 
@@ -433,16 +455,27 @@ void CohortModel::run(std::span<CohortItem> items, ThreadPool* pool,
   if (items.empty()) return;
 
   row_off_.assign(items.size() + 1, 0);
+  const bool rows_ok = supports_row_gather() && !mixed;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    HFL_CHECK(items[i].x != nullptr && items[i].y != nullptr &&
-                  items[i].params != nullptr && items[i].grad != nullptr,
+    HFL_CHECK(items[i].y != nullptr && items[i].params != nullptr &&
+                  items[i].grad != nullptr,
               "cohort item not fully wired");
-    const std::size_t b = items[i].x->dim(0);
-    HFL_CHECK(b > 0, "cohort item with empty batch");
-    HFL_CHECK(items[i].y->size() == b, "label count must match batch size");
-    HFL_CHECK(items[i].x->size() == b * sample_elems_,
-              "cohort item batch shape mismatch: " +
-                  items[i].x->shape_string());
+    std::size_t b = 0;
+    if (items[i].x_rows != nullptr) {
+      HFL_CHECK(rows_ok,
+                "row-gather cohort items require a dense-first direct-input "
+                "plan and full precision");
+      b = items[i].y->size();
+      HFL_CHECK(b > 0, "cohort item with empty batch");
+    } else {
+      HFL_CHECK(items[i].x != nullptr, "cohort item not fully wired");
+      b = items[i].x->dim(0);
+      HFL_CHECK(b > 0, "cohort item with empty batch");
+      HFL_CHECK(items[i].y->size() == b, "label count must match batch size");
+      HFL_CHECK(items[i].x->size() == b * sample_elems_,
+                "cohort item batch shape mismatch: " +
+                    items[i].x->shape_string());
+    }
     row_off_[i + 1] = row_off_[i] + b;
   }
 

@@ -78,6 +78,12 @@ struct CohortItem {
   const std::vector<std::size_t>* y = nullptr;
   Scalar* grad = nullptr;
   Scalar loss = 0;  // out: mean batch loss
+  // Zero-copy alternative to `x`: y->size() row pointers of sample_elems
+  // scalars each (dataset rows drawn by Batcher::next_rows). Only valid when
+  // the model reports supports_row_gather() and `mixed` is off; the dense
+  // products then read the rows in place through the row-gathered GEMM entry
+  // points — bit-identical to the gathered tensor (cohort.cpp).
+  const Scalar* const* x_rows = nullptr;
 };
 
 class CohortModel {
@@ -89,6 +95,11 @@ class CohortModel {
   ~CohortModel();
 
   std::size_t num_params() const;
+
+  // True when items may carry `x_rows` instead of a gathered `x`: the plan
+  // is direct-input (flatten-only prefix) and its first parametric stage is
+  // dense, so every read of the input consumes flat sample rows.
+  bool supports_row_gather() const;
 
   // Computes loss + flat gradient for every item. `pool` may be null
   // (serial). See the FP contract above.

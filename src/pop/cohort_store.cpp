@@ -119,7 +119,19 @@ void CohortStore::begin_run(const Vec& x0) {
   slot_of_id_.assign(pop_.num_workers(), fl::WorkerSet::kNoSlot);
   slab_.clear();
   peak_materialized_ = 0;
+  clock_ = 0;
+  replay_policy_ = fl::AbsentPolicy::kHold;  // until set_absent_replay
+  replay_decay_ = 1.0;
   publish_gauges();
+}
+
+void CohortStore::run_tasks(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (host_pool_ != nullptr && n > 1) {
+    host_pool_->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
 }
 
 void CohortStore::sample_cohort(std::size_t k, std::vector<fl::WorkerId>& ids,
@@ -160,33 +172,77 @@ std::vector<fl::WorkerId> CohortStore::set_cohort(
   }
 
   // Spill every current worker that is not in the new cohort (both lists
-  // are ascending, so one merge pass finds the departures).
+  // are ascending, so one merge pass finds the departures). Serialization
+  // fans out per departure — each task reads one worker and writes one
+  // private buffer — while the slab (not thread-safe: shared index, file
+  // cursor, byte counters) ingests the blobs serially in ascending-id
+  // order afterwards.
+  std::vector<const fl::WorkerState*> departing;
   std::size_t j = 0;
   for (const fl::WorkerState& w : pool_) {
     while (j < ids.size() && ids[j] < w.id) ++j;
-    if (j == ids.size() || ids[j] != w.id) spill(w);
+    if (j == ids.size() || ids[j] != w.id) departing.push_back(&w);
+  }
+  if (spill_bufs_.size() < departing.size()) {
+    spill_bufs_.resize(departing.size());
+  }
+  run_tasks(departing.size(),
+            [&](std::size_t i) { serialize(*departing[i], spill_bufs_[i]); });
+  std::uint64_t spill_bytes = 0;
+  for (std::size_t i = 0; i < departing.size(); ++i) {
+    slab_.put(departing[i]->id, spill_bufs_[i]);
+    spill_bytes += spill_bufs_[i].size();
   }
 
   // Assemble the new cohort: keep stayers (move), restore returnees,
-  // create first-timers.
-  std::vector<fl::WorkerState> next;
-  next.reserve(ids.size());
+  // create first-timers. Phase 1 (serial) classifies each slot, drains the
+  // slab into per-worker buffers, and builds the scratch models (the
+  // factory is caller-supplied and not required to be thread-safe);
+  // phase 2 fans the heavy work out per worker — blob decode, vector
+  // copies, batch-stream reconstruction, absent-policy replay — into
+  // disjoint slots. fork_nth is const (stateless child derivation), so
+  // concurrent fresh materializations off the shared root are safe.
+  enum : std::uint8_t { kKeep, kRestore, kFresh };
+  std::vector<std::uint8_t> kind(ids.size());
+  std::vector<std::uint32_t> keep_slot(ids.size(), fl::WorkerSet::kNoSlot);
+  std::vector<std::unique_ptr<nn::Model>> models(ids.size());
+  if (restore_bufs_.size() < ids.size()) restore_bufs_.resize(ids.size());
   std::vector<fl::WorkerId> fresh;
-  for (const fl::WorkerId id : ids) {
+  std::size_t num_restored = 0;
+  std::uint64_t restore_bytes = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const fl::WorkerId id = ids[i];
     const std::uint32_t slot = slot_of_id_[id];
     if (slot != fl::WorkerSet::kNoSlot) {
-      next.push_back(std::move(pool_[slot]));
-      continue;
-    }
-    fl::WorkerState w;
-    if (slab_.contains(id)) {
-      restore(w, id);
+      kind[i] = kKeep;
+      keep_slot[i] = slot;
+    } else if (slab_.contains(id)) {
+      kind[i] = kRestore;
+      slab_.get(id, restore_bufs_[i]);
+      restore_bytes += restore_bufs_[i].size();
+      ++num_restored;
+      models[i] = factory_();
     } else {
-      materialize_fresh(w, id);
+      kind[i] = kFresh;
       fresh.push_back(id);
+      models[i] = factory_();
     }
-    next.push_back(std::move(w));
   }
+
+  std::vector<fl::WorkerState> next(ids.size());
+  run_tasks(ids.size(), [&](std::size_t i) {
+    switch (kind[i]) {
+      case kKeep:
+        next[i] = std::move(pool_[keep_slot[i]]);
+        break;
+      case kRestore:
+        deserialize(next[i], ids[i], restore_bufs_[i], std::move(models[i]));
+        break;
+      case kFresh:
+        materialize_fresh(next[i], ids[i], std::move(models[i]));
+        break;
+    }
+  });
 
   for (const fl::WorkerState& w : pool_) {
     slot_of_id_[w.id] = fl::WorkerSet::kNoSlot;
@@ -196,11 +252,26 @@ std::vector<fl::WorkerId> CohortStore::set_cohort(
     slot_of_id_[pool_[s].id] = static_cast<std::uint32_t>(s);
   }
   peak_materialized_ = std::max(peak_materialized_, pool_.size());
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    if (!departing.empty()) {
+      reg.counter("pop.spills").add(departing.size());
+      reg.counter("pop.spill_bytes").add(spill_bytes);
+    }
+    if (num_restored > 0) {
+      reg.counter("pop.restores").add(num_restored);
+      reg.counter("pop.restore_bytes").add(restore_bytes);
+    }
+    if (!fresh.empty()) {
+      reg.counter("pop.materializations").add(fresh.size());
+    }
+  }
   publish_gauges();
   return fresh;
 }
 
-void CohortStore::materialize_fresh(fl::WorkerState& w, fl::WorkerId id) {
+void CohortStore::materialize_fresh(fl::WorkerState& w, fl::WorkerId id,
+                                    std::unique_ptr<nn::Model> model) {
   HFL_CHECK(!x0_.empty(), "set_cohort before begin_run");
   const std::size_t n = x0_.size();
   const std::size_t i = id;
@@ -216,7 +287,7 @@ void CohortStore::materialize_fresh(fl::WorkerState& w, fl::WorkerId id) {
   w.sum_grad.assign(n, 0.0);
   w.sum_y.assign(n, 0.0);
   w.sum_v.assign(n, 0.0);
-  w.model = factory_();
+  w.model = std::move(model);
   // Stream lockstep with the dense engine: worker i's stream is the
   // (2 + i)-th fork of the run root (fork 1 is the init-model stream) —
   // see Engine::build_states.
@@ -225,38 +296,35 @@ void CohortStore::materialize_fresh(fl::WorkerState& w, fl::WorkerId id) {
       data_->train, (*partition_)[i], run_.batch_size, wrng.fork(1));
   w.aux_batcher = std::make_unique<data::Batcher>(
       data_->train, (*partition_)[i], run_.batch_size, wrng.fork(2));
-  if (obs::enabled()) {
-    obs::Registry::global().counter("pop.materializations").add();
-  }
 }
 
-void CohortStore::spill(const fl::WorkerState& w) {
-  blob_.clear();
-  put_vec(blob_, w.x);
-  put_vec(blob_, w.y);
-  put_vec(blob_, w.v);
-  put_vec(blob_, w.grad);
-  put_scalar(blob_, w.last_loss);
-  put_vec(blob_, w.sum_grad);
-  put_vec(blob_, w.sum_y);
-  put_vec(blob_, w.sum_v);
-  put_u64(blob_, w.extra.size());
+void CohortStore::serialize(const fl::WorkerState& w,
+                            std::vector<char>& blob) const {
+  blob.clear();
+  put_vec(blob, w.x);
+  put_vec(blob, w.y);
+  put_vec(blob, w.v);
+  put_vec(blob, w.grad);
+  put_scalar(blob, w.last_loss);
+  put_vec(blob, w.sum_grad);
+  put_vec(blob, w.sum_y);
+  put_vec(blob, w.sum_v);
+  put_u64(blob, w.extra.size());
   for (const auto& [name, vec] : w.extra) {  // std::map: sorted, stable
-    put_u64(blob_, name.size());
-    put_bytes(blob_, name.data(), name.size());
-    put_vec(blob_, vec);
+    put_u64(blob, name.size());
+    put_bytes(blob, name.data(), name.size());
+    put_vec(blob, vec);
   }
-  put_batcher(blob_, w.batcher->save_state());
-  put_batcher(blob_, w.aux_batcher->save_state());
-  slab_.put(w.id, blob_);
-  if (obs::enabled()) {
-    obs::Registry& reg = obs::Registry::global();
-    reg.counter("pop.spills").add();
-    reg.counter("pop.spill_bytes").add(blob_.size());
-  }
+  put_batcher(blob, w.batcher->save_state());
+  put_batcher(blob, w.aux_batcher->save_state());
+  // Interval stamp: the worker has observed every synchronization finish
+  // up to (not including) the interval whose set_cohort spilled it.
+  put_u64(blob, clock_);
 }
 
-void CohortStore::restore(fl::WorkerState& w, fl::WorkerId id) {
+void CohortStore::deserialize(fl::WorkerState& w, fl::WorkerId id,
+                              const std::vector<char>& blob,
+                              std::unique_ptr<nn::Model> model) const {
   // Descriptor fields and the scratch model are rebuilt (the model holds no
   // cross-batch state); everything mutable comes back byte for byte.
   const std::size_t i = id;
@@ -265,10 +333,9 @@ void CohortStore::restore(fl::WorkerState& w, fl::WorkerId id) {
   w.num_samples = pop_.num_samples(i);
   w.weight_in_edge = pop_.weight_in_edge(i);
   w.weight_global = pop_.weight_global(i);
-  w.model = factory_();
+  w.model = std::move(model);
 
-  slab_.get(id, blob_);
-  Reader r{blob_.data(), blob_.data() + blob_.size()};
+  Reader r{blob.data(), blob.data() + blob.size()};
   r.vec(w.x);
   r.vec(w.y);
   r.vec(w.v);
@@ -288,11 +355,32 @@ void CohortStore::restore(fl::WorkerState& w, fl::WorkerId id) {
                                               run_.batch_size);
   w.aux_batcher = std::make_unique<data::Batcher>(data_->train, r.batcher(),
                                                   run_.batch_size);
+  const std::uint64_t stamp = r.u64();
   HFL_CHECK(r.p == r.end, "worker spill blob has trailing bytes");
-  if (obs::enabled()) {
-    obs::Registry& reg = obs::Registry::global();
-    reg.counter("pop.restores").add();
-    reg.counter("pop.restore_bytes").add(blob_.size());
+
+  // Absent-policy replay: the worker missed every interval from its spill
+  // stamp up to (not including) the current one. A dense run applies the
+  // policy once at the end of each missed interval, and nothing else
+  // touches an absent worker's state in between, so replaying the exact
+  // per-interval sequence here is bit-identical (kDecay's repeated
+  // y ← x + d(y − x) does NOT fold into a single d^m application in
+  // floating point — the loop is the contract). kReset is idempotent and
+  // applied once; kHold holds, which spilled state already does.
+  HFL_CHECK(stamp <= clock_, "worker spill stamp is from the future");
+  const std::uint64_t missed = clock_ - stamp;
+  if (missed > 0) {
+    switch (replay_policy_) {
+      case fl::AbsentPolicy::kHold:
+        break;
+      case fl::AbsentPolicy::kReset:
+        fl::apply_absent_policy(w, replay_policy_, replay_decay_);
+        break;
+      case fl::AbsentPolicy::kDecay:
+        for (std::uint64_t m = 0; m < missed; ++m) {
+          fl::apply_absent_policy(w, replay_policy_, replay_decay_);
+        }
+        break;
+    }
   }
 }
 

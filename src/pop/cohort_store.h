@@ -76,6 +76,21 @@ class CohortStore final : public fl::CohortProvider {
   std::vector<fl::WorkerId> set_cohort(
       const std::vector<fl::WorkerId>& ids) override;
   fl::WorkerSet& workers() override { return view_; }
+  // Cohort-turnover parallelism: spill serialization and restore/fresh
+  // state construction fan out per worker on the host pool; slab access,
+  // model-factory calls, and telemetry stay serial. Bit-identical at any
+  // thread count (no cross-worker reductions).
+  void attach_pool(ThreadPool* pool) override { host_pool_ = pool; }
+  void begin_interval(std::size_t k) override { clock_ = k; }
+  // Lazy absent-momentum replay: every spill records the interval clock;
+  // a restore at clock m replays the policy (m − stamp) times — the exact
+  // per-interval sequence a materialized absent worker would have received
+  // from Algorithm::absent_sync, so kReset/kDecay oracles compose with
+  // sampled cohorts without materializing anyone.
+  void set_absent_replay(fl::AbsentPolicy policy, Scalar decay) override {
+    replay_policy_ = policy;
+    replay_decay_ = decay;
+  }
 
   // Introspection (tests, bench) -------------------------------------------
   const Population& descriptors() const { return pop_; }
@@ -85,9 +100,16 @@ class CohortStore final : public fl::CohortProvider {
   const Slab& slab() const { return slab_; }
 
  private:
-  void materialize_fresh(fl::WorkerState& w, fl::WorkerId id);
-  void spill(const fl::WorkerState& w);
-  void restore(fl::WorkerState& w, fl::WorkerId id);
+  void materialize_fresh(fl::WorkerState& w, fl::WorkerId id,
+                         std::unique_ptr<nn::Model> model);
+  void serialize(const fl::WorkerState& w, std::vector<char>& blob) const;
+  void deserialize(fl::WorkerState& w, fl::WorkerId id,
+                   const std::vector<char>& blob,
+                   std::unique_ptr<nn::Model> model) const;
+  // Run fn(i) for i in [0, n) on the host pool when one is attached, else
+  // inline. Tasks must be per-index independent.
+  void run_tasks(std::size_t n,
+                 const std::function<void(std::size_t)>& fn) const;
   void publish_gauges();
 
   nn::ModelFactory factory_;
@@ -108,7 +130,15 @@ class CohortStore final : public fl::CohortProvider {
   std::vector<std::uint32_t> slot_of_id_;   // population-sized id → slot
   fl::WorkerSet view_;
   std::size_t peak_materialized_ = 0;
-  std::vector<char> blob_;                  // (de)serialization scratch
+
+  ThreadPool* host_pool_ = nullptr;         // engine-attached, may be null
+  std::size_t clock_ = 0;                   // current interval (0 = no clock)
+  fl::AbsentPolicy replay_policy_ = fl::AbsentPolicy::kHold;
+  Scalar replay_decay_ = 1.0;
+  // Per-worker (de)serialization buffers, reused across intervals so steady
+  // state cohort turnover allocates nothing.
+  std::vector<std::vector<char>> spill_bufs_;
+  std::vector<std::vector<char>> restore_bufs_;
 };
 
 }  // namespace hfl::pop

@@ -29,4 +29,24 @@ void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
           std::size_t k, const Scalar* a, std::size_t lda, const Scalar* b,
           std::size_t ldb, Scalar beta, Scalar* c, std::size_t ldc);
 
+// Row-gathered variants: one operand is given as m (resp. k) row pointers
+// instead of a contiguous matrix, so callers multiplying a batch of
+// scattered samples (e.g. dataset rows drawn by a batcher) skip the gather
+// copy — the pack routines read the rows in place. Results are bit-identical
+// to gemm() on a contiguous copy of the same rows: the packed panels are
+// byte-identical and the kernel schedule is shared.
+
+// C = beta*C + A_rows·op(B), where row i of the m×k A is a_rows[i]
+// (k contiguous scalars). The gathered operand is never transposed.
+void gemm_rows_a(std::size_t m, std::size_t n, std::size_t k,
+                 const Scalar* const* a_rows, bool trans_b, const Scalar* b,
+                 std::size_t ldb, Scalar beta, Scalar* c, std::size_t ldc);
+
+// C = beta*C + op(A)·B_rows, where row p of the k×n B is b_rows[p]
+// (n contiguous scalars). The gathered operand is never transposed.
+void gemm_rows_b(bool trans_a, std::size_t m, std::size_t n, std::size_t k,
+                 const Scalar* a, std::size_t lda,
+                 const Scalar* const* b_rows, Scalar beta, Scalar* c,
+                 std::size_t ldc);
+
 }  // namespace hfl::ops

@@ -92,6 +92,26 @@ inline std::size_t packed_a_size(std::size_t mc, std::size_t kc) {
   return total;
 }
 
+// pack_a over a row-gathered matrix: row i of the (untransposed) m×k operand
+// lives at rows[i], k contiguous scalars, with no relation between rows. The
+// strip layout and zero padding are exactly pack_a's, so the packed panel is
+// byte-identical to packing a contiguous copy of the same rows — row gather
+// is invisible to everything downstream of packing.
+inline void pack_a_rows(const Scalar* const* rows, std::size_t i0,
+                        std::size_t p0, std::size_t mc, std::size_t kc,
+                        Scalar* dst) {
+  for (std::size_t s = 0; s < mc; s += kMR) {
+    const std::size_t mr = std::min(kMR, mc - s);
+    const std::size_t width = strip_width(mr);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t i = 0; i < mr; ++i) {
+        *dst++ = rows[i0 + s + i][p0 + p];
+      }
+      for (std::size_t i = mr; i < width; ++i) *dst++ = 0.0;
+    }
+  }
+}
+
 // Packs the kc×nc block of op(B) at (p0, j0) into strips of kNR columns,
 // row-major within each strip (kNR contiguous values per k-step).
 inline void pack_b(const Scalar* b, std::size_t ldb, bool trans, std::size_t p0,
@@ -102,6 +122,21 @@ inline void pack_b(const Scalar* b, std::size_t ldb, bool trans, std::size_t p0,
       for (std::size_t j = 0; j < nr; ++j) {
         *dst++ = elem(b, ldb, trans, p0 + p, j0 + t + j);
       }
+      for (std::size_t j = nr; j < kNR; ++j) *dst++ = 0.0;
+    }
+  }
+}
+
+// pack_b over a row-gathered matrix: row p of the (untransposed) k×n operand
+// lives at rows[p]. Same strip layout and padding as pack_b.
+inline void pack_b_rows(const Scalar* const* rows, std::size_t p0,
+                        std::size_t j0, std::size_t kc, std::size_t nc,
+                        Scalar* dst) {
+  for (std::size_t t = 0; t < nc; t += kNR) {
+    const std::size_t nr = std::min(kNR, nc - t);
+    for (std::size_t p = 0; p < kc; ++p) {
+      const Scalar* row = rows[p0 + p] + j0 + t;
+      for (std::size_t j = 0; j < nr; ++j) *dst++ = row[j];
       for (std::size_t j = nr; j < kNR; ++j) *dst++ = 0.0;
     }
   }
@@ -427,6 +462,59 @@ inline void gemm_single(bool trans_a, bool trans_b, std::size_t m,
         // the panel streams past it.
         macro_kernel(kc, nc, mc, a_packed.data(), b_packed.data(), direct_b,
                      b + pc * ldb + jc, ldb, c + ic * ldc + jc, ldc);
+      }
+    }
+  }
+}
+
+// gemm_single with either operand optionally row-gathered: when a_rows is
+// non-null, op(A) is untransposed and row i lives at a_rows[i] (k contiguous
+// scalars); when b_rows is non-null, op(B) is untransposed and row p lives at
+// b_rows[p]. Bit-identity with gemm_single on a contiguous copy of the same
+// rows holds by construction: pack_a_rows/pack_b_rows emit byte-identical
+// panels, and the loop nest, kernel dispatch, and (jr, ir) order below are
+// the same code. The only divergence is that a gathered B disables the
+// direct-B shortcut (there is no single base pointer to stream from) — also
+// results-invariant, because the packed and direct paths feed the same
+// per-lane FMA sequence and differ only in how B reaches the registers.
+inline void gemm_gather(bool trans_a, bool trans_b, std::size_t m,
+                        std::size_t n, std::size_t k, const Scalar* a,
+                        const Scalar* const* a_rows, std::size_t lda,
+                        const Scalar* b, const Scalar* const* b_rows,
+                        std::size_t ldb, Scalar beta, Scalar* c,
+                        std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+
+  fold_beta(beta, m, n, c, ldc);
+  if (k == 0) return;
+
+  thread_local std::vector<Scalar> a_packed;
+  thread_local std::vector<Scalar> b_packed;
+  const bool direct_b = !trans_b && m <= kDirectBMaxM && b_rows == nullptr;
+  a_packed.resize(((kMC + kMR - 1) / kMR) * kMR * kKC);
+  if (!direct_b) b_packed.resize(kKC * kNC);
+
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      if (!direct_b) {
+        if (b_rows != nullptr) {
+          pack_b_rows(b_rows, pc, jc, kc, nc, b_packed.data());
+        } else {
+          pack_b(b, ldb, trans_b, pc, jc, kc, nc, b_packed.data());
+        }
+      }
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        if (a_rows != nullptr) {
+          pack_a_rows(a_rows, ic, pc, mc, kc, a_packed.data());
+        } else {
+          pack_a(a, lda, trans_a, ic, pc, mc, kc, a_packed.data());
+        }
+        macro_kernel(kc, nc, mc, a_packed.data(), b_packed.data(), direct_b,
+                     direct_b ? b + pc * ldb + jc : nullptr, ldb,
+                     c + ic * ldc + jc, ldc);
       }
     }
   }

@@ -1,0 +1,457 @@
+// Parameter-plane hot-path coverage: the fused vec kernels, the O(cohort)
+// sparse roster, the incremental miss accounting, and the spill-time
+// absent-policy replay of sampled populations.
+//
+//   * Fused kernels (src/common/vec_ops.h): every kernel's scalar tail is
+//     built from std::fma so it reproduces the SIMD lanes' rounding exactly.
+//     Two observable contracts follow, both asserted here bit-for-bit:
+//     references written directly as the documented per-element std::fma
+//     expressions must match, and splitting the index range into subspans
+//     (which shifts elements between SIMD body and scalar tail) must not
+//     change a single bit.
+//
+//   * Participation::set_cohort_roster must equal the dense set_roster on
+//     the equivalent population-sized arrays bitwise — every renormalized
+//     weight visits the same members in the same order — including when the
+//     sparse and dense entry points interleave on one object.
+//
+//   * The engine's miss accounting is derived at finalize from per-interval
+//     participation tallies; a dense per-interval Participation sweep over
+//     the same fault-zoo schedule is the oracle it must match exactly.
+//
+//   * Sampled virtualized runs with kReset/kDecay absent policies replay the
+//     policy per missed interval at restore (src/pop/cohort_store.h); a
+//     dense run on the induced schedule applying the policy every interval
+//     is the bit-identity oracle, at 1 and 4 threads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/algs/registry.h"
+#include "src/common/vec_ops.h"
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+#include "src/fl/availability.h"
+#include "src/fl/engine.h"
+#include "src/nn/models.h"
+#include "src/pop/cohort_store.h"
+#include "src/sim/fault_plan.h"
+
+namespace hfl::fl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fused kernels.
+// ---------------------------------------------------------------------------
+
+// Deterministic pseudo-random fill (values in roughly [-1, 1]).
+Vec test_vec(std::size_t n, std::uint64_t salt) {
+  Rng rng(0xBEEF ^ salt);
+  Vec v(n);
+  for (Scalar& e : v) e = 2.0 * rng.uniform() - 1.0;
+  return v;
+}
+
+// Odd length so the AVX2 body leaves a scalar tail; odd split so subrange
+// calls shift elements between body and tail.
+constexpr std::size_t kN = 103;
+constexpr std::size_t kSplit = 29;
+
+TEST(FusedKernelTest, AxpbyMatchesFmaReference) {
+  Vec x = test_vec(kN, 1), y = test_vec(kN, 2), ref = y;
+  vec::axpby(0.3, x, 0.7, y);
+  for (std::size_t i = 0; i < kN; ++i) ref[i] = std::fma(0.3, x[i], 0.7 * ref[i]);
+  EXPECT_EQ(y, ref);
+}
+
+TEST(FusedKernelTest, MomentumStepMatchesFmaReference) {
+  Vec m = test_vec(kN, 3), g = test_vec(kN, 4), p = test_vec(kN, 5);
+  Vec mr = m, pr = p;
+  vec::momentum_step(m, g, 0.9, p, 0.05);
+  for (std::size_t i = 0; i < kN; ++i) {
+    mr[i] = std::fma(0.9, mr[i], g[i]);
+    pr[i] = std::fma(-0.05, mr[i], pr[i]);
+  }
+  EXPECT_EQ(m, mr);
+  EXPECT_EQ(p, pr);
+}
+
+TEST(FusedKernelTest, DecayTowardMatchesFmaReference) {
+  Vec y = test_vec(kN, 6), x = test_vec(kN, 7), ref = y;
+  vec::decay_toward(y, x, 0.5);
+  for (std::size_t i = 0; i < kN; ++i) ref[i] = std::fma(0.5, ref[i] - x[i], x[i]);
+  EXPECT_EQ(y, ref);
+}
+
+TEST(FusedKernelTest, NagStepMatchesFmaReference) {
+  Vec x = test_vec(kN, 8), y = test_vec(kN, 9), v = test_vec(kN, 10);
+  const Vec g = test_vec(kN, 11);
+  Vec xr = x, yr = y, vr = v;
+  vec::nag_step(x, y, v, g, 0.05, 0.9);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const Scalar y_new = std::fma(-0.05, g[i], xr[i]);
+    vr[i] = y_new - yr[i];
+    yr[i] = y_new;
+    xr[i] = std::fma(0.9, vr[i], y_new);
+  }
+  EXPECT_EQ(x, xr);
+  EXPECT_EQ(y, yr);
+  EXPECT_EQ(v, vr);
+}
+
+TEST(FusedKernelTest, SlowmoStepMatchesFmaReference) {
+  Vec x = test_vec(kN, 12), m = test_vec(kN, 13);
+  const Vec agg = test_vec(kN, 14);
+  Vec xr = x, mr = m;
+  vec::slowmo_step(x, agg, m, 0.8, 0.7);
+  for (std::size_t i = 0; i < kN; ++i) {
+    mr[i] = std::fma(0.8, mr[i], xr[i] - agg[i]);
+    xr[i] = std::fma(-0.7, mr[i], xr[i]);
+  }
+  EXPECT_EQ(x, xr);
+  EXPECT_EQ(m, mr);
+}
+
+TEST(FusedKernelTest, CosineNegMatchesNegatedCopy) {
+  const Vec x = test_vec(kN, 15), y = test_vec(kN, 16);
+  Vec neg = x;
+  vec::scale(neg, -1.0);
+  EXPECT_EQ(vec::cosine_neg(x, y), vec::cosine(neg, y));
+}
+
+TEST(FusedKernelTest, SubrangeCallsAreBitIdentical) {
+  // One representative per kernel shape: the split shifts every element's
+  // body/tail assignment, so agreement means the SIMD body and std::fma tail
+  // compute identical bits.
+  const Vec x0 = test_vec(kN, 20), g0 = test_vec(kN, 21), u0 = test_vec(kN, 22);
+  {
+    Vec a = x0, b = x0;
+    vec::axpby(0.3, g0, 0.7, a);
+    vec::axpby(0.3, std::span(g0).subspan(0, kSplit), 0.7,
+               std::span(b).subspan(0, kSplit));
+    vec::axpby(0.3, std::span(g0).subspan(kSplit), 0.7,
+               std::span(b).subspan(kSplit));
+    EXPECT_EQ(a, b);
+  }
+  {
+    Vec a = x0, b = x0;
+    vec::scale_add_scale(a, 0.4, g0, 0.6);
+    vec::scale_add_scale(std::span(b).subspan(0, kSplit), 0.4,
+                         std::span(g0).subspan(0, kSplit), 0.6);
+    vec::scale_add_scale(std::span(b).subspan(kSplit), 0.4,
+                         std::span(g0).subspan(kSplit), 0.6);
+    EXPECT_EQ(a, b);
+  }
+  {
+    Vec ya = x0, yb = x0;
+    vec::decay_toward(ya, g0, 0.25);
+    vec::decay_toward(std::span(yb).subspan(0, kSplit),
+                      std::span(g0).subspan(0, kSplit), 0.25);
+    vec::decay_toward(std::span(yb).subspan(kSplit),
+                      std::span(g0).subspan(kSplit), 0.25);
+    EXPECT_EQ(ya, yb);
+  }
+  {
+    Vec xa = x0, xb = x0;
+    vec::descent_drift(xa, g0, u0, 0.05, 0.9);
+    vec::descent_drift(std::span(xb).subspan(0, kSplit),
+                       std::span(g0).subspan(0, kSplit),
+                       std::span(u0).subspan(0, kSplit), 0.05, 0.9);
+    vec::descent_drift(std::span(xb).subspan(kSplit),
+                       std::span(g0).subspan(kSplit),
+                       std::span(u0).subspan(kSplit), 0.05, 0.9);
+    EXPECT_EQ(xa, xb);
+  }
+  {
+    Vec xa = x0, xb = x0, pa = u0, pb = u0;
+    Vec ma = g0, mb = g0;
+    vec::momentum_step(ma, x0, 0.9, pa, 0.05);
+    vec::momentum_step(std::span(mb).subspan(0, kSplit),
+                       std::span(x0).subspan(0, kSplit), 0.9,
+                       std::span(pb).subspan(0, kSplit), 0.05);
+    vec::momentum_step(std::span(mb).subspan(kSplit),
+                       std::span(x0).subspan(kSplit), 0.9,
+                       std::span(pb).subspan(kSplit), 0.05);
+    EXPECT_EQ(ma, mb);
+    EXPECT_EQ(pa, pb);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine fixture (mirrors tests/pop_parity_test.cpp at smaller scale).
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  data::TrainTest dataset;
+  Topology topo{Topology::uniform(4, 16)};  // 64 workers
+  data::Partition partition;
+  nn::ModelFactory factory;
+  RunConfig cfg;
+
+  Fixture() {
+    Rng rng(3);
+    data::SyntheticSpec spec;
+    spec.sample_shape = {1, 3, 3};
+    spec.num_classes = 3;
+    spec.train_size = 256;
+    spec.test_size = 32;
+    dataset = data::make_synthetic(rng, spec);
+    partition = data::partition_iid(dataset.train, topo.num_workers(), rng);
+    factory = nn::logistic_regression({1, 3, 3}, 3);
+
+    cfg.total_iterations = 12;
+    cfg.tau = 2;
+    cfg.pi = 2;
+    cfg.batch_size = 2;
+    cfg.seed = 5;
+  }
+};
+
+sim::FaultConfig fault_zoo() {
+  sim::FaultConfig fc;
+  fc.seed = 42;
+  fc.dropout.prob = 0.25;
+  fc.churn.p_fail = 0.15;
+  fc.churn.p_recover = 0.6;
+  fc.edge_outage.prob = 0.1;
+  return fc;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].test_loss, b.curve[i].test_loss);
+    EXPECT_EQ(a.curve[i].test_accuracy, b.curve[i].test_accuracy);
+  }
+  EXPECT_EQ(a.final_params, b.final_params);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.worker_miss_counts, b.worker_miss_counts);
+  EXPECT_EQ(a.mean_participation_rate, b.mean_participation_rate);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse roster vs dense set_roster.
+// ---------------------------------------------------------------------------
+
+void expect_same_view(const Participation& a, const Participation& b,
+                      const Topology& topo) {
+  ASSERT_EQ(a.num_workers(), b.num_workers());
+  EXPECT_EQ(a.num_active(), b.num_active());
+  for (std::size_t w = 0; w < a.num_workers(); ++w) {
+    EXPECT_EQ(a.worker_active(w), b.worker_active(w)) << "worker " << w;
+    // Weights are only defined for active workers: the dense rebuild leaves
+    // stale in-edge weights on workers that went inactive (never read),
+    // while the sparse path restores its all-absent baseline.
+    if (!a.worker_active(w)) continue;
+    EXPECT_EQ(a.weight_in_edge(w), b.weight_in_edge(w)) << "worker " << w;
+    EXPECT_EQ(a.weight_global(w), b.weight_global(w)) << "worker " << w;
+  }
+  for (std::size_t e = 0; e < topo.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_active(e), b.edge_active(e)) << "edge " << e;
+    EXPECT_EQ(a.edge_weight_global(e), b.edge_weight_global(e)) << "edge " << e;
+    EXPECT_EQ(a.active_workers_of_edge(e), b.active_workers_of_edge(e))
+        << "edge " << e;
+  }
+}
+
+TEST(SparseRosterTest, MatchesDenseSetRosterBitwise) {
+  const Topology topo = Topology::uniform(4, 16);
+  const std::size_t N = topo.num_workers();
+  std::vector<Scalar> weights(N);
+  Rng rng(77);
+  for (Scalar& w : weights) w = 1.0 + 10.0 * rng.uniform();
+
+  Participation sparse(topo, nullptr, weights, /*edge_faults=*/true);
+  Participation dense(topo, nullptr, weights, /*edge_faults=*/true);
+
+  std::vector<WorkerId> cohort;
+  std::vector<std::uint8_t> cohort_up, worker_up(N), edge_up(topo.num_edges());
+  std::vector<Scalar> cohort_scale, dense_scale(N);
+  for (std::size_t round = 0; round < 12; ++round) {
+    // Random ascending cohort (~1/4 of the population), random up bits,
+    // random with-replacement-style multiplicities, random edge outages.
+    cohort.clear();
+    cohort_up.clear();
+    cohort_scale.clear();
+    std::fill(worker_up.begin(), worker_up.end(), 0);
+    std::fill(dense_scale.begin(), dense_scale.end(), 1.0);
+    for (std::size_t w = 0; w < N; ++w) {
+      if (rng.uniform() > 0.25) continue;
+      const bool up = rng.uniform() < 0.8;
+      const Scalar mult = 1.0 + static_cast<Scalar>(rng.next_u64() % 3);
+      cohort.push_back(w);
+      cohort_up.push_back(up ? 1 : 0);
+      cohort_scale.push_back(mult);
+      worker_up[w] = up ? 1 : 0;
+      dense_scale[w] = mult;
+    }
+    if (cohort.empty()) {
+      cohort.push_back(0);
+      cohort_up.push_back(1);
+      cohort_scale.push_back(1.0);
+      worker_up[0] = 1;
+    }
+    for (std::size_t e = 0; e < edge_up.size(); ++e) {
+      edge_up[e] = rng.uniform() < 0.85 ? 1 : 0;
+    }
+
+    SCOPED_TRACE("round " + std::to_string(round));
+    sparse.set_cohort_roster(cohort, cohort_up, edge_up, &cohort_scale);
+    dense.set_roster(worker_up, edge_up, &dense_scale);
+    expect_same_view(sparse, dense, topo);
+
+    // Interleave forms on the SAME object mid-sequence: the sparse state
+    // must rebuild its baseline after a dense call.
+    if (round == 5) {
+      sparse.set_roster(worker_up, edge_up, &dense_scale);
+      expect_same_view(sparse, dense, topo);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental miss accounting vs a dense per-interval sweep.
+// ---------------------------------------------------------------------------
+
+TEST(MissAccountingTest, MatchesDensePerIntervalSweep) {
+  Fixture f;
+  const sim::FaultPlan plan(f.topo, f.cfg, fault_zoo());
+  const ParticipationSchedule& schedule = plan.schedule();
+
+  auto alg = algs::make_algorithm("HierAdMo");
+  RunConfig cfg = f.cfg;
+  cfg.num_threads = 2;
+  Engine engine(f.factory, f.dataset, f.partition, f.topo, cfg);
+  const RunResult r = engine.run(*alg, &schedule);
+
+  // Oracle: replay the schedule through a fresh Participation and count
+  // absences with the per-interval sweep the engine no longer runs.
+  std::vector<Scalar> ones(f.topo.num_workers(), 1.0);
+  Participation sweep(f.topo, &schedule, ones, /*edge_faults=*/true);
+  std::vector<std::size_t> expected(f.topo.num_workers(), 0);
+  const std::size_t intervals = f.cfg.total_iterations / f.cfg.tau;
+  for (std::size_t k = 1; k <= intervals; ++k) {
+    sweep.begin_interval(k);
+    for (std::size_t w = 0; w < expected.size(); ++w) {
+      if (!sweep.worker_active(w)) ++expected[w];
+    }
+  }
+  EXPECT_EQ(r.worker_miss_counts, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Sampled-population absent-policy replay and turnover thread invariance.
+// ---------------------------------------------------------------------------
+
+RunResult run_sampled(const Fixture& f, const std::string& alg_name,
+                      std::size_t threads, std::size_t cohort_size,
+                      const AvailabilityOracle* oracle) {
+  auto alg = algs::make_algorithm(alg_name);
+  RunConfig cfg = f.cfg;
+  cfg.num_threads = threads;
+  Engine engine(f.factory, f.dataset, f.partition, f.topo, cfg);
+  pop::VirtConfig virt;
+  virt.cohort_size = cohort_size;
+  pop::CohortStore store(f.factory, f.dataset, f.partition, f.topo, cfg, virt);
+  engine.set_cohort_provider(&store);
+  return engine.run_with_oracle(*alg, oracle);
+}
+
+// The dense schedule a sampled run induces: a worker is up iff it is in
+// interval k's cohort AND the oracle keeps it up.
+ParticipationSchedule induced_schedule(const Fixture& f,
+                                       std::size_t cohort_size,
+                                       const AvailabilityOracle* oracle,
+                                       AbsentPolicy policy, Scalar decay) {
+  pop::VirtConfig virt;
+  virt.cohort_size = cohort_size;
+  pop::CohortStore replica(f.factory, f.dataset, f.partition, f.topo, f.cfg,
+                           virt);
+  ParticipationSchedule s;
+  s.num_intervals = f.cfg.total_iterations / f.cfg.tau;
+  s.num_workers = f.topo.num_workers();
+  s.num_edges = f.topo.num_edges();
+  s.worker_up.assign(s.num_intervals * s.num_workers, 0);
+  s.slowdown.assign(s.num_intervals * s.num_workers, 1.0);
+  s.edge_up.assign(s.num_intervals * s.num_edges, 1);
+  s.absent_policy = policy;
+  s.absent_decay = decay;
+
+  std::vector<WorkerId> ids;
+  std::vector<Scalar> mult;
+  for (std::size_t k = 1; k <= s.num_intervals; ++k) {
+    replica.sample_cohort(k, ids, mult);
+    for (const WorkerId id : ids) {
+      const bool up = oracle == nullptr || oracle->worker_available(k, id);
+      s.worker_up[(k - 1) * s.num_workers + id] = up ? 1 : 0;
+    }
+    if (oracle != nullptr) {
+      for (std::size_t e = 0; e < s.num_edges; ++e) {
+        s.edge_up[(k - 1) * s.num_edges + e] =
+            oracle->edge_available(k, e) ? 1 : 0;
+      }
+    }
+  }
+  return s;
+}
+
+class AbsentReplayTest : public ::testing::TestWithParam<AbsentPolicy> {};
+
+TEST_P(AbsentReplayTest, SampledRunMatchesDenseInducedSchedule) {
+  Fixture f;
+  constexpr std::size_t kCohort = 16;  // of 64: turnover every interval
+
+  // Fault zoo on top of the cohort sampling, with the policy under test.
+  const sim::FaultPlan plan(f.topo, f.cfg, fault_zoo());
+  ParticipationSchedule faults = plan.schedule();
+  faults.absent_policy = GetParam();
+  faults.absent_decay = 0.5;
+  const ScheduleOracle oracle(faults);
+
+  const RunResult sampled = run_sampled(f, "HierAdMo", 4, kCohort, &oracle);
+
+  const ParticipationSchedule induced =
+      induced_schedule(f, kCohort, &oracle, GetParam(), 0.5);
+  auto dense_alg = algs::make_algorithm("HierAdMo");
+  RunConfig cfg = f.cfg;
+  cfg.num_threads = 4;
+  Engine dense(f.factory, f.dataset, f.partition, f.topo, cfg);
+  const RunResult reference = dense.run(*dense_alg, &induced);
+
+  expect_identical(reference, sampled);
+}
+
+TEST_P(AbsentReplayTest, TurnoverIsThreadCountInvariant) {
+  Fixture f;
+  const sim::FaultPlan plan(f.topo, f.cfg, fault_zoo());
+  ParticipationSchedule faults = plan.schedule();
+  faults.absent_policy = GetParam();
+  faults.absent_decay = 0.5;
+  const ScheduleOracle oracle(faults);
+
+  // Spill serialization and restore replay run on the engine pool; 1 vs 4
+  // threads must not move a bit.
+  const RunResult serial = run_sampled(f, "HierAdMo", 1, 16, &oracle);
+  const RunResult parallel = run_sampled(f, "HierAdMo", 4, 16, &oracle);
+  expect_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AbsentReplayTest,
+                         ::testing::Values(AbsentPolicy::kHold,
+                                           AbsentPolicy::kReset,
+                                           AbsentPolicy::kDecay),
+                         [](const ::testing::TestParamInfo<AbsentPolicy>& i) {
+                           switch (i.param) {
+                             case AbsentPolicy::kHold: return "Hold";
+                             case AbsentPolicy::kReset: return "Reset";
+                             case AbsentPolicy::kDecay: return "Decay";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace hfl::fl
