@@ -3,10 +3,12 @@
 // engine exists for).
 //
 // One workload (HierAdMo, 4 edges × 4 workers, synthetic MNIST), one seeded
-// straggler plan (half the fleet ~5× slow), three evt::AsyncEngine runs that
-// differ only in RunConfig::policy. The sync barrier pays the slowest
-// straggler of the whole fleet every interval; the event-driven policies pay
-// each worker only its own delays (plus the admission deadline for semi).
+// straggler plan (half the fleet ~5× slow), four evt::AsyncEngine runs that
+// differ only in RunConfig::policy (+ adaptive_deadline for semi_adapt). The
+// sync barrier pays the slowest straggler of the whole fleet every interval;
+// the event-driven policies pay each worker only its own delays (plus the
+// admission deadline for semi) and additionally hide upload latency behind
+// the next interval's compute (the reported overlap column).
 // Before timing anything, the sync replay is asserted bit-identical to
 // fl::Engine on the same schedule — a speedup over a broken baseline would
 // be meaningless.
@@ -101,19 +103,24 @@ int main() {
               "AsyncEngine sync policy diverged from fl::Engine");
   }
 
-  // -- the three policies ---------------------------------------------------
-  PolicyRun runs[3];
+  // -- the four policies ----------------------------------------------------
+  PolicyRun runs[4];
   runs[0].label = "sync";
   runs[1].label = "semi_async";
-  runs[2].label = "async";
+  runs[2].label = "semi_adapt";
+  runs[3].label = "async";
   for (PolicyRun& pr : runs) {
     fl::RunConfig pcfg = cfg;
-    if (std::string(pr.label) == "semi_async") {
+    const std::string label(pr.label);
+    if (label == "semi_async" || label == "semi_adapt") {
       pcfg.policy = fl::ExecPolicy::kSemiAsync;
       // Roughly two normal-speed intervals: fast workers are admitted
       // together, stragglers land in later rounds instead of stalling them.
       pcfg.semi_async_deadline_s = 0.5;
-    } else if (std::string(pr.label) == "async") {
+      // The adaptive variant retunes each aggregator's deadline against the
+      // arrival spread it actually observes.
+      pcfg.adaptive_deadline = label == "semi_adapt";
+    } else if (label == "async") {
       pcfg.policy = fl::ExecPolicy::kAsync;
     }
     evt::AsyncEngine engine(factory, dataset, partition, topo, pcfg, sim);
@@ -124,21 +131,26 @@ int main() {
   }
 
   bench::print_heading("execution policies under a straggler-heavy plan");
-  std::printf("%-12s%-12s%-12s%-10s%-10s%-10s%-10s\n", "policy", "sim-time",
-              "final-acc", "admitted", "stale", "dropped", "host-s");
+  std::printf("%-12s%-12s%-12s%-10s%-10s%-10s%-10s%-10s\n", "policy",
+              "sim-time", "final-acc", "admitted", "stale", "dropped",
+              "overlap-s", "host-s");
   for (const PolicyRun& pr : runs) {
-    std::printf("%-12s%-12.1f%-12.3f%-10zu%-10zu%-10zu%-10.2f\n", pr.label,
-                pr.result.sim_seconds, pr.result.final_accuracy,
+    std::printf("%-12s%-12.1f%-12.3f%-10zu%-10zu%-10zu%-10.1f%-10.2f\n",
+                pr.label, pr.result.sim_seconds, pr.result.final_accuracy,
                 pr.result.admitted_updates, pr.result.stale_updates,
-                pr.result.dropped_updates, pr.host_s);
+                pr.result.dropped_updates, pr.result.overlap_seconds,
+                pr.host_s);
   }
 
   const double semi_speedup =
       runs[0].result.sim_seconds / runs[1].result.sim_seconds;
-  const double async_speedup =
+  const double adapt_speedup =
       runs[0].result.sim_seconds / runs[2].result.sim_seconds;
+  const double async_speedup =
+      runs[0].result.sim_seconds / runs[3].result.sim_seconds;
   std::printf("\nsimulated-time speedup over sync: semi_async %.2fx, "
-              "async %.2fx\n", semi_speedup, async_speedup);
+              "semi_adapt %.2fx, async %.2fx\n",
+              semi_speedup, adapt_speedup, async_speedup);
 
   // The claim this bench exists to check: dodging the straggler barrier
   // makes the modeled run finish earlier.
@@ -157,24 +169,27 @@ int main() {
                "  \"faults\": {\"straggler_fraction\": 0.5, "
                "\"slowdown\": 5.0, \"jitter\": 0.3},\n");
   std::fprintf(json, "  \"policies\": [\n");
-  for (std::size_t i = 0; i < 3; ++i) {
+  for (std::size_t i = 0; i < 4; ++i) {
     const fl::RunResult& r = runs[i].result;
     std::fprintf(json,
                  "    {\"policy\": \"%s\", \"sim_seconds\": %.3f, "
                  "\"final_accuracy\": %.4f, \"admitted\": %zu, "
                  "\"stale\": %zu, \"dropped\": %zu, "
                  "\"mean_staleness\": %.3f, \"max_staleness\": %zu, "
+                 "\"overlap_seconds\": %.3f, \"downloads_applied\": %zu, "
+                 "\"downloads_superseded\": %zu, "
                  "\"host_seconds\": %.3f}%s\n",
                  runs[i].label, r.sim_seconds, r.final_accuracy,
                  r.admitted_updates, r.stale_updates, r.dropped_updates,
-                 r.mean_staleness, r.max_staleness_seen, runs[i].host_s,
-                 i + 1 < 3 ? "," : "");
+                 r.mean_staleness, r.max_staleness_seen, r.overlap_seconds,
+                 r.downloads_applied, r.downloads_superseded, runs[i].host_s,
+                 i + 1 < 4 ? "," : "");
   }
   std::fprintf(json, "  ],\n");
   std::fprintf(json,
                "  \"speedup_vs_sync\": {\"semi_async\": %.3f, "
-               "\"async\": %.3f},\n",
-               semi_speedup, async_speedup);
+               "\"semi_adaptive\": %.3f, \"async\": %.3f},\n",
+               semi_speedup, adapt_speedup, async_speedup);
   std::fprintf(json, "  \"sync_bit_identical_to_engine\": true\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_async.json\n");

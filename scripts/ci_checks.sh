@@ -25,6 +25,13 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DHFL_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# The event-engine contracts gate merges by name (they are part of the full
+# suite above; the explicit invocation keeps a red bisect pointed at them):
+# sync bit-identity to fl::Engine, causal download versioning (no retroactive
+# refresh), and charge-exactly-once comm accounting.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R '^(async_engine_test|evt_versioning_test)$'
+
 # --- gate 2: ASan + UBSan -------------------------------------------------
 cmake -B "$ASAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -53,7 +53,7 @@ cmake --build "$TSAN_DIR" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$TSAN_DIR" --output-on-failure -R \
-  '^(thread_pool_test|obs_test|parallel_sync_test|engine_schedule_test|engine_weights_test|integration_test|property_sweep_test|gemm_batched_test|batched_parity_test|pop_test|pop_parity_test|param_plane_test|async_engine_test)$'
+  '^(thread_pool_test|obs_test|parallel_sync_test|engine_schedule_test|engine_weights_test|integration_test|property_sweep_test|gemm_batched_test|batched_parity_test|pop_test|pop_parity_test|param_plane_test|async_engine_test|evt_versioning_test)$'
 
 # Same telemetry-enabled example under TSan: obs recording + engine pools.
 (cd "$TSAN_DIR" && ./examples/telemetry_report)

@@ -22,10 +22,25 @@ void Mime::refresh_server_stats(fl::Context& ctx) {
   constexpr std::size_t kProbeBatches = 4;
   Vec& g_hat = ctx.cloud->extra.at("mime_g");
   g_hat.assign(g_hat.size(), 0.0);
+  // Cohort-estimated mode (cfg.mime_cohort_stats): the reachable workers may
+  // be a strict sub-population (cohort sampling), so their global weights sum
+  // below 1 — renormalize over the probe set to keep ĝ an unbiased convex
+  // combination. Off (the default), total stays exactly 1.0 and the update
+  // below is bit-identical to the unnormalized probe.
+  Scalar total = 1.0;
+  if (ctx.cfg->mime_cohort_stats) {
+    Scalar mass = 0;
+    for (fl::WorkerState& w : *ctx.workers) {
+      if (fl::is_active(ctx.part, w.id)) {
+        mass += fl::active_weight_global(ctx.part, w);
+      }
+    }
+    if (mass > 0) total = mass;
+  }
   Vec probe;
   for (fl::WorkerState& w : *ctx.workers) {
     if (!fl::is_active(ctx.part, w.id)) continue;
-    const Scalar weight = fl::active_weight_global(ctx.part, w);
+    const Scalar weight = fl::active_weight_global(ctx.part, w) / total;
     for (std::size_t b = 0; b < kProbeBatches; ++b) {
       w.probe_gradient(ctx.cloud->x, probe);
       vec::axpy(weight / kProbeBatches, probe, g_hat);

@@ -38,6 +38,9 @@ class Mime final : public fl::Algorithm {
   bool local_gradient_prefetchable() const override {
     return !svrg_correction_;
   }
+  // The ĝ probe walks every active worker; under cohort sampling the engine
+  // requires RunConfig::mime_cohort_stats (cohort-renormalized estimate).
+  bool probes_population() const override { return true; }
   void init(fl::Context& ctx) override;
   void init_worker(fl::Context& ctx, fl::WorkerState& w) override;
   void local_step(fl::Context& ctx, fl::WorkerState& w) override;

@@ -1,6 +1,7 @@
 #include "src/evt/async_engine.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <string>
 #include <utility>
@@ -31,6 +32,7 @@ fl::RunConfig toolbox_config(fl::RunConfig cfg) {
   cfg.validate();
   cfg.policy = fl::ExecPolicy::kSync;
   cfg.semi_async_deadline_s = 0.0;
+  cfg.adaptive_deadline = false;
   return cfg;
 }
 
@@ -59,6 +61,131 @@ const std::vector<double>& staleness_bounds() {
 
 }  // namespace
 
+// The aggregation-visible slice of a worker's state, frozen at upload time
+// and stamped with the aggregator version of the model the interval was
+// trained on. While the snapshot is in flight the live worker keeps training
+// (communication overlaps computation); the aggregation later folds the
+// snapshot, never the live state.
+struct UploadSnapshot {
+  std::size_t download_version = 0;
+  Vec x, y, v, grad;
+  Scalar last_loss = 0;
+  Vec sum_grad, sum_y, sum_v;
+  std::map<std::string, Vec> extra;
+};
+
+// One arrived upload, as the cohort-sync helpers consume it.
+struct Arrival {
+  std::size_t w = 0;
+  UploadSnapshot snap;
+};
+
+// A refresh in flight toward one worker: the version stamp plus exactly the
+// fields the aggregation's push-down changed (x is always present — every
+// aggregation re-anchors its cohort on the damped tier model). Applied at
+// the worker's next interval boundary; an older message never overwrites a
+// newer one, so download_version is monotone per worker.
+struct DownloadMsg {
+  std::size_t version = 0;
+  bool has_y = false, has_v = false, has_grad = false;
+  bool has_sum_grad = false, has_sum_y = false, has_sum_v = false;
+  Vec x, y, v, grad, sum_grad, sum_y, sum_v;
+  std::map<std::string, Vec> extra;  // changed entries only
+};
+
+namespace {
+
+// Freeze the aggregation-visible fields; the live worker keeps its model and
+// momentum (it continues training from where it stands) but hands its
+// interval accumulators to the snapshot (they describe the uploaded
+// interval, not the next one).
+UploadSnapshot snapshot_worker(fl::WorkerState& ws, std::size_t version) {
+  UploadSnapshot s;
+  s.download_version = version;
+  s.x = ws.x;
+  s.y = ws.y;
+  s.v = ws.v;
+  s.grad = ws.grad;
+  s.last_loss = ws.last_loss;
+  s.sum_grad = ws.sum_grad;
+  s.sum_y = ws.sum_y;
+  s.sum_v = ws.sum_v;
+  s.extra = ws.extra;
+  ws.reset_interval_accumulators();
+  return s;
+}
+
+// Swap the aggregation-visible fields between the live worker and a
+// snapshot. Aggregations run against the snapshot state swapped in (so
+// Algorithm hooks read/write plain WorkerState), then swap back — the live
+// in-progress state is never touched by a sync. Model/batcher handles and
+// the static weights stay with the live state.
+void swap_snapshot(fl::WorkerState& ws, UploadSnapshot& s) {
+  std::swap(ws.x, s.x);
+  std::swap(ws.y, s.y);
+  std::swap(ws.v, s.v);
+  std::swap(ws.grad, s.grad);
+  std::swap(ws.last_loss, s.last_loss);
+  std::swap(ws.sum_grad, s.sum_grad);
+  std::swap(ws.sum_y, s.sum_y);
+  std::swap(ws.sum_v, s.sum_v);
+  std::swap(ws.extra, s.extra);
+}
+
+// Copy of the push-down-visible fields taken right before Algorithm sync
+// hooks run, to diff what the push-down actually changed.
+struct PushBase {
+  Vec y, v, grad, sum_grad, sum_y, sum_v;
+  std::map<std::string, Vec> extra;
+};
+
+PushBase push_baseline(const fl::WorkerState& ws) {
+  return PushBase{ws.y,     ws.v,     ws.grad, ws.sum_grad,
+                  ws.sum_y, ws.sum_v, ws.extra};
+}
+
+// Compose the download for one admitted worker: the damped tier model plus
+// whatever else the algorithm's push-down wrote (diffed against the
+// pre-sync baseline, so e.g. HierAdMo's momentum hand-off w.y = e.y_minus
+// travels while untouched scratch does not).
+DownloadMsg diff_pushdown(const fl::WorkerState& ws, const PushBase& base,
+                          std::size_t version, const Vec& anchor) {
+  DownloadMsg m;
+  m.version = version;
+  m.x = anchor;
+  if (ws.y != base.y) {
+    m.has_y = true;
+    m.y = ws.y;
+  }
+  if (ws.v != base.v) {
+    m.has_v = true;
+    m.v = ws.v;
+  }
+  if (ws.grad != base.grad) {
+    m.has_grad = true;
+    m.grad = ws.grad;
+  }
+  if (ws.sum_grad != base.sum_grad) {
+    m.has_sum_grad = true;
+    m.sum_grad = ws.sum_grad;
+  }
+  if (ws.sum_y != base.sum_y) {
+    m.has_sum_y = true;
+    m.sum_y = ws.sum_y;
+  }
+  if (ws.sum_v != base.sum_v) {
+    m.has_sum_v = true;
+    m.sum_v = ws.sum_v;
+  }
+  for (const auto& [name, vv] : ws.extra) {
+    const auto it = base.extra.find(name);
+    if (it == base.extra.end() || it->second != vv) m.extra.emplace(name, vv);
+  }
+  return m;
+}
+
+}  // namespace
+
 // Mutable state of one event-driven run. The fl::RunState inside must not
 // move after prepare_run (Context holds pointers into it), so EvtRun lives
 // on run_event_driven's stack and is only ever passed by reference.
@@ -77,28 +204,57 @@ struct EvtRun {
   // Per-entity latency streams forked off TimeSimConfig::seed: arrival ORDER
   // depends on the sampled delays, but each entity's delay SEQUENCE depends
   // only on the seed — no handler ordering can perturb another stream.
-  std::vector<Rng> wrng, erng;
+  // wrng feeds each worker's compute + upload draws (in that alternating
+  // order per interval), wdrng its download-leg draws, so splitting the
+  // monolithic worker event did not reorder any existing stream.
+  std::vector<Rng> wrng, wdrng, erng;
   Rng crng{0};
 
-  // Worker progress: completed intervals (quota K), aggregator version at
-  // the last download (the staleness base), last observed availability.
+  // Worker progress: completed intervals (quota K), aggregator version of
+  // the model the worker currently trains on (the staleness base of its next
+  // upload), last observed availability.
   std::vector<std::size_t> w_interval, w_version;
   std::vector<std::uint8_t> w_up;
 
-  // Edge aggregator state: version (aggregation count), fault-schedule round
-  // counter, edge intervals since the last cloud push, cloud version at the
-  // last cloud interaction, semi-async inbox + armed-deadline flag.
+  // In-flight communication state per worker: FIFO of snapshots racing up
+  // the uplink (the uplink serializes, so arrivals are FIFO too), the
+  // instant the uplink frees up, and the latest received-but-unapplied
+  // refresh (newer versions supersede older ones in this slot).
+  std::vector<std::deque<UploadSnapshot>> w_upq;
+  std::vector<Scalar> uplink_free;
+  std::vector<DownloadMsg> w_pending;
+  std::vector<std::uint8_t> w_has_pending;
+  // In-flight download payloads, indexed by Event::round of kWorkerDownload.
+  std::vector<DownloadMsg> dmsgs;
+
+  // Edge aggregator state: version (bumped per aggregation and per
+  // cloud-driven model refresh), fault-schedule round counter, edge
+  // intervals since the last cloud push, cloud version at the last cloud
+  // interaction, semi-async inbox + armed-deadline flag.
   std::vector<std::size_t> e_version, e_round, e_since_cloud, e_cloud_base;
-  std::vector<std::vector<std::size_t>> e_inbox;
+  std::vector<std::vector<Arrival>> e_inbox;
   std::vector<std::uint8_t> e_deadline_armed, e_up;
 
   std::size_t cloud_version = 0;
-  std::vector<std::size_t> c_inbox;  // two-tier semi-async
+  std::vector<Arrival> c_inbox;  // two-tier semi-async
   bool c_deadline_armed = false;
+
+  // Adaptive semi-async deadlines: per-aggregator EWMA of the observed
+  // arrival spread (last − first arrival of each fired round) and the
+  // current round's spread trackers. Seeded so the first armed deadline is
+  // exactly semi_async_deadline_s.
+  std::vector<Scalar> e_deadline_ewma, e_first_arrival, e_last_arrival;
+  Scalar c_deadline_ewma = 0, c_first_arrival = 0, c_last_arrival = 0;
 
   // Staleness accounting (RunResult + obs).
   std::size_t admitted = 0, stale = 0, dropped = 0, max_tau = 0;
   Scalar tau_sum = 0;
+
+  // Communication-event accounting.
+  std::size_t uploads_arrived = 0, uploads_coalesced = 0;
+  std::size_t downloads_scheduled = 0, downloads_applied = 0;
+  std::size_t downloads_superseded = 0;
+  Scalar overlap_s = 0;
 
   // Roster scratch reused across aggregations.
   std::vector<std::uint8_t> roster_w, roster_e;
@@ -247,6 +403,9 @@ fl::RunResult AsyncEngine::run_sync(fl::Algorithm& alg,
         }
         if (t % cfg.tau == 0) engine_.finish_interval(alg, rs, t / cfg.tau);
         break;
+      case EventType::kWorkerUpload:
+      case EventType::kWorkerDownload:
+        break;  // event-driven policies only
     }
   }
 
@@ -267,43 +426,40 @@ fl::RunResult AsyncEngine::run_sync(fl::Algorithm& alg,
 // Event-driven policies (semi_async / async).
 // ---------------------------------------------------------------------------
 
-// Schedule worker w's next interval: sample its compute + upload delay from
-// the worker's own latency stream and push the arrival. Availability and
-// straggler factors come from the fault schedule, resolved against the
-// worker's OWN interval counter (capped at the schedule horizon) — in an
-// asynchronous run workers drift apart, so "interval k" is per-worker
-// progress, not global time.
-void AsyncEngine::dispatch_worker(fl::Algorithm& alg, EvtRun& er,
-                                  std::size_t w, Scalar base) {
+// Schedule worker w's next interval of local compute: sample its duration
+// from the worker's own latency stream and push the compute-done event.
+// Availability and straggler factors come from the fault schedule, resolved
+// against the worker's OWN interval counter (capped at the schedule horizon)
+// — in an asynchronous run workers drift apart, so "interval k" is
+// per-worker progress, not global time. Returns the sampled duration (0 when
+// the quota is exhausted or the interval is an offline re-check), which the
+// caller uses for the comm/compute overlap accounting.
+Scalar AsyncEngine::dispatch_compute(fl::Algorithm& alg, EvtRun& er,
+                                     std::size_t w, Scalar base) {
   (void)alg;
   const std::size_t kw = er.w_interval[w] + 1;
-  if (kw > er.K) return;  // quota exhausted — worker is done
+  if (kw > er.K) return 0;  // quota exhausted — worker is done
   bool up = true;
   Scalar slowdown = 1.0;
-  std::size_t attempts = 1;
   if (er.schedule != nullptr) {
     const std::size_t kc = std::min(kw, er.schedule->num_intervals);
     up = er.schedule->worker_available(kc, w);
-    if (up) {
-      slowdown = er.schedule->worker_slowdown(kc, w);
-      attempts = er.plan->upload_attempts(kc, w);
-    }
+    if (up) slowdown = er.schedule->worker_slowdown(kc, w);
   }
   note_availability(er, /*is_edge=*/false, w, up, base);
   if (!up) {
-    // Offline interval: nothing is computed or uploaded; the worker re-checks
-    // after a nominal (unstretched) interval of compute time so the outage
-    // still occupies modeled time.
+    // Offline interval: nothing is computed or uploaded; the worker
+    // re-checks after a nominal (unstretched) interval of compute time so
+    // the outage still occupies modeled time.
     const Scalar dt = model_->worker_compute(er.wrng[w], w, engine_.cfg_.tau);
     er.q.push({base + dt, 0, EventType::kWorkerReady, w, kw, /*absent=*/true,
                false});
-    return;
+    return 0;
   }
   const Scalar compute =
       model_->worker_compute(er.wrng[w], w, engine_.cfg_.tau) * slowdown;
-  const Scalar upload = model_->worker_upload(er.wrng[w], w, attempts);
-  er.q.push({base + compute + upload, 0, EventType::kWorkerReady, w, kw, false,
-             false});
+  er.q.push({base + compute, 0, EventType::kWorkerReady, w, kw, false, false});
+  return compute;
 }
 
 // Record an availability flip as a fault event the first time it is observed
@@ -317,8 +473,8 @@ void AsyncEngine::note_availability(EvtRun& er, bool is_edge, std::size_t id,
 }
 
 // A worker misses interval consumption without contributing an update (its
-// own outage, or its aggregator refused it): apply the absent-momentum
-// policy, consume the interval and schedule the next one.
+// own outage): apply the absent-momentum policy, consume the interval and
+// schedule the next one.
 void AsyncEngine::miss_interval(fl::Algorithm& alg, EvtRun& er, std::size_t w,
                                 Scalar tev) {
   fl::RunState& rs = er.rs;
@@ -329,17 +485,91 @@ void AsyncEngine::miss_interval(fl::Algorithm& alg, EvtRun& er, std::size_t w,
   if (!rs.result.worker_miss_counts.empty()) {
     ++rs.result.worker_miss_counts[w];
   }
-  dispatch_worker(alg, er, w, tev);
+  dispatch_compute(alg, er, w, tev);
 }
 
-// A worker's interval lands: run its τ local steps lazily (so it trains on
-// exactly the model it last downloaded) and route the update to its
-// aggregator per the policy.
+// A worker's already-uploaded update was refused by a dark aggregator: its
+// interval is already consumed and its next compute already dispatched, so
+// only the sync-miss bookkeeping runs (absent-momentum hook on the live
+// state + the miss count).
+void AsyncEngine::miss_sync(fl::Algorithm& alg, EvtRun& er, std::size_t w) {
+  fl::RunState& rs = er.rs;
+  rs.ctx.part = er.mpart.get();
+  alg.absent_sync(rs.ctx, rs.workers[w], er.w_interval[w]);
+  rs.ctx.part = nullptr;
+  if (!rs.result.worker_miss_counts.empty()) {
+    ++rs.result.worker_miss_counts[w];
+  }
+}
+
+// Apply the latest received refresh, if any, at an interval boundary. Only a
+// strictly newer version overwrites the worker (monotone download_version);
+// a refresh the worker outran — it already holds a newer version — is
+// counted superseded and discarded.
+void AsyncEngine::apply_pending_download(EvtRun& er, std::size_t w) {
+  if (!er.w_has_pending[w]) return;
+  er.w_has_pending[w] = 0;
+  DownloadMsg& m = er.w_pending[w];
+  if (m.version <= er.w_version[w]) {
+    ++er.downloads_superseded;
+    return;
+  }
+  fl::WorkerState& ws = er.rs.workers[w];
+  ws.x = std::move(m.x);
+  if (m.has_y) ws.y = std::move(m.y);
+  if (m.has_v) ws.v = std::move(m.v);
+  if (m.has_grad) ws.grad = std::move(m.grad);
+  if (m.has_sum_grad) ws.sum_grad = std::move(m.sum_grad);
+  if (m.has_sum_y) ws.sum_y = std::move(m.sum_y);
+  if (m.has_sum_v) ws.sum_v = std::move(m.sum_v);
+  for (auto& [name, vv] : m.extra) ws.extra[name] = std::move(vv);
+  er.w_version[w] = m.version;
+  ++er.downloads_applied;
+  er.w_pending[w] = DownloadMsg{};
+}
+
+// Put one refresh on the wire: sample the worker's own download leg, charge
+// the bytes, and push the arrival event (round = payload index).
+void AsyncEngine::schedule_download(EvtRun& er, std::size_t w, DownloadMsg msg,
+                                    Scalar base) {
+  const Scalar dt = model_->worker_download(er.wdrng[w], w);
+  const std::size_t idx = er.dmsgs.size();
+  er.dmsgs.push_back(std::move(msg));
+  er.q.push({base + dt, 0, EventType::kWorkerDownload, w, idx, false, false});
+  ++er.downloads_scheduled;
+  er.last_time = std::max(er.last_time, base + dt);
+  if (obs::enabled()) {
+    obs::CommAccountant::global().record(
+        er.three_tier ? obs::Link::kEdgeToWorker : obs::Link::kCloudToWorker,
+        er.three_tier ? er.rs.workers[w].edge : w, er.rs.worker_down_bytes);
+  }
+}
+
+// A refresh lands at worker w: stash it as the pending download unless a
+// newer version is already pending or applied.
+void AsyncEngine::download_arrival(EvtRun& er, const Event& ev) {
+  const std::size_t w = ev.entity;
+  DownloadMsg m = std::move(er.dmsgs[ev.round]);
+  if (m.version <= er.w_version[w] ||
+      (er.w_has_pending[w] && er.w_pending[w].version >= m.version)) {
+    ++er.downloads_superseded;
+    return;
+  }
+  if (er.w_has_pending[w]) ++er.downloads_superseded;
+  er.w_pending[w] = std::move(m);
+  er.w_has_pending[w] = 1;
+}
+
+// A worker finishes one interval of local compute: run its τ local steps
+// lazily (so it trains on exactly the model it last downloaded), snapshot
+// the result onto the uplink, apply any refresh that arrived while it was
+// computing, and immediately start the next interval — the upload's flight
+// time overlaps the next compute.
 void AsyncEngine::worker_arrival(fl::Algorithm& alg, EvtRun& er,
                                  const Event& ev) {
   fl::RunState& rs = er.rs;
   const std::size_t w = ev.entity;
-  if (ev.flag) {  // offline interval (scheduled by dispatch_worker)
+  if (ev.flag) {  // offline interval (scheduled by dispatch_compute)
     miss_interval(alg, er, w, ev.time);
     return;
   }
@@ -352,16 +582,77 @@ void AsyncEngine::worker_arrival(fl::Algorithm& alg, EvtRun& er,
       alg.local_step(rs.ctx, ws);
     }
   }
+  const std::size_t kw = ++er.w_interval[w];
+
+  // Snapshot the finished interval onto the uplink (FIFO: the link
+  // serializes, so a pipelined upload waits for the previous one to clear).
+  er.w_upq[w].push_back(snapshot_worker(ws, er.w_version[w]));
+  std::size_t attempts = 1;
+  if (er.schedule != nullptr && er.plan != nullptr) {
+    attempts =
+        er.plan->upload_attempts(std::min(kw, er.schedule->num_intervals), w);
+  }
+  const Scalar up_start = std::max(ev.time, er.uplink_free[w]);
+  const Scalar upload = model_->worker_upload(er.wrng[w], w, attempts);
+  const Scalar arrive = up_start + upload;
+  er.uplink_free[w] = arrive;
+  er.q.push({arrive, 0, EventType::kWorkerUpload, w, kw, false, false});
+  er.last_time = std::max(er.last_time, arrive);
+
+  // Interval boundary: fold in the freshest refresh received in flight, then
+  // start the next interval's compute while the upload travels.
+  apply_pending_download(er, w);
+  const Scalar next_compute = dispatch_compute(alg, er, w, ev.time);
+  if (next_compute > 0) {
+    const Scalar overlap =
+        std::min(arrive, ev.time + next_compute) - up_start;
+    if (overlap > 0) er.overlap_s += overlap;
+  }
+}
+
+// A worker's upload lands at its aggregator: charge the uplink bytes (the
+// transfer happened whatever its fate) and route per policy.
+void AsyncEngine::upload_arrival(fl::Algorithm& alg, EvtRun& er,
+                                 const Event& ev) {
+  fl::RunState& rs = er.rs;
+  const std::size_t w = ev.entity;
+  HFL_CHECK(!er.w_upq[w].empty(), "upload arrival without an in-flight snapshot");
+  Arrival arr{w, std::move(er.w_upq[w].front())};
+  er.w_upq[w].pop_front();
+  ++er.uploads_arrived;
+  if (obs::enabled()) {
+    // Every arrival is charged exactly once, here — including updates later
+    // discarded for staleness or refused by a dark aggregator, whose bytes
+    // were spent all the same.
+    obs::CommAccountant::global().record(
+        er.three_tier ? obs::Link::kWorkerToEdge : obs::Link::kWorkerToCloud,
+        er.three_tier ? rs.workers[w].edge : w, rs.worker_up_bytes);
+  }
 
   if (er.three_tier) {
-    const std::size_t e = ws.edge;
+    const std::size_t e = rs.workers[w].edge;
     if (cfg_.policy == fl::ExecPolicy::kSemiAsync) {
       // Admission happens when the edge's deadline fires; arm it on the
-      // round's first arrival.
-      er.e_inbox[e].push_back(w);
+      // round's first arrival. A worker that laps the deadline (its next
+      // upload arrives before the round fires) coalesces: the newer
+      // snapshot subsumes the older one — uploads are cumulative states,
+      // so no work is lost.
+      auto& inbox = er.e_inbox[e];
+      bool coalesced = false;
+      for (Arrival& prev : inbox) {
+        if (prev.w == w) {
+          prev.snap = std::move(arr.snap);
+          ++er.uploads_coalesced;
+          coalesced = true;
+          break;
+        }
+      }
+      if (!coalesced) inbox.push_back(std::move(arr));
+      er.e_last_arrival[e] = ev.time;
       if (!er.e_deadline_armed[e]) {
         er.e_deadline_armed[e] = 1;
-        er.q.push({ev.time + cfg_.semi_async_deadline_s, 0,
+        er.e_first_arrival[e] = ev.time;
+        er.q.push({ev.time + aggregator_deadline(er, /*edge_tier=*/true, e), 0,
                    EventType::kEdgeSync, e, 0, false, false});
       }
       return;
@@ -380,55 +671,129 @@ void AsyncEngine::worker_arrival(fl::Algorithm& alg, EvtRun& er,
       // rounds instead of freezing the subtree forever.
       ++er.dropped;
       ++er.e_round[e];
-      miss_interval(alg, er, w, ev.time);
+      miss_sync(alg, er, w);
       return;
     }
-    edge_cohort_sync(alg, er, e, {w}, ev.time);
+    std::vector<Arrival> cohort;
+    cohort.push_back(std::move(arr));
+    edge_cohort_sync(alg, er, e, std::move(cohort), ev.time);
     return;
   }
 
   // Two-tier: workers talk straight to the cloud.
   if (cfg_.policy == fl::ExecPolicy::kSemiAsync) {
-    er.c_inbox.push_back(w);
+    auto& inbox = er.c_inbox;
+    bool coalesced = false;
+    for (Arrival& prev : inbox) {
+      if (prev.w == w) {
+        prev.snap = std::move(arr.snap);
+        ++er.uploads_coalesced;
+        coalesced = true;
+        break;
+      }
+    }
+    if (!coalesced) inbox.push_back(std::move(arr));
+    er.c_last_arrival = ev.time;
     if (!er.c_deadline_armed) {
       er.c_deadline_armed = true;
-      er.q.push({ev.time + cfg_.semi_async_deadline_s, 0,
+      er.c_first_arrival = ev.time;
+      er.q.push({ev.time + aggregator_deadline(er, /*edge_tier=*/false, 0), 0,
                  EventType::kCloudSync, 0, 0, /*deadline=*/true, false});
     }
     return;
   }
-  cloud_cohort_sync(alg, er, {w}, ev.time);
+  std::vector<Arrival> cohort;
+  cohort.push_back(std::move(arr));
+  cloud_cohort_sync(alg, er, std::move(cohort), ev.time);
 }
 
-// Edge aggregation over an arrived cohort. Splits the cohort by the
-// staleness bound, runs Algorithm::edge_sync against the manual roster with
-// staleness-scaled weights, folds the result in with the damped α-mix, then
-// downloads the refreshed model and redispatches everyone.
+// Current admission deadline of an aggregator. Fixed at
+// semi_async_deadline_s unless adaptive_deadline tunes it per round:
+// deadline = deadline_margin × EWMA(arrival spread), clamped to
+// [0.25, 4] × the configured base so a degenerate round (single arrival,
+// spread 0) cannot collapse the deadline to zero.
+Scalar AsyncEngine::aggregator_deadline(const EvtRun& er, bool edge_tier,
+                                        std::size_t e) const {
+  const Scalar base = cfg_.semi_async_deadline_s;
+  if (!cfg_.adaptive_deadline) return base;
+  const Scalar ewma = edge_tier ? er.e_deadline_ewma[e] : er.c_deadline_ewma;
+  return std::min(4.0 * base,
+                  std::max(0.25 * base, cfg_.deadline_margin * ewma));
+}
+
+// Fold a fired round's observed arrival spread into the aggregator's EWMA.
+void AsyncEngine::note_round_spread(EvtRun& er, bool edge_tier,
+                                    std::size_t e) {
+  if (!cfg_.adaptive_deadline) return;
+  Scalar& ewma = edge_tier ? er.e_deadline_ewma[e] : er.c_deadline_ewma;
+  const Scalar spread = edge_tier
+                            ? er.e_last_arrival[e] - er.e_first_arrival[e]
+                            : er.c_last_arrival - er.c_first_arrival;
+  ewma = 0.5 * (ewma + spread);
+}
+
+// Cloud-driven edge model refresh: the edge's model changed without an edge
+// aggregation, so bump the edge version and broadcast the new anchor to the
+// whole subtree as ordinary versioned downloads — in-flight workers keep
+// their causal view and pick the refresh up at their next boundary.
+// Momentum travels with the edge's next aggregation push-down, not here
+// (the cloud re-anchor is model-only).
+void AsyncEngine::broadcast_edge_refresh(EvtRun& er, std::size_t e,
+                                         Scalar base) {
+  const std::size_t version = ++er.e_version[e];
+  const fl::EdgeState& es = er.rs.edges[e];
+  for (const std::size_t w : engine_.topo_.workers_of_edge(e)) {
+    DownloadMsg m;
+    m.version = version;
+    m.x = es.x_plus;
+    schedule_download(er, w, std::move(m), base);
+  }
+}
+
+// Edge aggregation over an arrived cohort of upload snapshots. Splits the
+// cohort by the staleness bound (τ measured against each snapshot's
+// download_version), swaps the admitted snapshots in as the worker states
+// Algorithm::edge_sync reads, folds the result with the damped α-mix, then
+// swaps the live states back and ships each cohort member a versioned
+// download (admitted: the damped model + the push-down's changes; discarded:
+// a forced model refresh). The live workers are never touched — they are
+// mid-flight in their next interval.
 void AsyncEngine::edge_cohort_sync(fl::Algorithm& alg, EvtRun& er,
-                                   std::size_t e,
-                                   std::vector<std::size_t> cohort,
+                                   std::size_t e, std::vector<Arrival> cohort,
                                    Scalar tev) {
   fl::RunState& rs = er.rs;
   fl::EdgeState& es = rs.edges[e];
-  std::sort(cohort.begin(), cohort.end());  // canonical roster order
+  std::sort(cohort.begin(), cohort.end(),
+            [](const Arrival& a, const Arrival& b) { return a.w < b.w; });
 
-  std::vector<std::size_t> admitted, discarded;
-  for (const std::size_t w : cohort) {
-    const std::size_t tau = er.e_version[e] - er.w_version[w];
+  obs::Registry& reg = obs::Registry::global();
+  std::vector<std::size_t> admitted, discarded;  // indices into cohort
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const std::size_t dv = cohort[i].snap.download_version;
+    HFL_CHECK(dv <= er.e_version[e],
+              "upload stamped with a future edge version — download "
+              "versioning broke monotonicity");
+    const std::size_t tau = er.e_version[e] - dv;
+    // The histogram profiles every update the aggregator saw, dropped ones
+    // included; RunResult's mean/max stay admitted-only.
+    if (obs::enabled()) {
+      reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
+          .observe(static_cast<double>(tau));
+    }
     if (static_cast<std::int64_t>(tau) > cfg_.max_staleness) {
-      discarded.push_back(w);
+      discarded.push_back(i);
     } else {
-      admitted.push_back(w);
+      admitted.push_back(i);
     }
   }
 
   const Scalar agg = model_->edge_aggregate(er.erng[e]);
-  const Scalar down = model_->edge_broadcast(er.erng[e], e);
-  obs::Registry& reg = obs::Registry::global();
+  std::size_t refresh_version = er.e_version[e];
 
   if (!admitted.empty()) {
     const std::size_t k_agg = ++er.e_version[e];
     ++er.e_round[e];
+    refresh_version = k_agg;
 
     // Roster + staleness weights (s multiplies the data-size mass before the
     // per-edge renormalization inside Participation).
@@ -437,8 +802,9 @@ void AsyncEngine::edge_cohort_sync(fl::Algorithm& alg, EvtRun& er,
     er.roster_e[e] = 1;
     er.scale.assign(rs.workers.size(), 1.0);
     Scalar alpha = 0;
-    for (const std::size_t w : admitted) {
-      const std::size_t tau = k_agg - 1 - er.w_version[w];
+    for (const std::size_t i : admitted) {
+      const std::size_t w = cohort[i].w;
+      const std::size_t tau = k_agg - 1 - cohort[i].snap.download_version;
       const Scalar s = staleness_weight(cfg_.staleness_decay, tau);
       er.roster_w[w] = 1;
       er.scale[w] = s;
@@ -446,21 +812,23 @@ void AsyncEngine::edge_cohort_sync(fl::Algorithm& alg, EvtRun& er,
       ++er.admitted;
       er.tau_sum += static_cast<Scalar>(tau);
       er.max_tau = std::max(er.max_tau, tau);
-      if (obs::enabled()) {
-        reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
-            .observe(static_cast<double>(tau));
-      }
     }
     er.mpart->set_roster(er.roster_w, er.roster_e, &er.scale);
     rs.ctx.part = er.mpart.get();
 
-    // Staleness hook before the aggregation reads worker state.
-    for (const std::size_t w : admitted) {
-      const std::size_t tau = k_agg - 1 - er.w_version[w];
+    // The aggregation reads the uploaded snapshots, not the live in-flight
+    // states: swap them in, run the staleness hook, remember the push-down
+    // baseline.
+    std::vector<PushBase> bases(admitted.size());
+    for (std::size_t j = 0; j < admitted.size(); ++j) {
+      Arrival& a = cohort[admitted[j]];
+      swap_snapshot(rs.workers[a.w], a.snap);
+      const std::size_t tau = k_agg - 1 - a.snap.download_version;
       if (tau > 0) {
         ++er.stale;
-        alg.stale_sync(rs.ctx, rs.workers[w], tau);
+        alg.stale_sync(rs.ctx, rs.workers[a.w], tau);
       }
+      bases[j] = push_baseline(rs.workers[a.w]);
     }
 
     // Aggregate against the cohort, then α-damp every edge vector back
@@ -483,35 +851,31 @@ void AsyncEngine::edge_cohort_sync(fl::Algorithm& alg, EvtRun& er,
     }
     rs.ctx.part = nullptr;
 
+    // Compose each admitted member's download off the post-sync snapshot
+    // state (anchored on the damped model), then hand the live state back.
+    for (std::size_t j = 0; j < admitted.size(); ++j) {
+      Arrival& a = cohort[admitted[j]];
+      DownloadMsg msg =
+          diff_pushdown(rs.workers[a.w], bases[j], k_agg, es.x_plus);
+      swap_snapshot(rs.workers[a.w], a.snap);
+      schedule_download(er, a.w, std::move(msg), tev + agg);
+    }
+
     if (obs::enabled()) {
       reg.counter("evt.edge_syncs", er.policy_label).add();
     }
   }
 
-  // Comm accounting + downloads + redispatch (cohort order = ascending ids).
-  // Every cohort member uploaded; everyone receives the refreshed model —
-  // discarded updates are replaced by a forced refresh (their interval work
-  // is lost, accumulators cleared, momentum per the hold default).
-  if (obs::enabled()) {
-    obs::CommAccountant& comm = obs::CommAccountant::global();
-    for (const std::size_t w : cohort) {
-      (void)w;
-      comm.record(obs::Link::kWorkerToEdge, e, rs.worker_up_bytes);
-      comm.record(obs::Link::kEdgeToWorker, e, rs.worker_down_bytes);
-    }
-  }
-  for (const std::size_t w : discarded) {
+  // Discarded updates: the uploaded interval is lost; the worker is forced
+  // back onto the edge's current model (its next upload will be fresh).
+  for (const std::size_t i : discarded) {
     ++er.dropped;
-    rs.workers[w].reset_interval_accumulators();
+    DownloadMsg msg;
+    msg.version = refresh_version;
+    msg.x = es.x_plus;
+    schedule_download(er, cohort[i].w, std::move(msg), tev + agg);
   }
-  for (const std::size_t w : cohort) {
-    fl::WorkerState& ws = rs.workers[w];
-    ws.x = es.x_plus;
-    er.w_version[w] = er.e_version[e];
-    ++er.w_interval[w];
-    dispatch_worker(alg, er, w, tev + agg + down);
-  }
-  er.last_time = std::max(er.last_time, tev + agg + down);
+  er.last_time = std::max(er.last_time, tev + agg);
 
   // Every π-th edge aggregation ships the edge state up to the cloud.
   if (!admitted.empty() && ++er.e_since_cloud[e] >= engine_.cfg_.pi) {
@@ -524,24 +888,41 @@ void AsyncEngine::edge_cohort_sync(fl::Algorithm& alg, EvtRun& er,
 
 // An edge's update lands at the cloud (three-tier). Staleness is measured in
 // cloud versions since the edge's last cloud interaction (`base_version`,
-// carried by the event). The refreshed cloud model is pushed down to the
-// edge and its whole worker subtree — retroactively for in-flight workers,
-// whose lazily-executed steps will simply train on the refreshed model.
+// carried by the event). The cloud folds the edge's state through an
+// edge-only roster — no worker is written: if the fold changes the edge
+// model, the subtree hears about it through broadcast_edge_refresh's
+// versioned downloads (never retroactively). `broadcast` is false only for
+// the post-loop terminal flush, where no event would ever be processed.
 void AsyncEngine::cloud_edge_arrival(fl::Algorithm& alg, EvtRun& er,
                                      std::size_t e, std::size_t base_version,
-                                     Scalar tev) {
+                                     Scalar tev, bool broadcast) {
   fl::RunState& rs = er.rs;
   fl::EdgeState& es = rs.edges[e];
   const std::size_t tau_e = er.cloud_version - base_version;
   obs::Registry& reg = obs::Registry::global();
+  if (obs::enabled()) {
+    // The upload's bytes were spent whatever its fate (see below for the
+    // admit/discard split); the histogram likewise profiles every arrival.
+    obs::CommAccountant::global().record(obs::Link::kEdgeToCloud, e,
+                                         rs.edge_up_bytes);
+    reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
+        .observe(static_cast<double>(tau_e));
+  }
 
   if (static_cast<std::int64_t>(tau_e) > cfg_.max_staleness) {
     // Too far behind: the edge update is discarded and the edge re-anchored
-    // on the current cloud model.
+    // on the current cloud model, which flows to its workers as an ordinary
+    // versioned refresh.
     ++er.dropped;
     es.x_plus = rs.cloud.x;
     er.e_cloud_base[e] = er.cloud_version;
-    er.last_time = std::max(er.last_time, tev);
+    if (obs::enabled()) {
+      obs::CommAccountant::global().record(obs::Link::kCloudToEdge, e,
+                                           rs.edge_down_bytes);
+    }
+    const Scalar done = tev + model_->cloud_broadcast(er.crng);
+    er.last_time = std::max(er.last_time, done);
+    if (broadcast) broadcast_edge_refresh(er, e, done);
     return;
   }
 
@@ -550,20 +931,13 @@ void AsyncEngine::cloud_edge_arrival(fl::Algorithm& alg, EvtRun& er,
   er.tau_sum += static_cast<Scalar>(tau_e);
   er.max_tau = std::max(er.max_tau, tau_e);
   if (tau_e > 0) ++er.stale;
-  if (obs::enabled()) {
-    reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
-        .observe(static_cast<double>(tau_e));
-  }
 
-  // Roster: this edge plus its whole subtree (cloud_sync pushes down to the
-  // participating workers).
-  er.roster_w.assign(rs.workers.size(), 0);
+  // Roster: the edge alone. cloud_sync's worker push-down loops see an
+  // all-absent worker roster and skip — in-flight workers are refreshed
+  // through versioned downloads, not retroactive writes.
   er.roster_e.assign(rs.edges.size(), 0);
   er.roster_e[e] = 1;
-  for (const std::size_t w : engine_.topo_.workers_of_edge(e)) {
-    er.roster_w[w] = 1;
-  }
-  er.mpart->set_roster(er.roster_w, er.roster_e, nullptr);
+  er.mpart->set_edge_roster(er.roster_e);
   rs.ctx.part = er.mpart.get();
 
   const Scalar alpha =
@@ -592,24 +966,22 @@ void AsyncEngine::cloud_edge_arrival(fl::Algorithm& alg, EvtRun& er,
     if (it != pre_extra.end()) damp(v, it->second, alpha);
   }
   rs.ctx.part = nullptr;
-
-  // Push-down: the subtree re-anchors on the damped cloud model (worker
-  // momentum stays as the algorithm's own push-down left it).
-  for (const std::size_t w : engine_.topo_.workers_of_edge(e)) {
-    rs.workers[w].x = rs.cloud.x;
-  }
   er.e_cloud_base[e] = p;
 
   if (obs::enabled()) {
-    obs::CommAccountant& comm = obs::CommAccountant::global();
-    comm.record(obs::Link::kEdgeToCloud, e, rs.edge_up_bytes);
-    comm.record(obs::Link::kCloudToEdge, e, rs.edge_down_bytes);
+    obs::CommAccountant::global().record(obs::Link::kCloudToEdge, e,
+                                         rs.edge_down_bytes);
     reg.counter("evt.cloud_syncs", er.policy_label).add();
   }
 
   const Scalar done = tev + model_->cloud_aggregate(er.crng) +
                       model_->cloud_broadcast(er.crng);
   er.last_time = std::max(er.last_time, done);
+  // The fold moved the edge's model: version it and broadcast, so the
+  // subtree converges on the cloud view causally.
+  if (broadcast && es.x_plus != pre_x) {
+    broadcast_edge_refresh(er, e, done);
+  }
   engine_.record_point(rs, er.steps_total / rs.workers.size(), rs.cloud.x,
                        done);
 }
@@ -617,34 +989,44 @@ void AsyncEngine::cloud_edge_arrival(fl::Algorithm& alg, EvtRun& er,
 // Two-tier cloud aggregation over a worker cohort — the cloud-level analog
 // of edge_cohort_sync (single aggregator, α over global weights).
 void AsyncEngine::cloud_cohort_sync(fl::Algorithm& alg, EvtRun& er,
-                                    std::vector<std::size_t> cohort,
-                                    Scalar tev) {
+                                    std::vector<Arrival> cohort, Scalar tev) {
   fl::RunState& rs = er.rs;
-  std::sort(cohort.begin(), cohort.end());
+  std::sort(cohort.begin(), cohort.end(),
+            [](const Arrival& a, const Arrival& b) { return a.w < b.w; });
 
-  std::vector<std::size_t> admitted, discarded;
-  for (const std::size_t w : cohort) {
-    const std::size_t tau = er.cloud_version - er.w_version[w];
+  obs::Registry& reg = obs::Registry::global();
+  std::vector<std::size_t> admitted, discarded;  // indices into cohort
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const std::size_t dv = cohort[i].snap.download_version;
+    HFL_CHECK(dv <= er.cloud_version,
+              "upload stamped with a future cloud version — download "
+              "versioning broke monotonicity");
+    const std::size_t tau = er.cloud_version - dv;
+    if (obs::enabled()) {
+      reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
+          .observe(static_cast<double>(tau));
+    }
     if (static_cast<std::int64_t>(tau) > cfg_.max_staleness) {
-      discarded.push_back(w);
+      discarded.push_back(i);
     } else {
-      admitted.push_back(w);
+      admitted.push_back(i);
     }
   }
 
   const Scalar agg = model_->cloud_aggregate(er.crng);
-  const Scalar down = model_->cloud_broadcast(er.crng);
-  obs::Registry& reg = obs::Registry::global();
+  std::size_t refresh_version = er.cloud_version;
 
   if (!admitted.empty()) {
     const std::size_t p = ++er.cloud_version;
+    refresh_version = p;
 
     er.roster_w.assign(rs.workers.size(), 0);
     er.roster_e.assign(rs.edges.size(), 1);
     er.scale.assign(rs.workers.size(), 1.0);
     Scalar alpha = 0;
-    for (const std::size_t w : admitted) {
-      const std::size_t tau = p - 1 - er.w_version[w];
+    for (const std::size_t i : admitted) {
+      const std::size_t w = cohort[i].w;
+      const std::size_t tau = p - 1 - cohort[i].snap.download_version;
       const Scalar s = staleness_weight(cfg_.staleness_decay, tau);
       er.roster_w[w] = 1;
       er.scale[w] = s;
@@ -652,20 +1034,20 @@ void AsyncEngine::cloud_cohort_sync(fl::Algorithm& alg, EvtRun& er,
       ++er.admitted;
       er.tau_sum += static_cast<Scalar>(tau);
       er.max_tau = std::max(er.max_tau, tau);
-      if (obs::enabled()) {
-        reg.histogram("evt.staleness", er.policy_label, staleness_bounds())
-            .observe(static_cast<double>(tau));
-      }
     }
     er.mpart->set_roster(er.roster_w, er.roster_e, &er.scale);
     rs.ctx.part = er.mpart.get();
 
-    for (const std::size_t w : admitted) {
-      const std::size_t tau = p - 1 - er.w_version[w];
+    std::vector<PushBase> bases(admitted.size());
+    for (std::size_t j = 0; j < admitted.size(); ++j) {
+      Arrival& a = cohort[admitted[j]];
+      swap_snapshot(rs.workers[a.w], a.snap);
+      const std::size_t tau = p - 1 - a.snap.download_version;
       if (tau > 0) {
         ++er.stale;
-        alg.stale_sync(rs.ctx, rs.workers[w], tau);
+        alg.stale_sync(rs.ctx, rs.workers[a.w], tau);
       }
+      bases[j] = push_baseline(rs.workers[a.w]);
     }
 
     const Vec pre_cx = rs.cloud.x;
@@ -682,32 +1064,29 @@ void AsyncEngine::cloud_cohort_sync(fl::Algorithm& alg, EvtRun& er,
     }
     rs.ctx.part = nullptr;
 
+    for (std::size_t j = 0; j < admitted.size(); ++j) {
+      Arrival& a = cohort[admitted[j]];
+      DownloadMsg msg =
+          diff_pushdown(rs.workers[a.w], bases[j], p, rs.cloud.x);
+      swap_snapshot(rs.workers[a.w], a.snap);
+      schedule_download(er, a.w, std::move(msg), tev + agg);
+    }
+
     if (obs::enabled()) {
       reg.counter("evt.cloud_syncs", er.policy_label).add();
     }
     engine_.record_point(rs, er.steps_total / rs.workers.size(), rs.cloud.x,
-                         tev + agg + down);
+                         tev + agg);
   }
 
-  if (obs::enabled()) {
-    obs::CommAccountant& comm = obs::CommAccountant::global();
-    for (const std::size_t w : cohort) {
-      comm.record(obs::Link::kWorkerToCloud, w, rs.worker_up_bytes);
-      comm.record(obs::Link::kCloudToWorker, w, rs.worker_down_bytes);
-    }
-  }
-  for (const std::size_t w : discarded) {
+  for (const std::size_t i : discarded) {
     ++er.dropped;
-    rs.workers[w].reset_interval_accumulators();
+    DownloadMsg msg;
+    msg.version = refresh_version;
+    msg.x = rs.cloud.x;
+    schedule_download(er, cohort[i].w, std::move(msg), tev + agg);
   }
-  for (const std::size_t w : cohort) {
-    fl::WorkerState& ws = rs.workers[w];
-    ws.x = rs.cloud.x;
-    er.w_version[w] = er.cloud_version;
-    ++er.w_interval[w];
-    dispatch_worker(alg, er, w, tev + agg + down);
-  }
-  er.last_time = std::max(er.last_time, tev + agg + down);
+  er.last_time = std::max(er.last_time, tev + agg);
 }
 
 fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
@@ -744,11 +1123,17 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
     rs.result.worker_miss_counts.assign(W, 0);
   }
 
-  // Per-entity latency streams.
+  // Per-entity latency streams. The download streams are separate forks so
+  // the split compute/upload/download events leave each worker's historical
+  // compute+upload sequence untouched.
   Rng lroot(sim_.seed);
   er.wrng.reserve(W);
+  er.wdrng.reserve(W);
   for (std::size_t w = 0; w < W; ++w) {
     er.wrng.push_back(lroot.fork(0xA5A50000u + w));
+  }
+  for (std::size_t w = 0; w < W; ++w) {
+    er.wdrng.push_back(lroot.fork(0xD0DD0000u + w));
   }
   er.erng.reserve(E);
   for (std::size_t e = 0; e < E; ++e) {
@@ -759,6 +1144,10 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
   er.w_interval.assign(W, 0);
   er.w_version.assign(W, 0);
   er.w_up.assign(W, 1);
+  er.w_upq.resize(W);
+  er.uplink_free.assign(W, 0.0);
+  er.w_pending.resize(W);
+  er.w_has_pending.assign(W, 0);
   er.e_version.assign(E, 0);
   er.e_round.assign(E, 0);
   er.e_since_cloud.assign(E, 0);
@@ -766,9 +1155,17 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
   er.e_inbox.resize(E);
   er.e_deadline_armed.assign(E, 0);
   er.e_up.assign(E, 1);
+  // First adaptive deadline = margin × ewma = the configured base.
+  const Scalar ewma0 = cfg_.deadline_margin > 0
+                           ? cfg_.semi_async_deadline_s / cfg_.deadline_margin
+                           : 0.0;
+  er.e_deadline_ewma.assign(E, ewma0);
+  er.e_first_arrival.assign(E, 0.0);
+  er.e_last_arrival.assign(E, 0.0);
+  er.c_deadline_ewma = ewma0;
 
   engine_.record_point(rs, 0, rs.cloud.x, 0.0);
-  for (std::size_t w = 0; w < W; ++w) dispatch_worker(alg, er, w, 0.0);
+  for (std::size_t w = 0; w < W; ++w) dispatch_compute(alg, er, w, 0.0);
 
   obs::Registry& reg = obs::Registry::global();
   while (!er.q.empty()) {
@@ -778,13 +1175,20 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
       case EventType::kWorkerReady:
         worker_arrival(alg, er, ev);
         break;
+      case EventType::kWorkerUpload:
+        upload_arrival(alg, er, ev);
+        break;
+      case EventType::kWorkerDownload:
+        download_arrival(er, ev);
+        break;
       case EventType::kEdgeSync: {
         // Semi-async deadline at edge `entity`.
         const std::size_t e = ev.entity;
         er.e_deadline_armed[e] = 0;
-        std::vector<std::size_t> cohort = std::move(er.e_inbox[e]);
+        std::vector<Arrival> cohort = std::move(er.e_inbox[e]);
         er.e_inbox[e].clear();
         if (cohort.empty()) break;  // flushed elsewhere — nothing to do
+        note_round_spread(er, /*edge_tier=*/true, e);
         bool eup = true;
         if (er.schedule != nullptr) {
           const std::size_t kc =
@@ -794,11 +1198,12 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
         note_availability(er, /*is_edge=*/true, e, eup, ev.time);
         if (!eup) {
           // The whole round misses: the outage consumes one schedule round
-          // and every cohort member an interval.
+          // and every member's uploaded interval is lost (their own
+          // progress continues — compute was already redispatched).
           ++er.e_round[e];
-          for (const std::size_t w : cohort) {
+          for (const Arrival& a : cohort) {
             ++er.dropped;
-            miss_interval(alg, er, w, ev.time);
+            miss_sync(alg, er, a.w);
           }
           break;
         }
@@ -807,13 +1212,15 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
       }
       case EventType::kCloudSync:
         if (er.three_tier) {
-          cloud_edge_arrival(alg, er, ev.entity, ev.round, ev.time);
+          cloud_edge_arrival(alg, er, ev.entity, ev.round, ev.time,
+                             /*broadcast=*/true);
         } else {
           // Two-tier semi-async deadline.
           er.c_deadline_armed = false;
-          std::vector<std::size_t> cohort = std::move(er.c_inbox);
+          std::vector<Arrival> cohort = std::move(er.c_inbox);
           er.c_inbox.clear();
           if (!cohort.empty()) {
+            note_round_spread(er, /*edge_tier=*/false, 0);
             cloud_cohort_sync(alg, er, std::move(cohort), ev.time);
           }
         }
@@ -827,13 +1234,15 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
   }
 
   // Terminal flush: edges still holding un-pushed aggregations (a partial π
-  // window) hand them to the cloud in ascending edge order.
+  // window) hand them to the cloud in ascending edge order. No broadcast —
+  // the queue is drained, so a download event would never be processed.
   if (er.three_tier) {
     for (std::size_t e = 0; e < E; ++e) {
       if (er.e_since_cloud[e] > 0 && er.e_version[e] > 0) {
         er.e_since_cloud[e] = 0;
         const Scalar up = model_->edge_upload(er.erng[e]);
-        cloud_edge_arrival(alg, er, e, er.e_cloud_base[e], er.last_time + up);
+        cloud_edge_arrival(alg, er, e, er.e_cloud_base[e], er.last_time + up,
+                           /*broadcast=*/false);
       }
     }
   }
@@ -852,11 +1261,36 @@ fl::RunResult AsyncEngine::run_event_driven(fl::Algorithm& alg,
   rs.result.max_staleness_seen = er.max_tau;
   rs.result.mean_staleness =
       er.admitted > 0 ? er.tau_sum / static_cast<Scalar>(er.admitted) : 0.0;
+  rs.result.overlap_seconds = er.overlap_s;
+  rs.result.downloads_applied = er.downloads_applied;
+  rs.result.downloads_superseded = er.downloads_superseded;
 
   if (obs::enabled()) {
     reg.counter("evt.updates.admitted", er.policy_label).add(er.admitted);
     reg.counter("evt.updates.stale", er.policy_label).add(er.stale);
     reg.counter("evt.updates.dropped", er.policy_label).add(er.dropped);
+    reg.counter("evt.uploads.arrived", er.policy_label)
+        .add(er.uploads_arrived);
+    reg.counter("evt.uploads.coalesced", er.policy_label)
+        .add(er.uploads_coalesced);
+    reg.counter("evt.downloads.scheduled", er.policy_label)
+        .add(er.downloads_scheduled);
+    reg.counter("evt.downloads.applied", er.policy_label)
+        .add(er.downloads_applied);
+    reg.counter("evt.downloads.superseded", er.policy_label)
+        .add(er.downloads_superseded);
+    reg.counter("evt.overlap_modeled_ms", er.policy_label)
+        .add(static_cast<std::uint64_t>(er.overlap_s * 1e3));
+    if (cfg_.adaptive_deadline) {
+      Scalar mean_ewma = er.c_deadline_ewma;
+      if (er.three_tier && E > 0) {
+        mean_ewma = 0;
+        for (std::size_t e = 0; e < E; ++e) mean_ewma += er.e_deadline_ewma[e];
+        mean_ewma /= static_cast<Scalar>(E);
+      }
+      reg.gauge("evt.deadline.ewma_ms", er.policy_label)
+          .set(static_cast<double>(mean_ewma * 1e3));
+    }
   }
 
   engine_.finalize_run(alg, rs);

@@ -21,18 +21,32 @@
 //   * async — fully event-ordered: every update arrival triggers its
 //     aggregator immediately with a single-member cohort.
 //
-// Staleness contract (semi_async and async): an update dispatched when its
-// aggregator was at version v and admitted at version v' has staleness
-// τ = v' − v. Admitted updates are weighted by s(τ) = staleness_decay^τ
-// (renormalized inside the cohort) and folded into the aggregator state by a
-// damped mixing step: state ← (1−α)·state + α·cohort_result with
-// α = Σ_admitted full-roster-weight·s(τ) — a full fresh cohort reproduces the
-// plain aggregation (α = 1), a lone stale straggler barely moves the tier.
-// Updates with τ > max_staleness are dropped and the sender force-refreshed.
-// Algorithm::stale_sync runs for every admitted stale update before the
-// aggregation. All of this happens at the engine level through the manual
-// roster mode of fl::Participation, so every registry algorithm participates
-// without async-specific code.
+// Staleness contract (semi_async and async): an update trained on the model
+// a worker downloaded at aggregator version v and admitted at version v' has
+// staleness τ = v' − v ≥ 0. Admitted updates are weighted by
+// s(τ) = staleness_decay^τ (renormalized inside the cohort) and folded into
+// the aggregator state by a damped mixing step: state ← (1−α)·state +
+// α·cohort_result with α = Σ_admitted full-roster-weight·s(τ) — a full fresh
+// cohort reproduces the plain aggregation (α = 1), a lone stale straggler
+// barely moves the tier. Updates with τ > max_staleness are dropped and the
+// sender force-refreshed. Algorithm::stale_sync runs for every admitted
+// stale update before the aggregation. All of this happens at the engine
+// level through the manual roster mode of fl::Participation, so every
+// registry algorithm participates without async-specific code.
+//
+// Causal model propagation (semi_async and async): communication is explicit
+// and versioned in both directions. A worker's finished interval is
+// snapshotted into an upload that travels as its own event while the worker
+// immediately starts its next local steps (communication overlaps
+// computation); τ is measured against the version stamped on the snapshot.
+// Aggregations never write through to workers — each cohort member is sent a
+// versioned download event carrying exactly what the aggregation's push-down
+// changed, applied at the worker's next interval boundary, superseded if a
+// newer version arrives first. A cloud round folds an edge's upload through
+// an edge-only roster (fl::Participation::set_edge_roster), so in-flight
+// workers are never retroactively refreshed: they learn of the new model
+// through the edge's next versioned broadcast, and each worker's
+// download_version is monotone by construction.
 //
 // Determinism: the event loop is serial; all latency draws come from
 // per-entity RNG streams forked off TimeSimConfig::seed, all training draws
@@ -56,7 +70,9 @@ class FaultPlan;  // src/sim/fault_plan.h
 
 namespace hfl::evt {
 
-struct EvtRun;  // internal per-run state (async_engine.cpp)
+struct EvtRun;       // internal per-run state (async_engine.cpp)
+struct Arrival;      // one arrived upload: worker id + state snapshot
+struct DownloadMsg;  // one in-flight versioned refresh toward a worker
 
 class AsyncEngine {
  public:
@@ -87,18 +103,29 @@ class AsyncEngine {
                                  const sim::FaultPlan* plan);
 
   // Event-mode helpers (see async_engine.cpp).
-  void dispatch_worker(fl::Algorithm& alg, EvtRun& er, std::size_t w,
-                       Scalar base);
+  Scalar dispatch_compute(fl::Algorithm& alg, EvtRun& er, std::size_t w,
+                          Scalar base);
   void worker_arrival(fl::Algorithm& alg, EvtRun& er, const Event& ev);
+  void upload_arrival(fl::Algorithm& alg, EvtRun& er, const Event& ev);
+  void download_arrival(EvtRun& er, const Event& ev);
+  void apply_pending_download(EvtRun& er, std::size_t w);
+  void schedule_download(EvtRun& er, std::size_t w, DownloadMsg msg,
+                         Scalar base);
+  void broadcast_edge_refresh(EvtRun& er, std::size_t e, Scalar base);
   void edge_cohort_sync(fl::Algorithm& alg, EvtRun& er, std::size_t e,
-                        std::vector<std::size_t> cohort, Scalar tev);
+                        std::vector<Arrival> cohort, Scalar tev);
   void cloud_cohort_sync(fl::Algorithm& alg, EvtRun& er,
-                         std::vector<std::size_t> cohort, Scalar tev);
+                         std::vector<Arrival> cohort, Scalar tev);
   void cloud_edge_arrival(fl::Algorithm& alg, EvtRun& er, std::size_t e,
-                          std::size_t base_version, Scalar tev);
+                          std::size_t base_version, Scalar tev,
+                          bool broadcast);
   void miss_interval(fl::Algorithm& alg, EvtRun& er, std::size_t w, Scalar tev);
+  void miss_sync(fl::Algorithm& alg, EvtRun& er, std::size_t w);
   void note_availability(EvtRun& er, bool is_edge, std::size_t id, bool up,
                          Scalar time);
+  Scalar aggregator_deadline(const EvtRun& er, bool edge_tier,
+                             std::size_t e) const;
+  void note_round_spread(EvtRun& er, bool edge_tier, std::size_t e);
 
   fl::RunConfig cfg_;       // the requested (validated) configuration
   net::TimeSimConfig sim_;  // completed deployment model

@@ -15,11 +15,23 @@
 namespace hfl::evt {
 
 enum class EventType : std::uint8_t {
-  // A worker's interval of local work (and its upload) lands at its
-  // aggregator — the edge in three-tier runs, the cloud in two-tier runs.
-  // The τ local steps execute lazily inside this handler, so the worker
-  // trains on exactly the model it last downloaded.
+  // A worker finishes one interval of local work. Sync policy: the
+  // interval's upload rides along (monolithic barrier step). Event-driven
+  // policies: compute only — the τ local steps execute lazily inside this
+  // handler on exactly the model the worker last downloaded, the upload is
+  // snapshotted here and travels as a separate kWorkerUpload event so the
+  // next interval's compute overlaps the transfer.
   kWorkerReady,
+  // A worker's in-flight upload (snapshotted at its kWorkerReady) lands at
+  // its aggregator — the edge in three-tier runs, the cloud in two-tier
+  // runs. entity = worker id, round = the worker interval that produced it.
+  kWorkerUpload,
+  // A refreshed model (stamped with the aggregator version that produced
+  // it) lands at a worker. entity = worker id, round = the engine's index
+  // of the in-flight message payload. Applied at the worker's next interval
+  // boundary; an older message never overwrites a newer one, so each
+  // worker's download_version is monotone.
+  kWorkerDownload,
   // An edge aggregation point: the barrier instant (sync policy) or a
   // semi-async admission deadline expiring at one edge.
   kEdgeSync,

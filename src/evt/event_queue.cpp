@@ -12,6 +12,10 @@ const char* to_string(EventType type) {
   switch (type) {
     case EventType::kWorkerReady:
       return "worker_ready";
+    case EventType::kWorkerUpload:
+      return "worker_upload";
+    case EventType::kWorkerDownload:
+      return "worker_download";
     case EventType::kEdgeSync:
       return "edge_sync";
     case EventType::kCloudSync:

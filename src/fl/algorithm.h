@@ -118,6 +118,13 @@ class Algorithm {
   // fails loudly if a serial-only edge_sync is ever entered concurrently.
   virtual bool edge_sync_reentrant() const { return true; }
 
+  // True when a sync hook reads state off every active worker of the
+  // population (Mime's server-statistic probe): such algorithms need the
+  // full population materialized, so the virtualized engine rejects them
+  // under cohort sampling unless RunConfig::mime_cohort_stats opts into the
+  // cohort-estimated statistic.
+  virtual bool probes_population() const { return false; }
+
   // Cloud synchronization at t = pτπ.
   virtual void cloud_sync(Context& ctx, std::size_t p) = 0;
 

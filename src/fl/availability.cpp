@@ -245,6 +245,43 @@ void Participation::set_cohort_roster(const std::vector<WorkerId>& cohort_ids,
   prev_cohort_ids_ = cohort_ids;
 }
 
+void Participation::set_edge_roster(const std::vector<std::uint8_t>& edge_up) {
+  const std::size_t n = active_.size();
+  const std::size_t l = edge_active_.size();
+  HFL_CHECK(schedule_ == nullptr,
+            "set_edge_roster is manual-roster only; schedule-backed "
+            "Participation replays intervals via begin_interval");
+  HFL_CHECK(edge_up.size() == l,
+            "set_edge_roster edge array does not match the topology");
+  sparse_mode_ = false;
+
+  num_active_ = 0;
+  std::fill(active_.begin(), active_.end(), std::uint8_t{0});
+  std::fill(weight_in_edge_.begin(), weight_in_edge_.end(), 0.0);
+  std::fill(weight_global_.begin(), weight_global_.end(), 0.0);
+  for (std::size_t w = 0; w < n; ++w) mass_[w] = base_weight_[w];
+
+  // Edge activity comes straight from edge_up (no surviving-worker
+  // requirement); edge weights renormalize the static per-edge masses over
+  // the up edges, ascending — the same member order rebuild_weights uses.
+  Scalar global_mass = 0;
+  for (std::size_t e = 0; e < l; ++e) {
+    active_of_edge_[e].clear();
+    edge_active_[e] = edge_up[e] != 0 ? 1 : 0;
+    Scalar edge_mass = 0;
+    for (const WorkerId w : topo_->workers_of_edge(e)) {
+      edge_mass += mass_[w];
+    }
+    edge_weight_[e] = edge_mass;  // provisional; normalized below
+    if (edge_active_[e]) global_mass += edge_mass;
+  }
+  for (std::size_t e = 0; e < l; ++e) {
+    edge_weight_[e] = edge_active_[e] && global_mass > 0
+                          ? edge_weight_[e] / global_mass
+                          : 0.0;
+  }
+}
+
 void Participation::set_absent_policy(AbsentPolicy policy, Scalar decay) {
   HFL_CHECK(decay >= 0.0 && decay <= 1.0, "absent decay must be in [0, 1]");
   manual_policy_ = policy;

@@ -175,6 +175,17 @@ class Participation {
                          const std::vector<std::uint8_t>& edge_up,
                          const std::vector<Scalar>* cohort_scale = nullptr);
 
+  // Manual-roster mode: a cloud-tier roster of edges only. Every worker is
+  // absent (algorithm worker loops guarded by is_active skip them), yet an
+  // up edge counts as active by itself — unlike set_roster, which
+  // deactivates an edge with no surviving workers. Edge weights are
+  // renormalized over the up edges by their static data mass, so a
+  // singleton roster gives that edge weight exactly 1. The event-driven
+  // engine folds an edge's upload into the cloud through this view without
+  // touching the edge's (possibly in-flight) workers — the causal fix for
+  // the retroactive subtree refresh.
+  void set_edge_roster(const std::vector<std::uint8_t>& edge_up);
+
   // Manual-roster mode: absent-momentum policy reported to absent_sync.
   void set_absent_policy(AbsentPolicy policy, Scalar decay);
 

@@ -56,6 +56,14 @@ void RunConfig::validate() const {
   HFL_CHECK(stale_momentum_decay >= 0 && stale_momentum_decay <= 1,
             "stale_momentum_decay must be in [0, 1] (1 = hold momentum, "
             "0 = reset); got " + std::to_string(stale_momentum_decay));
+  HFL_CHECK(!adaptive_deadline || policy == ExecPolicy::kSemiAsync,
+            "adaptive_deadline tunes semi-async admission deadlines and "
+            "requires policy = semi_async; got policy = " +
+                std::string(to_string(policy)));
+  HFL_CHECK(deadline_margin > 0,
+            "deadline_margin must be > 0 (it scales the EWMA'd arrival "
+            "spread into the next admission deadline); got " +
+                std::to_string(deadline_margin));
   HFL_CHECK(policy == ExecPolicy::kSync || !batched,
             "the batched cohort path is barrier-shaped and unsupported "
             "under policy = " + std::string(to_string(policy)) +

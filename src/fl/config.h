@@ -81,6 +81,23 @@ struct RunConfig {
   // worker's momentum state toward its model by this factor. 1 = hold
   // (keep momentum as-is), 0 = full reset. Mirrors AbsentPolicy::kDecay.
   Scalar stale_momentum_decay = 1.0;
+  // Semi-async only: tune each aggregator's admission deadline against the
+  // arrival spread it actually observes, instead of holding
+  // semi_async_deadline_s fixed. Per fired round the aggregator folds the
+  // spread (last − first arrival of the admitted cohort) into an EWMA and
+  // arms the next deadline at deadline_margin × EWMA, clamped to
+  // [0.25, 4] × semi_async_deadline_s (which also seeds the EWMA).
+  bool adaptive_deadline = false;
+  // Safety margin over the EWMA'd arrival spread; > 0. Larger admits more
+  // of the tail per round (fewer, bigger cohorts), smaller turns rounds
+  // around faster at the cost of more stale folds.
+  Scalar deadline_margin = 1.5;
+  // Mime/MimeLite under cohort sampling: estimate the server statistic ĝ
+  // from the materialized cohort with weights renormalized over that cohort,
+  // instead of probing every worker's gradient (which requires the full
+  // population materialized — the default, bit-identical behavior). Ignored
+  // by every other algorithm.
+  bool mime_cohort_stats = false;
 
   // Throws hfl::Error with an actionable message on any inconsistency
   // (non-positive periods, T not a multiple of τ·π, bad hyper-parameters).

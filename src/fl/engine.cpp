@@ -292,6 +292,12 @@ void Engine::prepare_run(Algorithm& alg, const ParticipationSchedule* schedule,
                 "(eval_every must be 0 or a multiple of tau*pi): the "
                 "mid-interval virtual global model would need every worker "
                 "materialized");
+      HFL_CHECK(!alg.probes_population() || cfg_.mime_cohort_stats,
+                alg.name() +
+                    " probes every worker's gradient for its server "
+                    "statistic, but cohort sampling materializes only the "
+                    "sampled workers; set cfg.mime_cohort_stats = true to "
+                    "estimate the statistic from the cohort instead");
     }
     if (oracle != nullptr) {
       // Unmaterialized workers receive the policy lazily: the provider

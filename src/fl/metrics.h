@@ -62,6 +62,15 @@ struct RunResult {
   std::size_t dropped_updates = 0;
   Scalar mean_staleness = 0;             // over admitted updates
   std::size_t max_staleness_seen = 0;    // over admitted updates
+  // Modeled seconds of communication hidden behind computation: per worker
+  // interval, the part of the upload's flight time during which the
+  // worker's next local steps were already running, summed over workers.
+  // Zero under the sync policy (the barrier serializes the two).
+  Scalar overlap_seconds = 0;
+  // Download-event profile: refreshes applied at an interval boundary vs.
+  // messages superseded by a newer version before they could be applied.
+  std::size_t downloads_applied = 0;
+  std::size_t downloads_superseded = 0;
 
   // First recorded iteration at which test accuracy reached `target`, or
   // `npos` if the curve never gets there. Linear search over the curve.

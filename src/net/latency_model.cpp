@@ -48,6 +48,16 @@ Scalar LatencyModel::edge_broadcast(Rng& rng, std::size_t e) const {
       rng, payload_ * sim_->worker_download_vectors, topo_->workers_in_edge(e));
 }
 
+Scalar LatencyModel::worker_download(Rng& rng, std::size_t w) const {
+  if (sim_->three_tier) {
+    return sim_->worker_edge_link.sample(
+        rng, payload_ * sim_->worker_download_vectors,
+        topo_->workers_in_edge(topo_->edge_of_worker(w)));
+  }
+  return sim_->worker_cloud_link.sample(
+      rng, payload_ * sim_->worker_download_vectors, topo_->num_workers());
+}
+
 Scalar LatencyModel::edge_upload(Rng& rng) const {
   return sim_->edge_cloud_link.sample(
       rng, payload_ * sim_->edge_upload_vectors, topo_->num_edges());

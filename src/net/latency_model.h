@@ -49,6 +49,14 @@ class LatencyModel {
   Scalar edge_aggregate(Rng& rng) const;
   Scalar edge_broadcast(Rng& rng, std::size_t e) const;
 
+  // Worker w's model download as an individual transfer — the per-entity
+  // leg of the event-driven engine's versioned download events, where each
+  // worker's refresh arrives on its own sampled delay (three-tier: the edge
+  // WiFi shared with its siblings; two-tier: the public Internet shared
+  // with every worker). The barrier replayer keeps using edge_broadcast
+  // (one shared-medium draw per sync).
+  Scalar worker_download(Rng& rng, std::size_t w) const;
+
   // Edge-to-cloud upload over the public Internet (three-tier only).
   Scalar edge_upload(Rng& rng) const;
 

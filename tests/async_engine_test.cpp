@@ -308,6 +308,9 @@ void expect_identical_event_run(const fl::RunResult& a, const fl::RunResult& b) 
   EXPECT_EQ(a.dropped_updates, b.dropped_updates);
   EXPECT_EQ(a.mean_staleness, b.mean_staleness);
   EXPECT_EQ(a.max_staleness_seen, b.max_staleness_seen);
+  EXPECT_EQ(a.overlap_seconds, b.overlap_seconds);
+  EXPECT_EQ(a.downloads_applied, b.downloads_applied);
+  EXPECT_EQ(a.downloads_superseded, b.downloads_superseded);
 }
 
 std::vector<std::string> all_algorithms() {

@@ -1,0 +1,314 @@
+// Causal model propagation in the event-driven engine (src/evt/):
+//
+//   1. No retroactive refresh: a cloud round folding an edge's update must
+//      never write through to in-flight workers. A probe algorithm poisons
+//      the cloud model inside cloud_sync; if any worker ever observes the
+//      poison mid-interval, the engine leaked the cloud state retroactively
+//      (the exact bug this suite pins down).
+//   2. Monotone download versions: the model a worker trains on only ever
+//      moves forward. The probe stamps each edge aggregation's index into
+//      the model; per worker, the observed stamp sequence is non-decreasing.
+//   3. Communication/computation overlap: uploads travel while the next
+//      interval computes, and the modeled overlap is reported.
+//   4. Byte accounting: every upload arrival is charged exactly once —
+//      including updates discarded for staleness — and every download
+//      charges the algorithm's download payload.
+//   5. The adaptive-deadline knobs validate and stay seed-deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/algs/registry.h"
+#include "src/common/errors.h"
+#include "src/data/partitioner.h"
+#include "src/data/synthetic.h"
+#include "src/evt/async_engine.h"
+#include "src/fl/state.h"
+#include "src/nn/models.h"
+#include "src/obs/comm.h"
+#include "src/obs/registry.h"
+#include "src/sim/fault_plan.h"
+
+namespace hfl::evt {
+namespace {
+
+struct Fixture {
+  data::TrainTest dataset;
+  fl::Topology topo{fl::Topology::uniform(3, 3)};  // 3 edges × 3 workers
+  data::Partition partition;
+  nn::ModelFactory factory;
+  fl::RunConfig cfg;  // three-tier event config
+  std::size_t params = 0;
+
+  Fixture() {
+    Rng rng(3);
+    data::SyntheticSpec spec;
+    spec.sample_shape = {1, 3, 3};
+    spec.num_classes = 3;
+    spec.train_size = 90;
+    spec.test_size = 30;
+    dataset = data::make_synthetic(rng, spec);
+    partition = data::partition_iid(dataset.train, topo.num_workers(), rng);
+    factory = nn::logistic_regression({1, 3, 3}, 3);
+    params = factory()->num_params();
+
+    cfg.total_iterations = 16;
+    cfg.tau = 2;
+    cfg.pi = 2;
+    cfg.batch_size = 4;
+    cfg.seed = 5;
+    cfg.batched = false;
+    cfg.policy = fl::ExecPolicy::kAsync;
+  }
+
+  net::TimeSimConfig sim() const {
+    net::TimeSimConfig s;
+    s.three_tier = true;
+    s.seed = 9;
+    return s;
+  }
+
+  // Stragglers only (no dropout): every interval uploads, but workers drift
+  // far apart so uploads race aggregations — maximal in-flight pressure.
+  sim::FaultPlan straggler_plan() const {
+    sim::FaultConfig fc;
+    fc.seed = 11;
+    fc.straggler.fraction = 0.5;
+    fc.straggler.slowdown = 5.0;
+    return sim::FaultPlan(topo, cfg, fc);
+  }
+};
+
+// One local-step observation of a worker's model.
+struct ProbeLog {
+  std::size_t w;
+  Scalar x0;  // the poison channel (cloud_sync writes it)
+  Scalar x1;  // the version channel (edge_sync stamps the aggregation index)
+};
+
+// Three-tier probe: local steps observe and never move the model, edge
+// aggregations stamp their index into x[1], cloud rounds poison the CLOUD
+// model only. Any poison observed at a worker therefore arrived through an
+// engine write-through, not through the algorithm's own push-downs.
+class ProbeAlgorithm final : public fl::Algorithm {
+ public:
+  static constexpr Scalar kPoison = 999.0;
+
+  explicit ProbeAlgorithm(std::vector<ProbeLog>* log) : log_(log) {}
+
+  std::string name() const override { return "Probe"; }
+  bool three_tier() const override { return true; }
+
+  void local_step(fl::Context&, fl::WorkerState& w) override {
+    log_->push_back({w.id, w.x[0], w.x[1]});
+  }
+
+  void edge_sync(fl::Context& ctx, fl::EdgeState& e, std::size_t k) override {
+    fl::aggregate_edge(*ctx.topo, e.id, *ctx.workers, fl::worker_x, e.x_plus,
+                       ctx.part);
+    e.x_plus[1] = static_cast<Scalar>(k);
+    for (const std::size_t id :
+         fl::active_workers(ctx.part, *ctx.topo, e.id)) {
+      (*ctx.workers)[id].x = e.x_plus;
+    }
+  }
+
+  void cloud_sync(fl::Context& ctx, std::size_t) override {
+    ctx.cloud->x[0] = kPoison;
+  }
+
+ private:
+  std::vector<ProbeLog>* log_;
+};
+
+fl::RunResult run_probe(const Fixture& f, fl::ExecPolicy policy,
+                        std::size_t threads, const sim::FaultPlan* plan,
+                        std::vector<ProbeLog>& log) {
+  log.clear();
+  ProbeAlgorithm alg(&log);
+  fl::RunConfig cfg = f.cfg;
+  cfg.policy = policy;
+  cfg.num_threads = threads;
+  // Admit everything: a too-stale discard legitimately re-anchors its sender
+  // on the current cloud model (a versioned forced refresh), which would
+  // carry the poison by design. With discards off, the only way cloud state
+  // can reach a worker is an engine write-through — the bug under test.
+  cfg.max_staleness = 1000;
+  if (policy == fl::ExecPolicy::kSemiAsync) cfg.semi_async_deadline_s = 2.0;
+  AsyncEngine engine(f.factory, f.dataset, f.partition, f.topo, cfg, f.sim());
+  return engine.run(alg, plan);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Regression: no retroactive subtree refresh from cloud rounds
+// ---------------------------------------------------------------------------
+
+TEST(EvtVersioningTest, CloudSyncNeverLeaksIntoInFlightWorkers) {
+  Fixture f;
+  std::vector<ProbeLog> log;
+  const sim::FaultPlan plan = f.straggler_plan();
+  for (const fl::ExecPolicy policy :
+       {fl::ExecPolicy::kAsync, fl::ExecPolicy::kSemiAsync}) {
+    const fl::RunResult r = run_probe(f, policy, 1, &plan, log);
+    ASSERT_FALSE(log.empty());
+    EXPECT_GT(r.admitted_updates, 0u);
+    // The cloud model is poisoned every cloud round; workers only ever see
+    // edge-anchored downloads, so the poison (or any damped mix of it — the
+    // fold keeps x0 far above anything the probe's zero-init produces) must
+    // never reach a local step.
+    for (const ProbeLog& p : log) {
+      ASSERT_LT(p.x0, 100.0) << "worker " << p.w
+                             << " observed the cloud poison mid-interval: "
+                                "retroactive refresh is back";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Monotone download versions per worker
+// ---------------------------------------------------------------------------
+
+TEST(EvtVersioningTest, DownloadVersionsAreMonotonePerWorker) {
+  Fixture f;
+  std::vector<ProbeLog> log;
+  const sim::FaultPlan plan = f.straggler_plan();
+  for (const fl::ExecPolicy policy :
+       {fl::ExecPolicy::kAsync, fl::ExecPolicy::kSemiAsync}) {
+    run_probe(f, policy, 1, &plan, log);
+    // x[1] carries a damped mix of edge-aggregation indices, strictly
+    // increasing per aggregation — so per worker the observed sequence must
+    // never step backwards (an old in-flight download overwriting a newer
+    // one would).
+    std::map<std::size_t, Scalar> last;
+    std::size_t refreshed = 0;
+    for (const ProbeLog& p : log) {
+      const auto it = last.find(p.w);
+      if (it != last.end()) {
+        ASSERT_GE(p.x1, it->second)
+            << "worker " << p.w << " regressed to an older model";
+        if (p.x1 > it->second) ++refreshed;
+      }
+      last[p.w] = p.x1;
+    }
+    EXPECT_GT(refreshed, 0u);  // downloads actually landed and applied
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Communication/computation overlap
+// ---------------------------------------------------------------------------
+
+TEST(EvtVersioningTest, UploadsOverlapNextIntervalCompute) {
+  Fixture f;
+  auto alg = algs::make_algorithm("HierAdMo");
+  fl::RunConfig cfg = f.cfg;
+  AsyncEngine engine(f.factory, f.dataset, f.partition, f.topo, cfg, f.sim());
+  const fl::RunResult r = engine.run(*alg);
+  EXPECT_GT(r.overlap_seconds, 0.0);
+  EXPECT_LT(r.overlap_seconds, r.sim_seconds);  // hidden time, not extra time
+  EXPECT_GT(r.downloads_applied, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Byte accounting: charge-exactly-once on both legs
+// ---------------------------------------------------------------------------
+
+TEST(EvtCommAccountingTest, EveryArrivalChargedOnceIncludingDiscarded) {
+  Fixture f;
+  const std::uint64_t up_bytes = 4 * f.params * sizeof(Scalar);    // HierAdMo
+  const std::uint64_t down_bytes = 2 * f.params * sizeof(Scalar);  // profile
+  const std::size_t arrivals =
+      f.topo.num_workers() * (f.cfg.total_iterations / f.cfg.tau);
+
+  for (const std::int64_t max_staleness : {std::int64_t{4}, std::int64_t{0}}) {
+    obs::set_enabled(true);
+    obs::Registry::global().reset();
+    obs::CommAccountant::global().reset();
+    auto alg = algs::make_algorithm("HierAdMo");
+    fl::RunConfig cfg = f.cfg;
+    cfg.max_staleness = max_staleness;
+    AsyncEngine engine(f.factory, f.dataset, f.partition, f.topo, cfg,
+                       f.sim());
+    const fl::RunResult r = engine.run(*alg);
+    const obs::LinkTotals we =
+        obs::CommAccountant::global().totals(obs::Link::kWorkerToEdge);
+    const obs::LinkTotals ew =
+        obs::CommAccountant::global().totals(obs::Link::kEdgeToWorker);
+    const obs::LinkTotals ec =
+        obs::CommAccountant::global().totals(obs::Link::kEdgeToCloud);
+    const obs::LinkTotals ce =
+        obs::CommAccountant::global().totals(obs::Link::kCloudToEdge);
+    obs::set_enabled(false);
+
+    // Fault-free: every finished interval's upload arrives and is charged
+    // exactly once — whatever its admission fate. With max_staleness = 0 the
+    // racing cohort members get dropped, yet the uplink bill is identical.
+    EXPECT_EQ(we.messages, arrivals);
+    EXPECT_EQ(we.logical_bytes, arrivals * up_bytes);
+    if (max_staleness == 0) {
+      EXPECT_GT(r.dropped_updates, 0u);
+    }
+
+    // Downstream, each message carries the algorithm's download payload.
+    EXPECT_GT(ew.messages, 0u);
+    EXPECT_EQ(ew.logical_bytes, ew.messages * down_bytes);
+
+    // Edge↔cloud legs likewise charge per message at the profile's rates
+    // (HierAdMo: 2 vectors each way).
+    EXPECT_GT(ec.messages, 0u);
+    EXPECT_EQ(ec.logical_bytes, ec.messages * down_bytes);
+    EXPECT_EQ(ce.logical_bytes, ce.messages * down_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Adaptive deadlines: validation + determinism
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveDeadlineTest, ValidatesKnobs) {
+  fl::RunConfig cfg;
+  cfg.policy = fl::ExecPolicy::kSemiAsync;
+  cfg.semi_async_deadline_s = 1.0;
+  cfg.batched = false;
+  cfg.adaptive_deadline = true;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg.deadline_margin = 0.0;  // must be positive
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.deadline_margin = 1.5;
+
+  cfg.policy = fl::ExecPolicy::kAsync;  // deadlines are semi_async-only
+  cfg.semi_async_deadline_s = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(AdaptiveDeadlineTest, SeedDeterministicAcrossThreadCounts) {
+  Fixture f;
+  const sim::FaultPlan plan = f.straggler_plan();
+  fl::RunResult runs[2];
+  for (int i = 0; i < 2; ++i) {
+    auto alg = algs::make_algorithm("HierAdMo");
+    fl::RunConfig cfg = f.cfg;
+    cfg.policy = fl::ExecPolicy::kSemiAsync;
+    cfg.semi_async_deadline_s = 0.5;
+    cfg.adaptive_deadline = true;
+    cfg.num_threads = i == 0 ? 1 : 4;
+    AsyncEngine engine(f.factory, f.dataset, f.partition, f.topo, cfg,
+                       f.sim());
+    runs[i] = engine.run(*alg, &plan);
+  }
+  EXPECT_GT(runs[0].admitted_updates, 0u);
+  EXPECT_EQ(runs[0].final_params, runs[1].final_params);
+  EXPECT_EQ(runs[0].sim_seconds, runs[1].sim_seconds);
+  EXPECT_EQ(runs[0].admitted_updates, runs[1].admitted_updates);
+  EXPECT_EQ(runs[0].dropped_updates, runs[1].dropped_updates);
+  EXPECT_EQ(runs[0].overlap_seconds, runs[1].overlap_seconds);
+  EXPECT_EQ(runs[0].downloads_applied, runs[1].downloads_applied);
+  EXPECT_EQ(runs[0].downloads_superseded, runs[1].downloads_superseded);
+}
+
+}  // namespace
+}  // namespace hfl::evt

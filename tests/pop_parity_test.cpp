@@ -165,8 +165,10 @@ std::vector<std::string> all_algorithms() {
 std::vector<std::string> sampled_algorithms() {
   std::vector<std::string> names;
   for (const std::string& n : all_algorithms()) {
-    // Mime's init probe touches every worker; a sampled store materializes
-    // only the cohort (documented deviation).
+    // Mime's ĝ probe walks every active worker, which a sampled store cannot
+    // serve exactly: the cohort-estimated mode (cfg.mime_cohort_stats) is a
+    // different estimator, so it is checked by MimeCohortStatsTest's drift
+    // bound below instead of the bit-parity harness here.
     if (n != "Mime" && n != "MimeLite") names.push_back(n);
   }
   return names;
@@ -397,6 +399,54 @@ TEST(SampledModeGuardsTest, RejectsMisalignedEvalAndMissingProvider) {
   engine.set_cohort_provider(&store);
   EXPECT_THROW(engine.run(*alg), Error);
 }
+
+// Mime under cohort sampling: the population-wide ĝ probe is replaced by a
+// cohort-renormalized estimate behind cfg.mime_cohort_stats. Not an exact
+// reproduction (different probe set, different batch-RNG consumption), so
+// the contract is (a) the engine refuses the silent bias when the flag is
+// off, and (b) with the flag on, the estimated run tracks the full-population
+// run to a loose drift bound instead of diverging.
+class MimeCohortStatsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MimeCohortStatsTest, RejectsSampledRunWithoutFlag) {
+  Fixture f;
+  auto alg = algs::make_algorithm(GetParam());
+  const RunConfig cfg = f.config_for(*alg);
+  Engine engine(f.factory, f.dataset, f.partition, f.topo, cfg);
+  pop::VirtConfig virt;
+  virt.cohort_size = 16;
+  pop::CohortStore store(f.factory, f.dataset, f.partition, f.topo, cfg,
+                         virt);
+  engine.set_cohort_provider(&store);
+  EXPECT_THROW(engine.run(*alg), Error);
+}
+
+TEST_P(MimeCohortStatsTest, CohortEstimateTracksFullPopulation) {
+  Fixture f;
+  auto full_alg = algs::make_algorithm(GetParam());
+  const RunResult full =
+      run_once(f, *full_alg, 1, nullptr, nullptr, nullptr, nullptr);
+
+  auto sampled_alg = algs::make_algorithm(GetParam());
+  RunConfig cfg = f.config_for(*sampled_alg);
+  cfg.mime_cohort_stats = true;
+  Engine engine(f.factory, f.dataset, f.partition, f.topo, cfg);
+  pop::VirtConfig virt;
+  virt.cohort_size = 16;  // 16 of 64 workers per interval
+  pop::CohortStore store(f.factory, f.dataset, f.partition, f.topo, cfg,
+                         virt);
+  engine.set_cohort_provider(&store);
+  const RunResult sampled = engine.run(*sampled_alg);
+
+  // A quarter-population estimate of ĝ must stay in the full run's
+  // neighborhood — catching both a biased (un-renormalized) estimate and a
+  // broken probe path, while leaving room for honest sampling noise.
+  EXPECT_NEAR(sampled.final_loss, full.final_loss, 0.25);
+  EXPECT_GT(sampled.final_accuracy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, MimeCohortStatsTest,
+                         ::testing::Values("Mime", "MimeLite"));
 
 }  // namespace
 }  // namespace hfl::fl
